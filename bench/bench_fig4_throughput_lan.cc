@@ -1,0 +1,10 @@
+// Fig. 4 — throughput vs number of clients, f = 1, LAN setting.
+#include "bench/throughput_common.h"
+
+int main() {
+  using namespace scab;
+  bench::run_throughput_figure("Fig 4 — throughput vs clients (LAN, f=1)",
+                               sim::NetworkProfile::lan(), 1,
+                               {1, 5, 10, 20, 40, 60, 80, 100});
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 6 — peak throughput for f = 1, 2, 3 (LAN): sweep the client count
+// per protocol and report the maximum observed.
+#include "bench/throughput_common.h"
+
+int main() {
+  using namespace scab;
+  using namespace scab::bench;
+  using causal::Protocol;
+
+  print_header("Fig 6 — peak throughput (requests/s), LAN",
+               "max over client counts {10, 40, 80, 120}");
+  print_row({"protocol", "f=1", "f=2", "f=3"});
+
+  for (auto p : {Protocol::kPbft, Protocol::kCp0, Protocol::kCp1,
+                 Protocol::kCp2, Protocol::kCp3}) {
+    std::vector<std::string> row{causal::protocol_name(p)};
+    for (uint32_t f = 1; f <= 3; ++f) {
+      const sim::CostModel costs =
+          calibrate_costs(crypto::ModGroup::modp_1024(), f);
+      double peak = 0;
+      for (uint32_t clients : {10u, 40u, 80u, 120u}) {
+        peak = std::max(
+            peak,
+            sweep_point(p, f, sim::NetworkProfile::lan(), costs, clients)
+                .ops_per_sec);
+      }
+      row.push_back(fmt_tput(peak));
+    }
+    print_row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table I — qualitative comparison of the frameworks and instantiations.
+// This is the paper's static comparison table; the properties are facts of
+// the constructions in src/causal (cross-referenced in comments), printed
+// here so the bench suite regenerates every table of the paper.
+#include "bench/bench_util.h"
+
+int main() {
+  using scab::bench::print_header;
+  using scab::bench::print_row;
+
+  print_header("Table I — frameworks and instantiations",
+               "ty: pk = public-key, sk = symmetric, its = information-"
+               "theoretic; byz-clients / setup / batch as in the paper");
+  print_row({"framework", "inst", "ty", "byz-clients", "setup", "batch",
+             "generality"}, 14);
+  // CP0: threshold cryptosystem; trusted dealer (Cluster's tdh2_keygen);
+  // hybrid ciphertexts are per-request, batching amortizes nothing of the
+  // threshold work.
+  print_row({"BFT+ThreshEnc", "CP0", "pk", "yes", "dealer", "no",
+             "number-theoretic assumptions only"}, 14);
+  // CP1: NM-CAD is a salted hash (ROM), no setup beyond a public key;
+  // openings ride the ordinary batch pipeline.
+  print_row({"FairBFT+NMC", "CP1", "sk", "yes", "-", "yes",
+             "any (adaptive) one-way function"}, 14);
+  // CP2: commitment + any secret sharing; clients assumed crash-only.
+  print_row({"BFT+ARSS1", "CP2", "sk", "no", "-", "yes",
+             "any commitment + any SS"}, 14);
+  // CP3: Shamir-specific, information-theoretically secure.
+  print_row({"BFT+ARSS2", "CP3", "its", "no", "-", "yes",
+             "Shamir SS only"}, 14);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Table II — latency in ms, LAN setting (100 MB/s, 0.1 ms), f = 1..3.
+#include "bench/latency_common.h"
+
+int main() {
+  using namespace scab;
+  bench::run_latency_table(
+      "Table II — latency in ms (LAN)", sim::NetworkProfile::lan(),
+      {causal::Protocol::kPbft, causal::Protocol::kCp0, causal::Protocol::kCp1,
+       causal::Protocol::kCp2, causal::Protocol::kCp3},
+      /*corrupt_f_replicas=*/false);
+  return 0;
+}

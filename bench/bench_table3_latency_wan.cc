@@ -1,0 +1,12 @@
+// Table III — latency in ms, WAN setting (1 MB/s, 120 ms), f = 1..3.
+#include "bench/latency_common.h"
+
+int main() {
+  using namespace scab;
+  bench::run_latency_table(
+      "Table III — latency in ms (WAN)", sim::NetworkProfile::wan(),
+      {causal::Protocol::kPbft, causal::Protocol::kCp0, causal::Protocol::kCp1,
+       causal::Protocol::kCp2, causal::Protocol::kCp3},
+      /*corrupt_f_replicas=*/false);
+  return 0;
+}

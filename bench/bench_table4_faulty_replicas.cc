@@ -1,0 +1,13 @@
+// Table IV — latency in ms with f Byzantine replicas contributing faulty
+// decryption/secret shares (LAN), for the share-based protocols.
+#include "bench/latency_common.h"
+
+int main() {
+  using namespace scab;
+  bench::run_latency_table(
+      "Table IV — latency with faulty replicas in ms (LAN)",
+      sim::NetworkProfile::lan(),
+      {causal::Protocol::kCp0, causal::Protocol::kCp2, causal::Protocol::kCp3},
+      /*corrupt_f_replicas=*/true);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Every benchmark binary follows the same recipe (DESIGN.md §3):
+//   1. CALIBRATE — measure the real cryptographic implementations on this
+//      machine (wall clock) and build a sim::CostModel from the results.
+//   2. SIMULATE — run the full protocol stack on the deterministic
+//      simulator with those costs charged into virtual time, under the
+//      paper's LAN/WAN network profiles and workloads.
+//   3. PRINT — emit the same rows/series the paper's table or figure shows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causal/harness.h"
+
+namespace scab::bench {
+
+/// Measures the real crypto implementations and prices the cost model.
+/// `group` is the threshold-cryptosystem group (pass modp_1024() for the
+/// paper configuration); TDH2 prices depend on f (combine interpolates f+1
+/// shares).  Symmetric prices are measured once and cached across calls.
+sim::CostModel calibrate_costs(const crypto::ModGroup& group, uint32_t f);
+
+/// Per-operation TDH2 measurements in milliseconds (Fig. 3's series).
+struct ThreshEncProfile {
+  double encrypt_ms = 0;
+  double verify_ciphertext_ms = 0;
+  double share_decrypt_ms = 0;
+  double verify_share_ms = 0;
+  double combine_ms = 0;
+};
+ThreshEncProfile profile_threshenc(const crypto::ModGroup& group, uint32_t f,
+                                   int reps = 5);
+
+/// Runs a single-client closed loop of `requests` operations of
+/// `request_bytes` each and returns the mean latency in milliseconds
+/// (the paper's "latency under no contention").  Returns a negative value
+/// if the run did not finish within the virtual deadline.
+double run_latency_ms(causal::ClusterOptions opts, std::size_t request_bytes,
+                      uint64_t requests,
+                      sim::SimTime deadline = 600 * sim::kSecond);
+
+struct ThroughputResult {
+  double ops_per_sec = 0;
+  double mean_latency_ms = 0;
+  uint64_t measured_ops = 0;
+};
+
+/// Runs `clients` closed-loop clients under contention and measures
+/// steady-state throughput: a warmup of `warmup_ops` completions, then
+/// `measure_ops` completions (both totals across clients).
+ThroughputResult run_throughput(causal::ClusterOptions opts, uint32_t clients,
+                                std::size_t request_bytes, uint64_t warmup_ops,
+                                uint64_t measure_ops,
+                                sim::SimTime deadline = 3600 * sim::kSecond);
+
+/// Fixed-width table printing.
+void print_header(const std::string& title, const std::string& note);
+void print_row(const std::vector<std::string>& cells, int width = 12);
+std::string fmt_ms(double ms);
+std::string fmt_tput(double ops);
+
+}  // namespace scab::bench

@@ -1,0 +1,49 @@
+// Quickstart: bring up a CP1 secure-causal cluster on the simulator,
+// replicate a key-value store, and issue a few requests.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The same five lines of setup work for every protocol: change
+// `opts.protocol` to kPbft / kCp0 / kCp2 / kCp3 to swap the engine.
+#include <cstdio>
+
+#include "apps/kvstore.h"
+#include "causal/harness.h"
+
+int main() {
+  using namespace scab;
+
+  // 1. Describe the deployment: protocol, fault threshold, network.
+  causal::ClusterOptions opts;
+  opts.protocol = causal::Protocol::kCp1;       // fair BFT + NM-CAD commitments
+  opts.bft = bft::BftConfig::for_f(1);          // n = 3f + 1 = 4 replicas
+  opts.profile = sim::NetworkProfile::lan();    // 100 MB/s, 0.1 ms
+  opts.num_clients = 1;
+  opts.service_factory = [] { return std::make_unique<apps::KvStore>(); };
+
+  // 2. Build the cluster: simulator, network, keys, replicas, clients.
+  causal::Cluster cluster(opts);
+  std::printf("cluster up: %s, n=%u replicas, f=%u\n",
+              causal::protocol_name(opts.protocol), cluster.n(), cluster.f());
+
+  // 3. Issue requests.  Each one travels as a commitment first (schedule),
+  //    then as an opening (reveal) — no replica sees the operation before
+  //    its position in the total order is fixed.
+  auto put = cluster.run_one(0, apps::KvStore::put("greeting", to_bytes("hello, causal world")));
+  std::printf("put -> %s\n", put ? to_string(*put).c_str() : "(timeout)");
+
+  auto get = cluster.run_one(0, apps::KvStore::get("greeting"));
+  std::printf("get -> %s\n", get ? to_string(*get).c_str() : "(timeout)");
+
+  // 4. Inspect the replicated state: every replica executed both ops.
+  for (uint32_t i = 0; i < cluster.n(); ++i) {
+    std::printf("replica %u executed %lu requests, view %lu\n", i,
+                static_cast<unsigned long>(cluster.replica(i).executed_requests()),
+                static_cast<unsigned long>(cluster.replica(i).view()));
+  }
+
+  std::printf("virtual time elapsed: %.2f ms\n",
+              static_cast<double>(cluster.sim().now()) / sim::kMillisecond);
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "abft/coin.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace scab::abft {
+
+using crypto::Bignum;
+using crypto::ModGroup;
+
+namespace {
+
+Bignum name_base(const ModGroup& group, BytesView name) {
+  return group.hash_to_element(
+      crypto::sha256_tuple({to_bytes("coin.base"), name}));
+}
+
+Bignum proof_challenge(const ModGroup& group, uint32_t index, const Bignum& u,
+                       const Bignum& sigma, const Bignum& a, const Bignum& b) {
+  const std::size_t eb = group.element_bytes();
+  uint8_t idx[4];
+  for (int i = 0; i < 4; ++i) idx[i] = static_cast<uint8_t>(index >> (8 * i));
+  return group.hash_to_exponent(crypto::sha256_tuple(
+      {to_bytes("coin.cp"), BytesView(idx, 4), u.to_bytes_be(eb),
+       sigma.to_bytes_be(eb), a.to_bytes_be(eb), b.to_bytes_be(eb)}));
+}
+
+Bignum lagrange_at_zero(const ModGroup& group, uint32_t j,
+                        std::span<const uint32_t> indices) {
+  const Bignum& q = group.q();
+  Bignum num(1), den(1);
+  const Bignum bj(j);
+  for (uint32_t k : indices) {
+    if (k == j) continue;
+    const Bignum bk(k);
+    num = crypto::mod_mul(num, bk, q);
+    den = crypto::mod_mul(den, crypto::mod_sub(bk, bj, q), q);
+  }
+  return crypto::mod_mul(num, crypto::mod_inv_prime(den, q), q);
+}
+
+}  // namespace
+
+Bytes CoinShare::serialize(const ModGroup& group) const {
+  Writer w;
+  w.u32(index);
+  w.raw(sigma.to_bytes_be(group.element_bytes()));
+  w.raw(e.to_bytes_be(group.exponent_bytes()));
+  w.raw(z.to_bytes_be(group.exponent_bytes()));
+  return std::move(w).take();
+}
+
+std::optional<CoinShare> CoinShare::parse(const ModGroup& group,
+                                          BytesView wire) {
+  Reader r(wire);
+  CoinShare s;
+  s.index = r.u32();
+  s.sigma = Bignum::from_bytes_be(r.raw(group.element_bytes()));
+  s.e = Bignum::from_bytes_be(r.raw(group.exponent_bytes()));
+  s.z = Bignum::from_bytes_be(r.raw(group.exponent_bytes()));
+  if (!r.done()) return std::nullopt;
+  return s;
+}
+
+CoinKeyMaterial coin_keygen(const ModGroup& group, uint32_t threshold,
+                            uint32_t servers, crypto::Drbg& rng) {
+  if (threshold == 0 || threshold > servers) {
+    throw std::invalid_argument("coin_keygen: need 1 <= t <= n");
+  }
+  std::vector<Bignum> coeffs(threshold);
+  for (auto& c : coeffs) c = group.random_exponent(rng);
+
+  auto eval = [&](uint32_t at) {
+    const Bignum point(at);
+    Bignum acc;
+    for (std::size_t i = coeffs.size(); i-- > 0;) {
+      acc = crypto::mod_add(crypto::mod_mul(acc, point, group.q()), coeffs[i],
+                            group.q());
+    }
+    return acc;
+  };
+
+  CoinKeyMaterial out;
+  out.pk.group = group;
+  out.pk.threshold = threshold;
+  out.pk.servers = servers;
+  for (uint32_t i = 1; i <= servers; ++i) {
+    Bignum x_i = eval(i);
+    out.pk.verification_keys.push_back(group.exp(group.g(), x_i));
+    out.shares.push_back(CoinKeyShare{i, std::move(x_i)});
+  }
+  return out;
+}
+
+CoinShare coin_share(const CoinPublicKey& pk, const CoinKeyShare& key,
+                     BytesView name, crypto::Drbg& rng) {
+  const ModGroup& grp = pk.group;
+  const Bignum u = name_base(grp, name);
+
+  CoinShare share;
+  share.index = key.index;
+  share.sigma = grp.exp(u, key.x);
+  // Chaum–Pedersen: prove log_u(sigma) == log_g(vk_i).
+  const Bignum r = grp.random_exponent(rng);
+  const Bignum a = grp.exp(u, r);
+  const Bignum b = grp.exp(grp.g(), r);
+  share.e = proof_challenge(grp, key.index, u, share.sigma, a, b);
+  share.z = crypto::mod_add(r, crypto::mod_mul(key.x, share.e, grp.q()),
+                            grp.q());
+  return share;
+}
+
+bool coin_verify_share(const CoinPublicKey& pk, BytesView name,
+                       const CoinShare& share) {
+  const ModGroup& grp = pk.group;
+  if (share.index == 0 || share.index > pk.servers) return false;
+  if (!grp.is_element(share.sigma)) return false;
+  if (share.e >= grp.q() || share.z >= grp.q()) return false;
+  const Bignum u = name_base(grp, name);
+  // a = u^z / sigma^e ; b = g^z / vk^e
+  const Bignum a =
+      grp.mul(grp.exp(u, share.z), grp.inv(grp.exp(share.sigma, share.e)));
+  const Bignum b = grp.mul(grp.exp(grp.g(), share.z),
+                           grp.inv(grp.exp(pk.vk(share.index), share.e)));
+  return proof_challenge(grp, share.index, u, share.sigma, a, b) == share.e;
+}
+
+std::optional<bool> coin_combine(const CoinPublicKey& pk, BytesView name,
+                                 std::span<const CoinShare> shares) {
+  const ModGroup& grp = pk.group;
+  std::vector<const CoinShare*> chosen;
+  std::vector<uint32_t> indices;
+  for (const auto& s : shares) {
+    if (std::find(indices.begin(), indices.end(), s.index) != indices.end()) {
+      continue;
+    }
+    chosen.push_back(&s);
+    indices.push_back(s.index);
+    if (chosen.size() == pk.threshold) break;
+  }
+  if (chosen.size() < pk.threshold) return std::nullopt;
+
+  Bignum value(1);
+  for (const auto* s : chosen) {
+    const Bignum lambda = lagrange_at_zero(grp, s->index, indices);
+    value = grp.mul(value, grp.exp(s->sigma, lambda));
+  }
+  const Bytes digest = crypto::sha256_tuple(
+      {to_bytes("coin.out"), name,
+       value.to_bytes_be(grp.element_bytes())});
+  return (digest[0] & 1) != 0;
+}
+
+}  // namespace scab::abft

@@ -1,0 +1,74 @@
+// Threshold common coin (Cachin–Kursawe–Shoup style, via a DDH-based
+// distributed VRF): the randomness source for asynchronous binary
+// agreement.  For a coin name Q, server i contributes
+//
+//     sigma_i = H2E(Q)^{x_i}
+//
+// with a Chaum–Pedersen NIZK that log_{H2E(Q)}(sigma_i) = log_g(vk_i);
+// any f+1 valid shares combine (Lagrange in the exponent) to
+// H2E(Q)^x, whose hash is the coin value — unpredictable until f+1
+// servers have spoken, and identical at every combiner.
+//
+// This is exactly the kind of "other expensive operation" the paper says
+// makes asynchronous consensus-based BFT protocols slow relative to
+// PBFT-style ones (§VI-A): every agreement round costs the group
+// exponentiations below.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/modgroup.h"
+
+namespace scab::abft {
+
+struct CoinPublicKey {
+  crypto::ModGroup group;
+  std::vector<crypto::Bignum> verification_keys;  // vk_i = g^{x_i}, [0] = server 1
+  uint32_t threshold = 0;                         // shares needed (f + 1)
+  uint32_t servers = 0;
+
+  const crypto::Bignum& vk(uint32_t index) const {
+    return verification_keys.at(index - 1);
+  }
+};
+
+struct CoinKeyShare {
+  uint32_t index = 0;  // 1-based
+  crypto::Bignum x;
+};
+
+struct CoinKeyMaterial {
+  CoinPublicKey pk;
+  std::vector<CoinKeyShare> shares;
+};
+
+struct CoinShare {
+  uint32_t index = 0;
+  crypto::Bignum sigma;  // H2E(Q)^{x_i}
+  crypto::Bignum e, z;   // Chaum–Pedersen proof
+
+  Bytes serialize(const crypto::ModGroup& group) const;
+  static std::optional<CoinShare> parse(const crypto::ModGroup& group,
+                                        BytesView wire);
+};
+
+/// Dealer setup (same trust assumption as CP0's threshold cryptosystem).
+CoinKeyMaterial coin_keygen(const crypto::ModGroup& group, uint32_t threshold,
+                            uint32_t servers, crypto::Drbg& rng);
+
+/// Server i's share of the coin named `name`.
+CoinShare coin_share(const CoinPublicKey& pk, const CoinKeyShare& key,
+                     BytesView name, crypto::Drbg& rng);
+
+/// Public share verification.
+bool coin_verify_share(const CoinPublicKey& pk, BytesView name,
+                       const CoinShare& share);
+
+/// Combines >= threshold valid shares with distinct indices into the coin
+/// bit.  Shares must have been verified; returns nullopt on too few.
+std::optional<bool> coin_combine(const CoinPublicKey& pk, BytesView name,
+                                 std::span<const CoinShare> shares);
+
+}  // namespace scab::abft

@@ -1,0 +1,48 @@
+#include "apps/dns.h"
+
+#include "common/serialize.h"
+
+namespace scab::apps {
+
+Bytes DnsRegistry::execute(sim::NodeId client, BytesView op) {
+  Reader r(op);
+  const uint8_t kind = r.u8();
+  const std::string name = r.str();
+  if (!r.done() || name.empty()) return to_bytes("err:malformed");
+
+  switch (kind) {
+    case 'R': {
+      auto [it, inserted] = owners_.emplace(name, client);
+      if (inserted) return to_bytes("registered");
+      return to_bytes("taken:" + std::to_string(it->second));
+    }
+    case 'L': {
+      auto it = owners_.find(name);
+      if (it == owners_.end()) return to_bytes("nxdomain");
+      return to_bytes(std::to_string(it->second));
+    }
+    default:
+      return to_bytes("err:unknown-op");
+  }
+}
+
+Bytes DnsRegistry::register_name(std::string_view name) {
+  Writer w;
+  w.u8('R');
+  w.str(name);
+  return std::move(w).take();
+}
+
+Bytes DnsRegistry::resolve(std::string_view name) {
+  Writer w;
+  w.u8('L');
+  w.str(name);
+  return std::move(w).take();
+}
+
+sim::NodeId DnsRegistry::owner(const std::string& name) const {
+  auto it = owners_.find(name);
+  return it == owners_.end() ? 0 : it->second;
+}
+
+}  // namespace scab::apps

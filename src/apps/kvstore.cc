@@ -1,0 +1,54 @@
+#include "apps/kvstore.h"
+
+#include "common/serialize.h"
+
+namespace scab::apps {
+
+Bytes KvStore::execute(sim::NodeId /*client*/, BytesView op) {
+  Reader r(op);
+  const uint8_t kind = r.u8();
+  const std::string key = r.str();
+  switch (kind) {
+    case 'P': {
+      Bytes value = r.bytes();
+      if (!r.done()) return to_bytes("err:malformed");
+      data_[key] = std::move(value);
+      return to_bytes("ok");
+    }
+    case 'G': {
+      if (!r.done()) return to_bytes("err:malformed");
+      auto it = data_.find(key);
+      return it == data_.end() ? Bytes{} : it->second;
+    }
+    case 'D': {
+      if (!r.done()) return to_bytes("err:malformed");
+      return data_.erase(key) > 0 ? to_bytes("ok") : to_bytes("absent");
+    }
+    default:
+      return to_bytes("err:unknown-op");
+  }
+}
+
+Bytes KvStore::put(std::string_view key, BytesView value) {
+  Writer w;
+  w.u8('P');
+  w.str(key);
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+Bytes KvStore::get(std::string_view key) {
+  Writer w;
+  w.u8('G');
+  w.str(key);
+  return std::move(w).take();
+}
+
+Bytes KvStore::del(std::string_view key) {
+  Writer w;
+  w.u8('D');
+  w.str(key);
+  return std::move(w).take();
+}
+
+}  // namespace scab::apps

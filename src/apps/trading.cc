@@ -1,0 +1,86 @@
+#include "apps/trading.h"
+
+#include "common/serialize.h"
+
+namespace scab::apps {
+
+namespace {
+Bytes filled_reply(uint64_t qty, uint64_t price) {
+  return to_bytes("filled:" + std::to_string(qty) + "@" + std::to_string(price));
+}
+}  // namespace
+
+Bytes TradingService::execute(sim::NodeId client, BytesView op) {
+  Reader r(op);
+  const uint8_t kind = r.u8();
+  const std::string symbol = r.str();
+
+  auto price_ref = [&]() -> uint64_t& {
+    auto [it, _] = prices_.emplace(symbol, kInitialPriceCents);
+    return it->second;
+  };
+
+  switch (kind) {
+    case 'B': {
+      const uint64_t qty = r.u64();
+      if (!r.done() || qty == 0) return to_bytes("err:malformed");
+      uint64_t& price = price_ref();
+      const uint64_t fill_price = price;  // execute at the pre-impact price
+      positions_[{client, symbol}] += static_cast<int64_t>(qty);
+      price += qty * kImpactPerShare;  // demand moves the market
+      return filled_reply(qty, fill_price);
+    }
+    case 'S': {
+      const uint64_t qty = r.u64();
+      if (!r.done() || qty == 0) return to_bytes("err:malformed");
+      uint64_t& price = price_ref();
+      const uint64_t fill_price = price;
+      positions_[{client, symbol}] -= static_cast<int64_t>(qty);
+      const uint64_t drop = qty * kImpactPerShare;
+      price = price > drop ? price - drop : 1;
+      return filled_reply(qty, fill_price);
+    }
+    case 'Q': {
+      if (!r.done()) return to_bytes("err:malformed");
+      return to_bytes(std::to_string(price_ref()));
+    }
+    default:
+      return to_bytes("err:unknown-op");
+  }
+}
+
+Bytes TradingService::buy(std::string_view symbol, uint64_t qty) {
+  Writer w;
+  w.u8('B');
+  w.str(symbol);
+  w.u64(qty);
+  return std::move(w).take();
+}
+
+Bytes TradingService::sell(std::string_view symbol, uint64_t qty) {
+  Writer w;
+  w.u8('S');
+  w.str(symbol);
+  w.u64(qty);
+  return std::move(w).take();
+}
+
+Bytes TradingService::quote(std::string_view symbol) {
+  Writer w;
+  w.u8('Q');
+  w.str(symbol);
+  return std::move(w).take();
+}
+
+uint64_t TradingService::price_cents(const std::string& symbol) const {
+  auto it = prices_.find(symbol);
+  return it == prices_.end() ? kInitialPriceCents : it->second;
+}
+
+int64_t TradingService::position(sim::NodeId client,
+                                 const std::string& symbol) const {
+  auto it = positions_.find({client, symbol});
+  return it == positions_.end() ? 0 : it->second;
+}
+
+}  // namespace scab::apps

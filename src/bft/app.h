@@ -1,0 +1,98 @@
+// The interface between the PBFT core and the layer above it (a plain
+// replicated service, or one of the causal engines CP0–CP3).
+//
+// The BFT core calls on_deliver() for every request in total order; the app
+// decides when (and whether) to execute and reply — this is exactly the
+// seam where the paper's schedule/reveal split plugs in: plain PBFT replies
+// immediately, the causal engines start their reveal phase instead and
+// reply only after the plaintext is recovered.
+#pragma once
+
+#include "bft/config.h"
+#include "bft/keyring.h"
+#include "bft/types.h"
+#include "crypto/drbg.h"
+#include "sim/cost_model.h"
+#include "sim/network.h"
+
+namespace scab::bft {
+
+/// Capabilities the replica exposes to its app.
+class ReplicaContext {
+ public:
+  virtual ~ReplicaContext() = default;
+
+  virtual NodeId id() const = 0;
+  virtual const BftConfig& config() const = 0;
+  virtual uint64_t view() const = 0;
+  virtual bool is_primary() const = 0;
+  virtual sim::SimTime now() const = 0;
+
+  /// Sends a REPLY to the client (normally called from on_deliver or later,
+  /// once the causal reveal completed).
+  virtual void send_reply(NodeId client, uint64_t client_seq, Bytes result) = 0;
+
+  /// Causal-channel point-to-point message to another node.
+  virtual void send_causal(NodeId to, Bytes body) = 0;
+  /// Causal-channel broadcast to all other replicas.
+  virtual void broadcast_causal(Bytes body) = 0;
+
+  /// Primary-only: injects a request originated by the replica itself into
+  /// the batch stream (used for CP1's CLEANUP operations). No-op on backups.
+  virtual void submit_local_request(Bytes payload) = 0;
+
+  /// Votes for a view change (fairness violation, cleanup-rule violation).
+  virtual void request_view_change(const char* reason) = 0;
+
+  /// Admits a request on behalf of another client, bypassing app validation
+  /// (CP1 amplification: the forwarded witness is self-certifying).  The
+  /// request joins the normal admission path: the primary batches it,
+  /// backups watch it.
+  virtual void admit_foreign_request(NodeId client, uint64_t client_seq,
+                                     Bytes payload) = 0;
+
+  /// Schedules an app-level timer (amplification delays, cleanup checks).
+  virtual void schedule(sim::SimTime delay, std::function<void()> fn) = 0;
+
+  /// CPU cost charging and utilities.
+  virtual void charge(sim::Op op, std::size_t bytes) = 0;
+  virtual crypto::Drbg& rng() = 0;
+  virtual const KeyRing& keys() const = 0;
+};
+
+class ReplicaApp {
+ public:
+  virtual ~ReplicaApp() = default;
+
+  /// A request was committed at sequence number `seq` (called in strictly
+  /// increasing order, once per request in a batch).
+  virtual void on_deliver(uint64_t seq, const Request& req,
+                          ReplicaContext& ctx) = 0;
+
+  /// A causal-channel message arrived (already MAC-authenticated).
+  virtual void on_causal_message(NodeId from, BytesView body,
+                                 ReplicaContext& ctx) {
+    (void)from;
+    (void)body;
+    (void)ctx;
+  }
+
+  /// Pre-admission check for a client request (both at the primary before
+  /// batching and at backups before forwarding).  CP0 verifies the
+  /// threshold ciphertext here; CP1 checks the commitment header.
+  virtual bool validate_request(NodeId client, const ClientRequestMsg& msg,
+                                ReplicaContext& ctx) {
+    (void)client;
+    (void)msg;
+    (void)ctx;
+    return true;
+  }
+
+  /// The replica moved to a new view.
+  virtual void on_new_view(uint64_t view, ReplicaContext& ctx) {
+    (void)view;
+    (void)ctx;
+  }
+};
+
+}  // namespace scab::bft

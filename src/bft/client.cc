@@ -1,0 +1,140 @@
+#include "bft/client.h"
+
+namespace scab::bft {
+
+using sim::Op;
+
+bool ReplyQuorum::add(NodeId replica, const ReplyMsg& reply) {
+  if (fired_ || reply.client_seq != client_seq_) return false;
+  votes_[replica] = reply.result;
+  uint32_t matching = 0;
+  for (const auto& [_, r] : votes_) {
+    if (r == reply.result) ++matching;
+  }
+  if (matching >= need_) {
+    fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+Client::Client(sim::Network& net, NodeId id, BftConfig config,
+               const KeyRing& keys, const sim::CostModel& costs,
+               ClientProtocol* protocol, crypto::Drbg rng)
+    : sim::Node(net.sim(), id),
+      net_(net),
+      config_(config),
+      keys_(keys),
+      costs_(costs),
+      protocol_(protocol),
+      rng_(std::move(rng)) {}
+
+void Client::run_closed_loop(OpGenerator gen, uint64_t max_ops,
+                             CompletionHook hook) {
+  generator_ = std::move(gen);
+  hook_ = std::move(hook);
+  // max_ops counts operations from THIS call (the loop may be re-armed).
+  max_ops_ = max_ops == 0 ? 0 : issued_ + max_ops;
+  if (!in_flight_) begin_next();
+}
+
+void Client::submit(Bytes op, CompletionHook hook) {
+  hook_ = std::move(hook);
+  generator_ = nullptr;
+  max_ops_ = 0;
+  in_flight_ = true;
+  inflight_index_ = issued_++;
+  inflight_seq_ = next_seq();
+  inflight_op_ = std::move(op);
+  inflight_start_ = now();
+  protocol_->start(inflight_seq_, inflight_op_, *this);
+  arm_retry();
+}
+
+void Client::begin_next() {
+  if (generator_ == nullptr) return;
+  if (max_ops_ != 0 && issued_ >= max_ops_) return;
+  in_flight_ = true;
+  inflight_index_ = issued_;
+  inflight_op_ = generator_(issued_);
+  ++issued_;
+  inflight_seq_ = next_seq();
+  inflight_start_ = now();
+  protocol_->start(inflight_seq_, inflight_op_, *this);
+  arm_retry();
+}
+
+void Client::arm_retry() {
+  const uint64_t epoch = ++retry_epoch_;
+  sim().schedule_after(retry_timeout_, [this, epoch] {
+    if (!in_flight_ || epoch != retry_epoch_) return;
+    protocol_->on_retransmit(*this);
+    arm_retry();
+  });
+}
+
+void Client::send_request(uint64_t client_seq, Bytes payload) {
+  ClientRequestMsg msg;
+  msg.client_seq = client_seq;
+  msg.payload = std::move(payload);
+  const Bytes body = msg.serialize();
+  for (NodeId r = 0; r < config_.n; ++r) {
+    charge(Op::kMsgOverhead, 0);
+    charge(Op::kMac, body.size());
+    net_.send(id(), r,
+              seal_envelope(keys_, Channel::kClientRequest, id(), r, body));
+  }
+}
+
+void Client::send_request_to(NodeId replica, uint64_t client_seq,
+                             Bytes payload) {
+  ClientRequestMsg msg;
+  msg.client_seq = client_seq;
+  msg.payload = std::move(payload);
+  const Bytes body = msg.serialize();
+  charge(Op::kMac, body.size());
+  net_.send(id(), replica,
+            seal_envelope(keys_, Channel::kClientRequest, id(), replica, body));
+}
+
+void Client::send_causal(NodeId replica, Bytes body) {
+  charge(Op::kMac, body.size());
+  net_.send(id(), replica,
+            seal_envelope(keys_, Channel::kCausal, id(), replica, body));
+}
+
+void Client::complete(Bytes result) {
+  if (!in_flight_) return;
+  in_flight_ = false;
+  ++retry_epoch_;  // cancel pending retries
+  ++completed_;
+  last_result_ = std::move(result);
+  total_latency_ += now() - inflight_start_;
+  if (hook_) hook_(inflight_index_, inflight_start_, now());
+  begin_next();
+}
+
+void Client::on_message(NodeId /*from*/, BytesView msg) {
+  charge(Op::kMsgOverhead, 0);
+  charge(Op::kMac, msg.size());
+  auto env = open_envelope(keys_, id(), msg);
+  if (!env) return;
+
+  switch (env->channel) {
+    case Channel::kReply: {
+      if (!in_flight_) return;
+      auto reply = ReplyMsg::parse(env->body);
+      if (!reply || reply->replica != env->sender) return;
+      if (env->sender >= config_.n) return;
+      protocol_->on_reply(env->sender, *reply, *this);
+      break;
+    }
+    case Channel::kCausal:
+      protocol_->on_causal_message(env->sender, env->body, *this);
+      break;
+    default:
+      break;  // clients ignore BFT traffic
+  }
+}
+
+}  // namespace scab::bft

@@ -1,0 +1,174 @@
+// BFT client: closed-loop request issuing (the paper's workload model:
+// "Clients invoke requests in a closed-loop, where a client does not start
+// a new request before receiving a reply for a previous one").
+//
+// The client core handles sequencing, retransmission, and latency
+// accounting; a pluggable ClientProtocol defines what a "request" is on the
+// wire — plain PBFT payloads, CP0 threshold ciphertexts, CP1
+// commitment-then-opening (two BFT rounds), or CP2/CP3 secret shares over
+// private channels.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "bft/config.h"
+#include "bft/envelope.h"
+#include "sim/network.h"
+
+namespace scab::bft {
+
+/// Capabilities the client core exposes to its protocol.
+class ClientContext {
+ public:
+  virtual ~ClientContext() = default;
+
+  virtual NodeId id() const = 0;
+  virtual const BftConfig& config() const = 0;
+  virtual sim::SimTime now() const = 0;
+
+  /// Multicasts a request payload to all replicas (Aardvark-style).
+  virtual void send_request(uint64_t client_seq, Bytes payload) = 0;
+  /// Sends a request payload to a single replica (partial-failure tests).
+  virtual void send_request_to(NodeId replica, uint64_t client_seq,
+                               Bytes payload) = 0;
+  /// Point-to-point causal-channel message to one replica (secret shares).
+  virtual void send_causal(NodeId replica, Bytes body) = 0;
+
+  /// Allocates a fresh client sequence number (CP1's reveal round runs as a
+  /// separate BFT request).
+  virtual uint64_t next_seq() = 0;
+
+  /// Declares the in-flight operation complete with `result`.
+  virtual void complete(Bytes result) = 0;
+
+  virtual void charge(sim::Op op, std::size_t bytes) = 0;
+  virtual crypto::Drbg& rng() = 0;
+  virtual const KeyRing& keys() const = 0;
+};
+
+class ClientProtocol {
+ public:
+  virtual ~ClientProtocol() = default;
+
+  /// Begins one operation. `op` is the application-level request body.
+  virtual void start(uint64_t client_seq, BytesView op, ClientContext& ctx) = 0;
+
+  /// A REPLY arrived from `replica` (already authenticated).
+  virtual void on_reply(NodeId replica, const ReplyMsg& reply,
+                        ClientContext& ctx) = 0;
+
+  /// A causal-channel message arrived.
+  virtual void on_causal_message(NodeId from, BytesView body,
+                                 ClientContext& ctx) {
+    (void)from;
+    (void)body;
+    (void)ctx;
+  }
+
+  /// Retransmission timer fired while the operation is still in flight.
+  virtual void on_retransmit(ClientContext& ctx) { (void)ctx; }
+};
+
+/// Counts f+1 matching replies for one client_seq.
+class ReplyQuorum {
+ public:
+  void arm(uint64_t client_seq, uint32_t need) {
+    client_seq_ = client_seq;
+    need_ = need;
+    votes_.clear();
+    fired_ = false;
+  }
+
+  /// Returns true exactly once, when `need` distinct replicas reported the
+  /// same result for the armed client_seq.
+  bool add(NodeId replica, const ReplyMsg& reply);
+
+  bool fired() const { return fired_; }
+
+ private:
+  uint64_t client_seq_ = 0;
+  uint32_t need_ = 0;
+  bool fired_ = false;
+  std::map<NodeId, Bytes> votes_;
+};
+
+class Client : public sim::Node, public ClientContext {
+ public:
+  Client(sim::Network& net, NodeId id, BftConfig config, const KeyRing& keys,
+         const sim::CostModel& costs, ClientProtocol* protocol,
+         crypto::Drbg rng);
+
+  /// Generates the application body of operation #index.
+  using OpGenerator = std::function<Bytes(uint64_t index)>;
+  /// Called when an operation completes (for workload bookkeeping).
+  using CompletionHook = std::function<void(uint64_t index, sim::SimTime start,
+                                            sim::SimTime end)>;
+
+  /// Issues `max_ops` operations back-to-back (0 = until the sim stops).
+  void run_closed_loop(OpGenerator gen, uint64_t max_ops,
+                       CompletionHook hook = nullptr);
+
+  /// Issues a single operation.
+  void submit(Bytes op, CompletionHook hook = nullptr);
+
+  // --- sim::Node ---
+  void on_message(NodeId from, BytesView msg) override;
+
+  // --- ClientContext ---
+  NodeId id() const override { return Node::id(); }
+  const BftConfig& config() const override { return config_; }
+  sim::SimTime now() const override { return sim().now(); }
+  void send_request(uint64_t client_seq, Bytes payload) override;
+  void send_request_to(NodeId replica, uint64_t client_seq,
+                       Bytes payload) override;
+  void send_causal(NodeId replica, Bytes body) override;
+  uint64_t next_seq() override { return next_seq_++; }
+  void complete(Bytes result) override;
+  void charge(sim::Op op, std::size_t bytes) override {
+    Node::charge(costs_, op, bytes);
+  }
+  crypto::Drbg& rng() override { return rng_; }
+  const KeyRing& keys() const override { return keys_; }
+
+  // --- stats ---
+  uint64_t completed_ops() const { return completed_; }
+  const Bytes& last_result() const { return last_result_; }
+  /// Total virtual time spent across completed ops (for mean latency).
+  sim::SimTime total_latency() const { return total_latency_; }
+
+  /// Retransmission interval (default: 4x the request timeout would be far
+  /// too slow for benches; this is tuned per scenario).
+  void set_retry_timeout(sim::SimTime t) { retry_timeout_ = t; }
+
+ private:
+  void begin_next();
+  void arm_retry();
+
+  sim::Network& net_;
+  BftConfig config_;
+  const KeyRing& keys_;
+  const sim::CostModel& costs_;
+  ClientProtocol* protocol_;
+  crypto::Drbg rng_;
+
+  OpGenerator generator_;
+  CompletionHook hook_;
+  uint64_t max_ops_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t next_seq_ = 1;
+
+  bool in_flight_ = false;
+  uint64_t inflight_index_ = 0;
+  uint64_t inflight_seq_ = 0;
+  Bytes inflight_op_;
+  sim::SimTime inflight_start_ = 0;
+  uint64_t retry_epoch_ = 0;
+  sim::SimTime retry_timeout_ = 500 * sim::kMillisecond;
+
+  Bytes last_result_;
+  sim::SimTime total_latency_ = 0;
+};
+
+}  // namespace scab::bft

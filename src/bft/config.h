@@ -1,0 +1,52 @@
+// Deployment parameters for the PBFT substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace scab::bft {
+
+struct BftConfig {
+  uint32_t n = 4;  // total replicas, n = 3f + 1
+  uint32_t f = 1;  // tolerated Byzantine replicas
+
+  // Batching (paper: "All the protocols implement batching of concurrent
+  // requests to reduce cryptographic and communication overheads").
+  uint32_t max_batch = 16;
+  /// Fallback batch timer; normally a request is proposed immediately when
+  /// the in-flight window has room, and batching emerges under contention.
+  sim::SimTime batch_delay = 200 * sim::kMicrosecond;
+  /// Maximum consensus instances between next_seq and next_exec; bounding
+  /// this is what makes batching effective under load.
+  uint32_t max_inflight_batches = 4;
+
+  // Checkpoint protocol.
+  uint64_t checkpoint_interval = 64;
+  uint64_t watermark_window = 256;
+
+  // View change: a backup that has seen a client request not executed
+  // within this delay votes for a view change (also serves as the fairness
+  // watchdog of Aardvark-style protocols: a primary that starves any
+  // client's request is demoted).
+  sim::SimTime request_timeout = 2 * sim::kSecond;
+  /// How often the watchdog scans pending requests.
+  sim::SimTime watchdog_period = 500 * sim::kMillisecond;
+
+  // How many executed batches each replica retains for catch-up fetches.
+  std::size_t history_limit = 2048;
+
+  uint32_t quorum() const { return 2 * f + 1; }
+  uint32_t primary_of(uint64_t view) const {
+    return static_cast<uint32_t>(view % n);
+  }
+
+  static BftConfig for_f(uint32_t f_val) {
+    BftConfig c;
+    c.f = f_val;
+    c.n = 3 * f_val + 1;
+    return c;
+  }
+};
+
+}  // namespace scab::bft

@@ -1,0 +1,49 @@
+#include "bft/envelope.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace scab::bft {
+
+namespace {
+Bytes mac_input(Channel channel, NodeId from, NodeId to, BytesView body) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(channel));
+  w.u32(from);
+  w.u32(to);
+  return crypto::sha256_tuple({w.data(), body});
+}
+}  // namespace
+
+Bytes seal_envelope(const KeyRing& keys, Channel channel, NodeId from,
+                    NodeId to, BytesView body) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(channel));
+  w.u32(from);
+  w.bytes(body);
+  w.raw(crypto::hmac_sha256_trunc(keys.session_key(from, to),
+                                  mac_input(channel, from, to, body),
+                                  kAuthTagSize));
+  return std::move(w).take();
+}
+
+std::optional<Envelope> open_envelope(const KeyRing& keys, NodeId self,
+                                      BytesView wire) {
+  Reader r(wire);
+  Envelope env;
+  const uint8_t ch = r.u8();
+  if (ch > static_cast<uint8_t>(Channel::kReply)) return std::nullopt;
+  env.channel = static_cast<Channel>(ch);
+  env.sender = r.u32();
+  env.body = r.bytes();
+  const Bytes tag = r.raw(kAuthTagSize);
+  if (!r.done()) return std::nullopt;
+  if (!keys.knows(env.sender)) return std::nullopt;
+  const Bytes expect = crypto::hmac_sha256_trunc(
+      keys.session_key(env.sender, self),
+      mac_input(env.channel, env.sender, self, env.body), kAuthTagSize);
+  if (!ct_equal(expect, tag)) return std::nullopt;
+  return env;
+}
+
+}  // namespace scab::bft

@@ -1,0 +1,30 @@
+// Authenticated envelopes: every simulated datagram carries a channel tag,
+// the sender id, and a truncated HMAC under the pairwise session key
+// binding (channel, sender, receiver, body).
+#pragma once
+
+#include <optional>
+
+#include "bft/keyring.h"
+#include "bft/types.h"
+
+namespace scab::bft {
+
+inline constexpr std::size_t kAuthTagSize = 8;
+
+struct Envelope {
+  Channel channel = Channel::kBft;
+  NodeId sender = 0;
+  Bytes body;
+};
+
+/// Seals `body` for the (from -> to) authenticated channel.
+Bytes seal_envelope(const KeyRing& keys, Channel channel, NodeId from,
+                    NodeId to, BytesView body);
+
+/// Verifies and opens an envelope addressed to `self`. Returns nullopt on
+/// malformed input or MAC failure.
+std::optional<Envelope> open_envelope(const KeyRing& keys, NodeId self,
+                                      BytesView wire);
+
+}  // namespace scab::bft

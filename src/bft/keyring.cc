@@ -1,0 +1,68 @@
+#include "bft/keyring.h"
+
+#include <stdexcept>
+
+#include "common/serialize.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace scab::bft {
+
+KeyRing::KeyRing(BytesView seed, const std::vector<NodeId>& nodes) {
+  auto derive = [&](std::string_view label, uint64_t a, uint64_t b,
+                    std::size_t len) {
+    Writer w;
+    w.str(std::string(label));
+    w.u64(a);
+    w.u64(b);
+    Bytes out;
+    uint64_t ctr = 0;
+    while (out.size() < len) {
+      Writer c;
+      c.raw(w.data());
+      c.u64(ctr++);
+      append(out, crypto::hmac_sha256(seed, c.data()));
+    }
+    out.resize(len);
+    return out;
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    sign_keys_[nodes[i]] = derive("sign", nodes[i], 0, 32);
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const uint64_t key = pair_key(nodes[i], nodes[j]);
+      session_keys_[key] = derive("session", nodes[i], nodes[j], 32);
+      channel_keys_[key] = derive("channel", nodes[i], nodes[j], 64);
+    }
+  }
+}
+
+const Bytes& KeyRing::session_key(NodeId a, NodeId b) const {
+  auto it = session_keys_.find(pair_key(a, b));
+  if (it == session_keys_.end()) {
+    throw std::out_of_range("KeyRing: unknown node pair (session)");
+  }
+  return it->second;
+}
+
+const Bytes& KeyRing::channel_key(NodeId a, NodeId b) const {
+  auto it = channel_keys_.find(pair_key(a, b));
+  if (it == channel_keys_.end()) {
+    throw std::out_of_range("KeyRing: unknown node pair (channel)");
+  }
+  return it->second;
+}
+
+Bytes KeyRing::sign(NodeId node, BytesView msg) const {
+  auto it = sign_keys_.find(node);
+  if (it == sign_keys_.end()) throw std::out_of_range("KeyRing: unknown signer");
+  return crypto::hmac_sha256(it->second, msg);
+}
+
+bool KeyRing::verify(NodeId node, BytesView msg, BytesView sig) const {
+  auto it = sign_keys_.find(node);
+  if (it == sign_keys_.end()) return false;
+  return crypto::hmac_verify(it->second, msg, sig);
+}
+
+}  // namespace scab::bft

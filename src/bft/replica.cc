@@ -1,0 +1,667 @@
+#include "bft/replica.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace scab::bft {
+
+using sim::Op;
+
+Replica::Replica(sim::Network& net, NodeId id, BftConfig config,
+                 const KeyRing& keys, const sim::CostModel& costs,
+                 ReplicaApp* app, crypto::Drbg rng)
+    : sim::Node(net.sim(), id),
+      net_(net),
+      config_(config),
+      keys_(keys),
+      costs_(costs),
+      app_(app),
+      rng_(std::move(rng)),
+      exec_chain_digest_(32, 0) {}
+
+void Replica::start() {
+  if (started_) return;
+  started_ = true;
+  sim().schedule_after(config_.watchdog_period, [this] { watchdog_tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Messaging
+
+void Replica::send_envelope(NodeId to, Channel channel, BytesView body) {
+  charge(Op::kMsgOverhead, 0);
+  charge(Op::kMac, body.size());
+  net_.send(id(), to, seal_envelope(keys_, channel, id(), to, body));
+}
+
+void Replica::send_bft(NodeId to, BftMsgType type, BytesView body) {
+  send_envelope(to, Channel::kBft, tag_bft(type, body));
+}
+
+void Replica::broadcast_bft(BftMsgType type, BytesView body) {
+  const Bytes tagged = tag_bft(type, body);
+  for (NodeId r = 0; r < config_.n; ++r) {
+    if (r == id()) continue;
+    send_envelope(r, Channel::kBft, tagged);
+  }
+}
+
+void Replica::send_reply(NodeId client, uint64_t client_seq, Bytes result) {
+  ReplyMsg reply;
+  reply.view = view_;
+  reply.client_seq = client_seq;
+  reply.replica = id();
+  reply.result = std::move(result);
+  Bytes wire = reply.serialize();
+  reply_cache_[client] = wire;
+  send_envelope(client, Channel::kReply, wire);
+}
+
+void Replica::send_causal(NodeId to, Bytes body) {
+  send_envelope(to, Channel::kCausal, body);
+}
+
+void Replica::broadcast_causal(Bytes body) {
+  for (NodeId r = 0; r < config_.n; ++r) {
+    if (r == id()) continue;
+    send_envelope(r, Channel::kCausal, body);
+  }
+}
+
+void Replica::on_message(NodeId /*from*/, BytesView msg) {
+  charge(Op::kMsgOverhead, 0);
+  charge(Op::kMac, msg.size());
+  auto env = open_envelope(keys_, id(), msg);
+  if (!env) return;  // authentication failure: drop silently
+
+  switch (env->channel) {
+    case Channel::kClientRequest:
+      handle_client_request(env->sender, env->body);
+      break;
+    case Channel::kBft: {
+      auto tagged = untag_bft(env->body);
+      if (!tagged) return;
+      // Only replicas speak BFT.
+      if (env->sender >= config_.n) return;
+      auto& [type, body] = *tagged;
+      switch (type) {
+        case BftMsgType::kPrePrepare:
+          handle_pre_prepare(env->sender, body);
+          break;
+        case BftMsgType::kPrepare:
+        case BftMsgType::kCommit:
+          handle_phase_vote(env->sender, body);
+          break;
+        case BftMsgType::kCheckpoint:
+          handle_checkpoint(env->sender, body);
+          break;
+        case BftMsgType::kViewChange:
+          handle_view_change(env->sender, body);
+          break;
+        case BftMsgType::kNewView:
+          handle_new_view(env->sender, body);
+          break;
+        case BftMsgType::kFetch: {
+          Reader r(body);
+          const uint64_t from_seq = r.u64();
+          const uint64_t to_seq = r.u64();
+          if (!r.done() || to_seq - from_seq > config_.watermark_window) return;
+          for (uint64_t s = from_seq; s <= to_seq; ++s) {
+            auto it = history_.find(s);
+            if (it == history_.end()) continue;
+            Writer w;
+            w.u64(s);
+            w.bytes(it->second);
+            send_bft(env->sender, BftMsgType::kFetchResp, w.data());
+          }
+          break;
+        }
+        case BftMsgType::kFetchResp: {
+          Reader r(body);
+          const uint64_t s = r.u64();
+          const Bytes wire = r.bytes();
+          if (!r.done()) return;
+          if (s < next_exec_ || s > next_exec_ + config_.watermark_window) {
+            return;
+          }
+          if (!PrePrepare::parse(wire)) return;
+          fetch_votes_[s][env->sender] = wire;
+          try_fetch_execute();
+          break;
+        }
+      }
+      break;
+    }
+    case Channel::kCausal:
+      app_->on_causal_message(env->sender, env->body, *this);
+      break;
+    case Channel::kReply:
+      break;  // replicas ignore replies
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+
+void Replica::handle_client_request(NodeId from, BytesView body) {
+  auto msg = ClientRequestMsg::parse(body);
+  if (!msg) return;
+  // Forwarded requests carry the original client inside; direct requests
+  // come straight from the client (Aardvark-style client multicast).
+  admit_request(from, std::move(*msg), /*skip_validate=*/false);
+}
+
+void Replica::admit_foreign_request(NodeId client, uint64_t client_seq,
+                                    Bytes payload) {
+  ClientRequestMsg msg;
+  msg.client_seq = client_seq;
+  msg.payload = std::move(payload);
+  msg.forwarded = true;
+  admit_request(client, std::move(msg), /*skip_validate=*/true);
+}
+
+void Replica::admit_request(NodeId client, ClientRequestMsg msg,
+                            bool skip_validate) {
+  // Executed before? Resend the cached reply (client retransmission).
+  auto last = last_executed_client_seq_.find(client);
+  if (last != last_executed_client_seq_.end() && msg.client_seq <= last->second) {
+    auto cached = reply_cache_.find(client);
+    if (cached != reply_cache_.end()) {
+      send_envelope(client, Channel::kReply, cached->second);
+    }
+    return;
+  }
+
+  if (!skip_validate && !app_->validate_request(client, msg, *this)) return;
+
+  Request req;
+  req.client = client;
+  req.client_seq = msg.client_seq;
+  req.payload = std::move(msg.payload);
+  charge(Op::kHash, req.payload.size());
+  const std::string key = hex_encode(req.digest());
+  if (pending_requests_.contains(key)) return;  // duplicate in flight
+
+  PendingRequest pending;
+  pending.client = client;
+  pending.client_seq = req.client_seq;
+  pending.payload = req.payload;
+  pending.first_seen = now();
+  pending_requests_.emplace(key, std::move(pending));
+
+  if (is_primary()) {
+    pending_batch_.push_back(std::move(req));
+    maybe_send_batch();
+  }
+  // Backups just watch: the watchdog votes for a view change if the primary
+  // never gets this request executed (fairness monitor).
+}
+
+void Replica::submit_local_request(Bytes payload) {
+  if (!is_primary()) return;
+  Request req;
+  req.client = id();  // replicas use their own id as the virtual client
+  req.client_seq = local_seq_++;
+  req.payload = std::move(payload);
+  pending_batch_.push_back(std::move(req));
+  maybe_send_batch();
+}
+
+void Replica::maybe_send_batch() {
+  if (view_change_active_) return;
+  flush_batch();
+  // Anything still queued (in-flight window full / watermark edge) gets a
+  // fallback timer so it cannot starve.
+  if (!batch_timer_armed_ && !pending_batch_.empty()) {
+    batch_timer_armed_ = true;
+    sim().schedule_after(config_.batch_delay, [this] {
+      batch_timer_armed_ = false;
+      if (is_primary() && !view_change_active_) maybe_send_batch();
+    });
+  }
+}
+
+void Replica::flush_batch() {
+  while (!pending_batch_.empty() && in_watermarks(next_seq_) &&
+         next_seq_ - next_exec_ < config_.max_inflight_batches) {
+    PrePrepare pp;
+    pp.view = view_;
+    pp.seq = next_seq_++;
+    const std::size_t take =
+        std::min<std::size_t>(config_.max_batch, pending_batch_.size());
+    pp.batch.assign(std::make_move_iterator(pending_batch_.begin()),
+                    std::make_move_iterator(pending_batch_.begin() + take));
+    pending_batch_.erase(pending_batch_.begin(), pending_batch_.begin() + take);
+
+    const Bytes wire = pp.serialize();
+    charge(Op::kHash, wire.size());
+    broadcast_bft(BftMsgType::kPrePrepare, wire);
+    accept_pre_prepare(std::move(pp));
+  }
+}
+
+void Replica::handle_pre_prepare(NodeId from, BytesView body) {
+  if (from != config_.primary_of(view_)) return;  // only the primary proposes
+  auto pp = PrePrepare::parse(body);
+  if (!pp) return;
+  charge(Op::kHash, body.size());
+  accept_pre_prepare(std::move(*pp));
+}
+
+void Replica::accept_pre_prepare(PrePrepare pp) {
+  if (view_change_active_) return;
+  if (pp.view != view_) return;
+  if (!in_watermarks(pp.seq)) return;
+
+  Slot& s = slot(pp.seq);
+  const Bytes digest = pp.batch_digest();
+  if (s.pre_prepare) {
+    if (s.view == pp.view) return;  // already accepted one for this (v, n)
+    // A pre-prepare from a newer view supersedes (re-proposal path).
+  }
+  s.pre_prepare = std::move(pp);
+  s.digest = digest;
+  s.view = s.pre_prepare->view;
+  s.sent_prepare = s.sent_commit = false;
+  if (s.pre_prepare->seq < next_exec_) s.executed = true;
+
+  // Every replica broadcasts PREPARE and counts its own vote (the primary's
+  // pre-prepare doubles as its prepare).
+  PhaseVote vote;
+  vote.type = BftMsgType::kPrepare;
+  vote.view = s.view;
+  vote.seq = s.pre_prepare->seq;
+  vote.digest = s.digest;
+  vote.replica = id();
+  s.prepares[id()] = {s.view, s.digest};
+  s.sent_prepare = true;
+  broadcast_bft(BftMsgType::kPrepare, vote.serialize());
+  check_prepared(s.pre_prepare->seq);
+}
+
+void Replica::handle_phase_vote(NodeId from, BytesView body) {
+  auto vote = PhaseVote::parse(body);
+  if (!vote || vote->replica != from) return;
+  if (!in_watermarks(vote->seq)) return;
+
+  Slot& s = slot(vote->seq);
+  if (vote->type == BftMsgType::kPrepare) {
+    s.prepares[from] = {vote->view, vote->digest};
+    check_prepared(vote->seq);
+  } else {
+    s.commits[from] = {vote->view, vote->digest};
+    check_committed(vote->seq);
+  }
+}
+
+void Replica::check_prepared(uint64_t seq) {
+  Slot& s = slot(seq);
+  if (!s.pre_prepare || s.sent_commit || view_change_active_) return;
+  if (s.view != view_) return;
+  uint32_t matching = 0;
+  for (const auto& [_, vd] : s.prepares) {
+    if (vd.first == s.view && vd.second == s.digest) ++matching;
+  }
+  if (matching < config_.quorum()) return;
+
+  PhaseVote vote;
+  vote.type = BftMsgType::kCommit;
+  vote.view = s.view;
+  vote.seq = seq;
+  vote.digest = s.digest;
+  vote.replica = id();
+  s.commits[id()] = {s.view, s.digest};
+  s.sent_commit = true;
+  broadcast_bft(BftMsgType::kCommit, vote.serialize());
+  check_committed(seq);
+}
+
+void Replica::check_committed(uint64_t seq) {
+  Slot& s = slot(seq);
+  if (!s.pre_prepare || !s.sent_commit || s.executed) return;
+  uint32_t matching = 0;
+  for (const auto& [_, vd] : s.commits) {
+    if (vd.first == s.view && vd.second == s.digest) ++matching;
+  }
+  if (matching < config_.quorum()) return;
+  try_execute();
+}
+
+void Replica::try_execute() {
+  for (;;) {
+    auto it = slots_.find(next_exec_);
+    if (it == slots_.end()) return;
+    Slot& s = it->second;
+    if (s.executed) {
+      ++next_exec_;
+      continue;
+    }
+    if (!s.pre_prepare || !s.sent_commit) return;
+    uint32_t matching = 0;
+    for (const auto& [_, vd] : s.commits) {
+      if (vd.first == s.view && vd.second == s.digest) ++matching;
+    }
+    if (matching < config_.quorum()) return;
+    s.executed = true;
+    execute_batch(next_exec_, *s.pre_prepare);
+    ++next_exec_;
+    // The in-flight window moved: the primary can propose queued requests.
+    if (is_primary() && !pending_batch_.empty()) flush_batch();
+  }
+}
+
+void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
+  for (const auto& req : pp.batch) {
+    if (req.is_null()) continue;
+    auto& last = last_executed_client_seq_[req.client];
+    if (req.client_seq <= last && last != 0) continue;  // replayed across views
+    last = req.client_seq;
+    pending_requests_.erase(hex_encode(req.digest()));
+    ++executed_requests_;
+    app_->on_deliver(seq, req, *this);
+  }
+
+  // Chain digest for checkpoints, plus batch history for catch-up fetches.
+  exec_chain_digest_ =
+      crypto::sha256_tuple({exec_chain_digest_, pp.batch_digest()});
+  history_[seq] = pp.serialize();
+  if (history_.size() > config_.history_limit) history_.erase(history_.begin());
+
+  if (seq % config_.checkpoint_interval == 0) {
+    Checkpoint cp;
+    cp.seq = seq;
+    cp.state_digest = exec_chain_digest_;
+    cp.replica = id();
+    own_checkpoints_[seq] = cp.state_digest;
+    checkpoint_votes_[seq][id()] = cp.state_digest;
+    broadcast_bft(BftMsgType::kCheckpoint, cp.serialize());
+    maybe_stabilize(seq);
+  }
+}
+
+void Replica::try_fetch_execute() {
+  // Consume buffered fetch responses in execution order.  A batch is
+  // accepted with f+1 matching copies: at least one is from a correct
+  // replica, and correct replicas only serve executed batches.
+  for (;;) {
+    auto it = fetch_votes_.find(next_exec_);
+    if (it == fetch_votes_.end()) break;
+    std::map<std::string, uint32_t> tally;
+    for (const auto& [_, w] : it->second) tally[to_string(w)]++;
+    const std::string* winner = nullptr;
+    for (const auto& [w, count] : tally) {
+      if (count >= config_.f + 1) {
+        winner = &w;
+        break;
+      }
+    }
+    if (winner == nullptr) break;
+    auto batch = PrePrepare::parse(to_bytes(*winner));
+    if (!batch) break;
+    const uint64_t s = next_exec_;
+    execute_batch(s, *batch);
+    slot(s).executed = true;
+    next_exec_ = s + 1;
+    fetch_votes_.erase(s);
+  }
+  fetch_votes_.erase(fetch_votes_.begin(),
+                     fetch_votes_.lower_bound(next_exec_));
+  try_execute();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints & catch-up
+
+void Replica::handle_checkpoint(NodeId from, BytesView body) {
+  auto cp = Checkpoint::parse(body);
+  if (!cp || cp->replica != from) return;
+  if (cp->seq <= low_watermark_) return;
+  checkpoint_votes_[cp->seq][from] = cp->state_digest;
+  maybe_stabilize(cp->seq);
+}
+
+void Replica::maybe_stabilize(uint64_t seq) {
+  auto votes = checkpoint_votes_.find(seq);
+  if (votes == checkpoint_votes_.end()) return;
+  std::map<std::string, uint32_t> tally;
+  for (const auto& [_, d] : votes->second) tally[hex_encode(d)]++;
+  for (const auto& [digest_hex, count] : tally) {
+    if (count < config_.quorum()) continue;
+    auto own = own_checkpoints_.find(seq);
+    if (own != own_checkpoints_.end() && hex_encode(own->second) == digest_hex) {
+      garbage_collect(seq);
+    } else if (seq >= next_exec_) {
+      // We are behind a stable checkpoint: fetch the missing batches.
+      Writer w;
+      w.u64(next_exec_);
+      w.u64(seq);
+      for (const auto& [replica, d] : votes->second) {
+        if (hex_encode(d) == digest_hex) {
+          send_bft(replica, BftMsgType::kFetch, w.data());
+        }
+      }
+    }
+    return;
+  }
+}
+
+void Replica::garbage_collect(uint64_t stable_seq) {
+  if (stable_seq <= low_watermark_) return;
+  low_watermark_ = stable_seq;
+  slots_.erase(slots_.begin(), slots_.lower_bound(stable_seq + 1));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(stable_seq));
+  own_checkpoints_.erase(own_checkpoints_.begin(),
+                         own_checkpoints_.upper_bound(stable_seq));
+  if (is_primary()) flush_batch();  // watermark window moved: drain queue
+}
+
+// ---------------------------------------------------------------------------
+// View change
+
+void Replica::watchdog_tick() {
+  if (!view_change_active_) {
+    for (const auto& [_, pending] : pending_requests_) {
+      if (now() - pending.first_seen > config_.request_timeout) {
+        start_view_change(view_ + 1, "request timeout / fairness");
+        break;
+      }
+    }
+  } else if (now() - view_change_started_ > config_.request_timeout) {
+    // The new primary failed to assemble a new view in time: move further.
+    start_view_change(view_change_target_ + 1, "view change stalled");
+  }
+  sim().schedule_after(config_.watchdog_period, [this] { watchdog_tick(); });
+}
+
+void Replica::request_view_change(const char* /*reason*/) {
+  if (!view_change_active_) start_view_change(view_ + 1, "app request");
+}
+
+void Replica::start_view_change(uint64_t target_view, const char* /*reason*/) {
+  if (target_view <= view_) return;
+  if (view_change_active_ && target_view <= view_change_target_) return;
+  view_change_active_ = true;
+  view_change_target_ = target_view;
+  view_change_started_ = now();
+
+  ViewChange vc;
+  vc.new_view = target_view;
+  vc.stable_seq = low_watermark_;
+  for (const auto& [seq, s] : slots_) {
+    if (!s.pre_prepare || seq <= low_watermark_) continue;
+    uint32_t matching = 0;
+    for (const auto& [_, vd] : s.prepares) {
+      if (vd.first == s.view && vd.second == s.digest) ++matching;
+    }
+    if (matching < config_.quorum()) continue;
+    PreparedProof proof;
+    proof.seq = seq;
+    proof.view = s.view;
+    proof.batch_wire = s.pre_prepare->serialize();
+    vc.prepared.push_back(std::move(proof));
+  }
+  vc.replica = id();
+  charge(Op::kMac, 64);
+  vc.signature = keys_.sign(id(), vc.signed_body());
+
+  view_change_votes_[target_view][id()] = vc;
+  broadcast_bft(BftMsgType::kViewChange, vc.serialize());
+  maybe_assemble_new_view(target_view);
+}
+
+void Replica::handle_view_change(NodeId from, BytesView body) {
+  auto vc = ViewChange::parse(body);
+  if (!vc || vc->replica != from) return;
+  if (vc->new_view <= view_) return;
+  charge(Op::kMac, 64);
+  if (!keys_.verify(from, vc->signed_body(), vc->signature)) return;
+
+  view_change_votes_[vc->new_view][from] = *vc;
+
+  // Liveness rule: if f+1 replicas want a view above ours, join the lowest
+  // such view even if our own timer has not fired.
+  if (!view_change_active_ || vc->new_view > view_change_target_) {
+    std::map<uint64_t, uint32_t> wanting;
+    for (const auto& [v, votes] : view_change_votes_) {
+      if (v > view_) wanting[v] = static_cast<uint32_t>(votes.size());
+    }
+    uint32_t cumulative = 0;
+    // Count replicas wanting >= v, scanning from the highest view down.
+    for (auto it = wanting.rbegin(); it != wanting.rend(); ++it) {
+      cumulative += it->second;
+      if (cumulative >= config_.f + 1 &&
+          (!view_change_active_ || it->first > view_change_target_)) {
+        start_view_change(it->first, "join");
+        break;
+      }
+    }
+  }
+  maybe_assemble_new_view(vc->new_view);
+}
+
+void Replica::maybe_assemble_new_view(uint64_t target_view) {
+  if (config_.primary_of(target_view) != id()) return;
+  if (new_view_sent_.contains(target_view) || target_view <= view_) return;
+  auto votes = view_change_votes_.find(target_view);
+  if (votes == view_change_votes_.end() ||
+      votes->second.size() < config_.quorum()) {
+    return;
+  }
+  if (!votes->second.contains(id())) return;  // must include our own
+
+  std::vector<ViewChange> proofs;
+  proofs.reserve(votes->second.size());
+  for (const auto& [_, vc] : votes->second) proofs.push_back(vc);
+
+  std::vector<PrePrepare> batches =
+      compute_new_view_batches(target_view, proofs);
+
+  NewView nv;
+  nv.view = target_view;
+  for (const auto& vc : proofs) nv.view_changes.push_back(vc.serialize());
+  for (const auto& pp : batches) nv.pre_prepares.push_back(pp.serialize());
+  new_view_sent_.insert(target_view);
+  broadcast_bft(BftMsgType::kNewView, nv.serialize());
+  enter_view(target_view, std::move(batches));
+}
+
+std::vector<PrePrepare> Replica::compute_new_view_batches(
+    uint64_t target_view, const std::vector<ViewChange>& proofs) const {
+  uint64_t min_s = 0;
+  uint64_t max_s = 0;
+  for (const auto& vc : proofs) {
+    min_s = std::max(min_s, vc.stable_seq);
+    for (const auto& p : vc.prepared) max_s = std::max(max_s, p.seq);
+  }
+
+  std::vector<PrePrepare> out;
+  for (uint64_t s = min_s + 1; s <= max_s; ++s) {
+    const PreparedProof* best = nullptr;
+    for (const auto& vc : proofs) {
+      for (const auto& p : vc.prepared) {
+        if (p.seq != s) continue;
+        if (best == nullptr || p.view > best->view) best = &p;
+      }
+    }
+    PrePrepare pp;
+    pp.view = target_view;
+    pp.seq = s;
+    if (best != nullptr) {
+      auto orig = PrePrepare::parse(best->batch_wire);
+      if (orig) pp.batch = std::move(orig->batch);
+    }
+    if (pp.batch.empty()) pp.batch.push_back(Request::null());
+    out.push_back(std::move(pp));
+  }
+  return out;
+}
+
+void Replica::handle_new_view(NodeId from, BytesView body) {
+  auto nv = NewView::parse(body);
+  if (!nv) return;
+  if (from != config_.primary_of(nv->view)) return;
+  if (nv->view <= view_) return;
+
+  // Verify the 2f+1 signed view-change proofs.
+  std::vector<ViewChange> proofs;
+  std::set<NodeId> voters;
+  for (const auto& wire : nv->view_changes) {
+    auto vc = ViewChange::parse(wire);
+    if (!vc || vc->new_view != nv->view) return;
+    charge(Op::kMac, 64);
+    if (!keys_.verify(vc->replica, vc->signed_body(), vc->signature)) return;
+    if (!voters.insert(vc->replica).second) return;
+    proofs.push_back(std::move(*vc));
+  }
+  if (proofs.size() < config_.quorum()) return;
+
+  // Recompute O and require the primary proposed exactly that.
+  std::vector<PrePrepare> expected = compute_new_view_batches(nv->view, proofs);
+  if (expected.size() != nv->pre_prepares.size()) return;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    auto got = PrePrepare::parse(nv->pre_prepares[i]);
+    if (!got || got->seq != expected[i].seq ||
+        got->batch_digest() != expected[i].batch_digest()) {
+      return;
+    }
+  }
+  enter_view(nv->view, std::move(expected));
+}
+
+void Replica::enter_view(uint64_t target_view, std::vector<PrePrepare> reproposals) {
+  view_ = target_view;
+  view_change_active_ = false;
+  ++view_changes_completed_;
+  view_change_votes_.erase(view_change_votes_.begin(),
+                           view_change_votes_.upper_bound(target_view));
+
+  uint64_t max_s = low_watermark_;
+  for (auto& pp : reproposals) max_s = std::max(max_s, pp.seq);
+  next_seq_ = std::max(next_seq_, max_s + 1);
+
+  // Reset watchdog ages: the new primary gets a fresh grace period.
+  for (auto& [_, pending] : pending_requests_) pending.first_seen = now();
+
+  for (auto& pp : reproposals) {
+    if (pp.seq <= low_watermark_) continue;
+    accept_pre_prepare(std::move(pp));
+  }
+  app_->on_new_view(view_, *this);
+
+  // A backup-turned-primary re-proposes every request it knows is still
+  // outstanding (clients also retransmit, and execution dedupes).
+  if (is_primary()) {
+    for (const auto& [_, pending] : pending_requests_) {
+      Request req;
+      req.client = pending.client;
+      req.client_seq = pending.client_seq;
+      req.payload = pending.payload;
+      pending_batch_.push_back(std::move(req));
+    }
+    if (!pending_batch_.empty()) maybe_send_batch();
+  }
+}
+
+}  // namespace scab::bft

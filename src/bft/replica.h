@@ -1,0 +1,175 @@
+// PBFT replica (Castro–Liskov), the underlying BFT protocol of §VI-A.
+//
+// Implements the full normal-case three-phase flow with batching, the
+// checkpoint/watermark protocol, a catch-up fetch for lagging replicas, and
+// the view-change/new-view protocol.  A watchdog doubles as the Aardvark-
+// style fairness monitor the paper requires for CP1: any client request a
+// backup has seen that the primary fails to get executed within
+// `request_timeout` triggers a view change, so a primary cannot starve
+// (or selectively delay) clients indefinitely.
+//
+// The replica is deliberately generic over its application: CP0–CP3 plug in
+// through the ReplicaApp interface (see app.h).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "bft/app.h"
+#include "bft/config.h"
+#include "bft/envelope.h"
+#include "sim/network.h"
+
+namespace scab::bft {
+
+class Replica : public sim::Node, public ReplicaContext {
+ public:
+  Replica(sim::Network& net, NodeId id, BftConfig config, const KeyRing& keys,
+          const sim::CostModel& costs, ReplicaApp* app, crypto::Drbg rng);
+
+  /// Arms the watchdog; call once after construction.
+  void start();
+
+  // --- sim::Node ---
+  void on_message(NodeId from, BytesView msg) override;
+
+  // --- ReplicaContext ---
+  NodeId id() const override { return Node::id(); }
+  const BftConfig& config() const override { return config_; }
+  uint64_t view() const override { return view_; }
+  bool is_primary() const override {
+    return config_.primary_of(view_) == Node::id();
+  }
+  sim::SimTime now() const override { return sim().now(); }
+  void send_reply(NodeId client, uint64_t client_seq, Bytes result) override;
+  void send_causal(NodeId to, Bytes body) override;
+  void broadcast_causal(Bytes body) override;
+  void submit_local_request(Bytes payload) override;
+  void request_view_change(const char* reason) override;
+  void admit_foreign_request(NodeId client, uint64_t client_seq,
+                             Bytes payload) override;
+  void schedule(sim::SimTime delay, std::function<void()> fn) override {
+    sim().schedule_after(delay, std::move(fn));
+  }
+  void charge(sim::Op op, std::size_t bytes) override {
+    Node::charge(costs_, op, bytes);
+  }
+  crypto::Drbg& rng() override { return rng_; }
+  const KeyRing& keys() const override { return keys_; }
+
+  // --- introspection for tests and benches ---
+  uint64_t executed_requests() const { return executed_requests_; }
+  uint64_t last_executed_seq() const { return next_exec_ - 1; }
+  uint64_t low_watermark() const { return low_watermark_; }
+  uint64_t view_changes_completed() const { return view_changes_completed_; }
+  bool in_view_change() const { return view_change_active_; }
+
+ private:
+  struct Slot {
+    std::optional<PrePrepare> pre_prepare;
+    Bytes digest;
+    uint64_t view = 0;  // view the pre-prepare was accepted in
+    // replica -> (view, digest) voted; counted only when both match the slot
+    std::map<NodeId, std::pair<uint64_t, Bytes>> prepares;
+    std::map<NodeId, std::pair<uint64_t, Bytes>> commits;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool executed = false;
+  };
+
+  struct PendingRequest {
+    NodeId client = 0;
+    uint64_t client_seq = 0;
+    Bytes payload;  // kept so a backup-turned-primary can re-propose
+    sim::SimTime first_seen = 0;
+  };
+
+  // --- messaging ---
+  void send_envelope(NodeId to, Channel channel, BytesView body);
+  void broadcast_bft(BftMsgType type, BytesView body);
+  void send_bft(NodeId to, BftMsgType type, BytesView body);
+
+  // --- normal case ---
+  void handle_client_request(NodeId from, BytesView body);
+  void admit_request(NodeId client, ClientRequestMsg msg, bool skip_validate);
+  void maybe_send_batch();
+  void flush_batch();
+  void handle_pre_prepare(NodeId from, BytesView body);
+  void accept_pre_prepare(PrePrepare pp);
+  void handle_phase_vote(NodeId from, BytesView body);
+  void check_prepared(uint64_t seq);
+  void check_committed(uint64_t seq);
+  void try_execute();
+  void execute_batch(uint64_t seq, const PrePrepare& pp);
+
+  // --- checkpoints & catch-up ---
+  void handle_checkpoint(NodeId from, BytesView body);
+  void try_fetch_execute();
+  void maybe_stabilize(uint64_t seq);
+  void garbage_collect(uint64_t stable_seq);
+
+  // --- view change ---
+  void watchdog_tick();
+  void start_view_change(uint64_t target_view, const char* reason);
+  void handle_view_change(NodeId from, BytesView body);
+  void maybe_assemble_new_view(uint64_t target_view);
+  void handle_new_view(NodeId from, BytesView body);
+  std::vector<PrePrepare> compute_new_view_batches(
+      uint64_t target_view, const std::vector<ViewChange>& proofs) const;
+  void enter_view(uint64_t target_view, std::vector<PrePrepare> reproposals);
+
+  Slot& slot(uint64_t seq) { return slots_[seq]; }
+  bool in_watermarks(uint64_t seq) const {
+    return seq > low_watermark_ && seq <= low_watermark_ + config_.watermark_window;
+  }
+
+  sim::Network& net_;
+  BftConfig config_;
+  const KeyRing& keys_;
+  const sim::CostModel& costs_;
+  ReplicaApp* app_;
+  crypto::Drbg rng_;
+
+  uint64_t view_ = 0;
+  uint64_t next_seq_ = 1;   // primary: next sequence number to assign
+  uint64_t next_exec_ = 1;  // next sequence number to execute
+  uint64_t low_watermark_ = 0;
+  std::map<uint64_t, Slot> slots_;
+
+  // Primary batching.
+  std::vector<Request> pending_batch_;
+  bool batch_timer_armed_ = false;
+  uint64_t local_seq_ = 1;  // for submit_local_request
+
+  // Request admission & watchdog (fairness monitor).
+  std::unordered_map<std::string, PendingRequest> pending_requests_;  // by digest hex
+  std::unordered_map<NodeId, uint64_t> last_executed_client_seq_;
+  std::unordered_map<NodeId, Bytes> reply_cache_;  // last reply wire per client
+
+  // Checkpoints.
+  Bytes exec_chain_digest_;
+  std::map<uint64_t, std::map<NodeId, Bytes>> checkpoint_votes_;  // seq -> replica -> digest
+  std::map<uint64_t, Bytes> own_checkpoints_;
+
+  // Executed batch history for catch-up (seq -> serialized PrePrepare).
+  std::map<uint64_t, Bytes> history_;
+
+  // Catch-up fetch: seq -> responder -> serialized batch.
+  std::map<uint64_t, std::map<NodeId, Bytes>> fetch_votes_;
+
+  // View change.
+  sim::SimTime view_change_started_ = 0;
+  bool view_change_active_ = false;
+  uint64_t view_change_target_ = 0;
+  std::map<uint64_t, std::map<NodeId, ViewChange>> view_change_votes_;
+  std::set<uint64_t> new_view_sent_;
+  uint64_t view_changes_completed_ = 0;
+
+  uint64_t executed_requests_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace scab::bft

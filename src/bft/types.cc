@@ -1,0 +1,235 @@
+#include "bft/types.h"
+
+#include "crypto/sha256.h"
+
+namespace scab::bft {
+
+Bytes Request::digest() const {
+  Writer w;
+  w.u32(client);
+  w.u64(client_seq);
+  return crypto::sha256_tuple({w.data(), payload});
+}
+
+void Request::write(Writer& w) const {
+  w.u32(client);
+  w.u64(client_seq);
+  w.bytes(payload);
+}
+
+std::optional<Request> Request::read(Reader& r) {
+  Request req;
+  req.client = r.u32();
+  req.client_seq = r.u64();
+  req.payload = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return req;
+}
+
+Bytes PrePrepare::batch_digest() const {
+  crypto::Sha256 h;
+  for (const auto& req : batch) h.update(req.digest());
+  const auto d = h.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes PrePrepare::serialize() const {
+  Writer w;
+  w.u64(view);
+  w.u64(seq);
+  w.u32(static_cast<uint32_t>(batch.size()));
+  for (const auto& req : batch) req.write(w);
+  return std::move(w).take();
+}
+
+std::optional<PrePrepare> PrePrepare::parse(BytesView wire) {
+  Reader r(wire);
+  PrePrepare pp;
+  pp.view = r.u64();
+  pp.seq = r.u64();
+  const uint32_t count = r.u32();
+  if (!r.ok() || count > 100000) return std::nullopt;
+  pp.batch.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto req = Request::read(r);
+    if (!req) return std::nullopt;
+    pp.batch.push_back(std::move(*req));
+  }
+  if (!r.done()) return std::nullopt;
+  return pp;
+}
+
+Bytes PhaseVote::serialize() const {
+  Writer w;
+  w.u8(static_cast<uint8_t>(type));
+  w.u64(view);
+  w.u64(seq);
+  w.bytes(digest);
+  w.u32(replica);
+  return std::move(w).take();
+}
+
+std::optional<PhaseVote> PhaseVote::parse(BytesView wire) {
+  Reader r(wire);
+  PhaseVote v;
+  const uint8_t t = r.u8();
+  if (t != static_cast<uint8_t>(BftMsgType::kPrepare) &&
+      t != static_cast<uint8_t>(BftMsgType::kCommit)) {
+    return std::nullopt;
+  }
+  v.type = static_cast<BftMsgType>(t);
+  v.view = r.u64();
+  v.seq = r.u64();
+  v.digest = r.bytes();
+  v.replica = r.u32();
+  if (!r.done()) return std::nullopt;
+  return v;
+}
+
+Bytes Checkpoint::serialize() const {
+  Writer w;
+  w.u64(seq);
+  w.bytes(state_digest);
+  w.u32(replica);
+  return std::move(w).take();
+}
+
+std::optional<Checkpoint> Checkpoint::parse(BytesView wire) {
+  Reader r(wire);
+  Checkpoint c;
+  c.seq = r.u64();
+  c.state_digest = r.bytes();
+  c.replica = r.u32();
+  if (!r.done()) return std::nullopt;
+  return c;
+}
+
+void PreparedProof::write(Writer& w) const {
+  w.u64(seq);
+  w.u64(view);
+  w.bytes(batch_wire);
+}
+
+std::optional<PreparedProof> PreparedProof::read(Reader& r) {
+  PreparedProof p;
+  p.seq = r.u64();
+  p.view = r.u64();
+  p.batch_wire = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+Bytes ViewChange::signed_body() const {
+  Writer w;
+  w.u64(new_view);
+  w.u64(stable_seq);
+  w.u32(static_cast<uint32_t>(prepared.size()));
+  for (const auto& p : prepared) p.write(w);
+  w.u32(replica);
+  return std::move(w).take();
+}
+
+Bytes ViewChange::serialize() const {
+  Writer w;
+  w.raw(signed_body());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+std::optional<ViewChange> ViewChange::parse(BytesView wire) {
+  Reader r(wire);
+  ViewChange vc;
+  vc.new_view = r.u64();
+  vc.stable_seq = r.u64();
+  const uint32_t count = r.u32();
+  if (!r.ok() || count > 100000) return std::nullopt;
+  vc.prepared.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto p = PreparedProof::read(r);
+    if (!p) return std::nullopt;
+    vc.prepared.push_back(std::move(*p));
+  }
+  vc.replica = r.u32();
+  vc.signature = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return vc;
+}
+
+Bytes NewView::serialize() const {
+  Writer w;
+  w.u64(view);
+  w.u32(static_cast<uint32_t>(view_changes.size()));
+  for (const auto& vc : view_changes) w.bytes(vc);
+  w.u32(static_cast<uint32_t>(pre_prepares.size()));
+  for (const auto& pp : pre_prepares) w.bytes(pp);
+  return std::move(w).take();
+}
+
+std::optional<NewView> NewView::parse(BytesView wire) {
+  Reader r(wire);
+  NewView nv;
+  nv.view = r.u64();
+  const uint32_t vcs = r.u32();
+  if (!r.ok() || vcs > 100000) return std::nullopt;
+  for (uint32_t i = 0; i < vcs; ++i) nv.view_changes.push_back(r.bytes());
+  const uint32_t pps = r.u32();
+  if (!r.ok() || pps > 100000) return std::nullopt;
+  for (uint32_t i = 0; i < pps; ++i) nv.pre_prepares.push_back(r.bytes());
+  if (!r.done()) return std::nullopt;
+  return nv;
+}
+
+Bytes ClientRequestMsg::serialize() const {
+  Writer w;
+  w.u64(client_seq);
+  w.bytes(payload);
+  w.u8(forwarded ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<ClientRequestMsg> ClientRequestMsg::parse(BytesView wire) {
+  Reader r(wire);
+  ClientRequestMsg m;
+  m.client_seq = r.u64();
+  m.payload = r.bytes();
+  m.forwarded = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes ReplyMsg::serialize() const {
+  Writer w;
+  w.u64(view);
+  w.u64(client_seq);
+  w.u32(replica);
+  w.bytes(result);
+  return std::move(w).take();
+}
+
+std::optional<ReplyMsg> ReplyMsg::parse(BytesView wire) {
+  Reader r(wire);
+  ReplyMsg m;
+  m.view = r.u64();
+  m.client_seq = r.u64();
+  m.replica = r.u32();
+  m.result = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes tag_bft(BftMsgType type, BytesView body) {
+  Writer w;
+  w.u8(static_cast<uint8_t>(type));
+  w.raw(body);
+  return std::move(w).take();
+}
+
+std::optional<std::pair<BftMsgType, Bytes>> untag_bft(BytesView wire) {
+  if (wire.empty()) return std::nullopt;
+  const uint8_t t = wire[0];
+  if (t > static_cast<uint8_t>(BftMsgType::kFetchResp)) return std::nullopt;
+  return std::make_pair(static_cast<BftMsgType>(t),
+                        Bytes(wire.begin() + 1, wire.end()));
+}
+
+}  // namespace scab::bft

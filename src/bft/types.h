@@ -1,0 +1,145 @@
+// Wire types for the PBFT substrate (Castro–Liskov message flow).
+//
+// Every message travels inside an Envelope carrying a channel tag, the
+// sender id, and a truncated-HMAC authenticator over (channel, sender,
+// receiver, body) under the pairwise session key — the paper's
+// "authenticated channels ... realized using message authentication codes"
+// (§III).  View-change and new-view bodies additionally carry simulated
+// digital signatures (see keyring.h) because they are relayed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "sim/network.h"
+
+namespace scab::bft {
+
+using sim::NodeId;
+
+/// Message channels multiplexed over one simulated socket.
+enum class Channel : uint8_t {
+  kClientRequest = 0,  // client -> replica
+  kBft = 1,            // replica <-> replica: PBFT protocol messages
+  kCausal = 2,         // replica <-> replica / client: causal-layer payloads
+  kReply = 3,          // replica -> client
+};
+
+enum class BftMsgType : uint8_t {
+  kPrePrepare = 0,
+  kPrepare = 1,
+  kCommit = 2,
+  kCheckpoint = 3,
+  kViewChange = 4,
+  kNewView = 5,
+  kFetch = 6,      // catch-up: request executed batches [from, to]
+  kFetchResp = 7,  // catch-up: one executed batch
+};
+
+/// A client request as ordered by the BFT protocol.  `payload` is opaque to
+/// the BFT core; the causal layer defines its meaning (ciphertext,
+/// commitment, (ID, c) pair, or plain operation).
+struct Request {
+  NodeId client = 0;
+  uint64_t client_seq = 0;
+  Bytes payload;
+
+  Bytes digest() const;
+  void write(Writer& w) const;
+  static std::optional<Request> read(Reader& r);
+  bool operator==(const Request&) const = default;
+
+  /// A null request (new-view gap filler); apps skip it.
+  static Request null() { return Request{}; }
+  bool is_null() const { return client == 0 && payload.empty(); }
+};
+
+struct PrePrepare {
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  std::vector<Request> batch;
+
+  Bytes batch_digest() const;
+  Bytes serialize() const;
+  static std::optional<PrePrepare> parse(BytesView wire);
+};
+
+/// PREPARE and COMMIT share a body shape.
+struct PhaseVote {
+  BftMsgType type = BftMsgType::kPrepare;  // kPrepare or kCommit
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  Bytes digest;
+  NodeId replica = 0;
+
+  Bytes serialize() const;
+  static std::optional<PhaseVote> parse(BytesView wire);
+};
+
+struct Checkpoint {
+  uint64_t seq = 0;
+  Bytes state_digest;
+  NodeId replica = 0;
+
+  Bytes serialize() const;
+  static std::optional<Checkpoint> parse(BytesView wire);
+};
+
+/// A prepared certificate carried in a VIEW-CHANGE: the batch is inlined so
+/// the new primary can re-propose without a fetch protocol.
+struct PreparedProof {
+  uint64_t seq = 0;
+  uint64_t view = 0;
+  Bytes batch_wire;  // serialized PrePrepare
+
+  void write(Writer& w) const;
+  static std::optional<PreparedProof> read(Reader& r);
+};
+
+struct ViewChange {
+  uint64_t new_view = 0;
+  uint64_t stable_seq = 0;  // last stable checkpoint
+  std::vector<PreparedProof> prepared;
+  NodeId replica = 0;
+  Bytes signature;  // over everything above
+
+  Bytes signed_body() const;
+  Bytes serialize() const;
+  static std::optional<ViewChange> parse(BytesView wire);
+};
+
+struct NewView {
+  uint64_t view = 0;
+  std::vector<Bytes> view_changes;  // serialized ViewChange messages
+  std::vector<Bytes> pre_prepares;  // serialized PrePrepare messages
+
+  Bytes serialize() const;
+  static std::optional<NewView> parse(BytesView wire);
+};
+
+struct ClientRequestMsg {
+  uint64_t client_seq = 0;
+  Bytes payload;
+  bool forwarded = false;  // true when relayed by a backup to the primary
+
+  Bytes serialize() const;
+  static std::optional<ClientRequestMsg> parse(BytesView wire);
+};
+
+struct ReplyMsg {
+  uint64_t view = 0;
+  uint64_t client_seq = 0;
+  NodeId replica = 0;
+  Bytes result;
+
+  Bytes serialize() const;
+  static std::optional<ReplyMsg> parse(BytesView wire);
+};
+
+/// Tags a BFT body with its message type.
+Bytes tag_bft(BftMsgType type, BytesView body);
+std::optional<std::pair<BftMsgType, Bytes>> untag_bft(BytesView wire);
+
+}  // namespace scab::bft

@@ -1,0 +1,263 @@
+#include "causal/cp0.h"
+
+#include <set>
+
+#include "crypto/sha256.h"
+
+namespace scab::causal {
+
+using bft::NodeId;
+using sim::Op;
+
+// ---------------------------------------------------------------------------
+// RealTdh2Backend
+
+Bytes RealTdh2Backend::encrypt(BytesView message, BytesView label,
+                               crypto::Drbg& rng) {
+  return threshenc::hybrid_encrypt(pk_, message, label, rng).serialize(pk_.group);
+}
+
+bool RealTdh2Backend::verify_ciphertext(BytesView ct, BytesView label) {
+  auto parsed = threshenc::HybridCiphertext::parse(pk_.group, ct);
+  if (!parsed) return false;
+  return threshenc::hybrid_verify(pk_, *parsed, label);
+}
+
+std::optional<Bytes> RealTdh2Backend::decryption_share(uint32_t index,
+                                                       BytesView ct,
+                                                       BytesView label,
+                                                       crypto::Drbg& rng) {
+  if (!my_key_ || my_key_->index != index) return std::nullopt;
+  auto parsed = threshenc::HybridCiphertext::parse(pk_.group, ct);
+  if (!parsed) return std::nullopt;
+  auto share = threshenc::tdh2_share_decrypt(pk_, *my_key_, parsed->kem, label, rng);
+  if (!share) return std::nullopt;
+  return share->serialize(pk_.group);
+}
+
+bool RealTdh2Backend::verify_share(BytesView ct, BytesView label,
+                                   BytesView share) {
+  auto parsed_ct = threshenc::HybridCiphertext::parse(pk_.group, ct);
+  auto parsed_share = threshenc::Tdh2DecryptionShare::parse(pk_.group, share);
+  if (!parsed_ct || !parsed_share) return false;
+  return threshenc::tdh2_verify_share(pk_, parsed_ct->kem, label, *parsed_share);
+}
+
+std::optional<Bytes> RealTdh2Backend::combine(BytesView ct, BytesView label,
+                                              const std::vector<Bytes>& shares) {
+  auto parsed_ct = threshenc::HybridCiphertext::parse(pk_.group, ct);
+  if (!parsed_ct) return std::nullopt;
+  std::vector<threshenc::Tdh2DecryptionShare> parsed;
+  for (const auto& s : shares) {
+    auto ps = threshenc::Tdh2DecryptionShare::parse(pk_.group, s);
+    if (ps) parsed.push_back(std::move(*ps));
+  }
+  auto seed = threshenc::tdh2_combine(pk_, parsed_ct->kem, label, parsed);
+  if (!seed) return std::nullopt;
+  return threshenc::hybrid_open(*parsed_ct, label, *seed);
+}
+
+// ---------------------------------------------------------------------------
+// ModeledThresholdBackend (simulation-only ideal functionality)
+
+namespace {
+Bytes modeled_share_tag(BytesView label, uint32_t index) {
+  uint8_t idx[4];
+  for (int i = 0; i < 4; ++i) idx[i] = static_cast<uint8_t>(index >> (8 * i));
+  Bytes tag = crypto::sha256_tuple(
+      {to_bytes("cp0.modeled.share"), label, BytesView(idx, 4)});
+  tag.resize(8);
+  return tag;
+}
+}  // namespace
+
+Bytes ModeledThresholdBackend::encrypt(BytesView message, BytesView label,
+                                       crypto::Drbg& /*rng*/) {
+  Writer w;
+  w.bytes(label);
+  w.bytes(message);
+  return std::move(w).take();
+}
+
+bool ModeledThresholdBackend::verify_ciphertext(BytesView ct, BytesView label) {
+  Reader r(ct);
+  const Bytes bound_label = r.bytes();
+  r.bytes();
+  return r.done() && BytesView(bound_label).size() == label.size() &&
+         std::equal(bound_label.begin(), bound_label.end(), label.begin());
+}
+
+std::optional<Bytes> ModeledThresholdBackend::decryption_share(
+    uint32_t index, BytesView ct, BytesView label, crypto::Drbg& /*rng*/) {
+  if (!verify_ciphertext(ct, label)) return std::nullopt;
+  Writer w;
+  w.u32(index);
+  w.raw(modeled_share_tag(label, index));
+  return std::move(w).take();
+}
+
+bool ModeledThresholdBackend::verify_share(BytesView /*ct*/, BytesView label,
+                                           BytesView share) {
+  Reader r(share);
+  const uint32_t index = r.u32();
+  const Bytes tag = r.raw(8);
+  if (!r.done() || index == 0) return false;
+  return ct_equal(tag, modeled_share_tag(label, index));
+}
+
+std::optional<Bytes> ModeledThresholdBackend::combine(
+    BytesView ct, BytesView label, const std::vector<Bytes>& shares) {
+  std::set<uint32_t> indices;
+  for (const auto& s : shares) {
+    if (!verify_share(ct, label, s)) continue;
+    Reader r(s);
+    indices.insert(r.u32());
+  }
+  if (indices.size() < threshold_) return std::nullopt;
+  Reader r(ct);
+  r.bytes();  // label
+  Bytes message = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return message;
+}
+
+// ---------------------------------------------------------------------------
+// Cp0ReplicaApp
+
+namespace {
+Bytes encode_share_msg(const RequestId& id, BytesView share) {
+  Writer w;
+  id.write(w);
+  w.bytes(share);
+  return std::move(w).take();
+}
+}  // namespace
+
+bool Cp0ReplicaApp::validate_request(NodeId client,
+                                     const bft::ClientRequestMsg& msg,
+                                     bft::ReplicaContext& ctx) {
+  // "Each replica should verify that the label in the ciphertext indeed
+  // contains the identity of the sender" — the label IS (client, seq), so
+  // verifying the ciphertext against the label derived from the
+  // authenticated sender enforces exactly that.
+  const RequestId id{client, msg.client_seq};
+  ctx.charge(Op::kTdh2VerifyCt, msg.payload.size());
+  return backend_->verify_ciphertext(msg.payload, id.encode());
+}
+
+void Cp0ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
+                               bft::ReplicaContext& ctx) {
+  const RequestId id{req.client, req.client_seq};
+  if (completed_.contains(id)) return;
+  PendingReveal& p = pending_[id];
+  if (p.delivered) return;
+  p.delivered = true;
+  p.ciphertext = req.payload;
+  p.client = req.client;
+  p.client_seq = req.client_seq;
+  exec_queue_.push_back(id);
+
+  // Reveal step: produce and broadcast our decryption share.
+  const Bytes label = id.encode();
+  ctx.charge(Op::kTdh2ShareDec, req.payload.size());
+  auto share = backend_->decryption_share(ctx.id() + 1, req.payload, label,
+                                          ctx.rng());
+  if (share) {
+    // Our own share is counted immediately (and kept honest even when this
+    // replica serves corrupted shares to everyone else).
+    p.valid_from.insert(ctx.id());
+    p.valid.push_back(*share);
+
+    Bytes outgoing = *share;
+    if (corrupt_shares_) {
+      for (std::size_t i = 0; i < outgoing.size(); i += 7) outgoing[i] ^= 0xa5;
+    }
+    ctx.broadcast_causal(encode_share_msg(id, outgoing));
+  }
+  try_reveal(id, ctx);
+}
+
+void Cp0ReplicaApp::on_causal_message(NodeId from, BytesView body,
+                                      bft::ReplicaContext& ctx) {
+  Reader r(body);
+  const RequestId id = RequestId::read(r);
+  const Bytes share = r.bytes();
+  if (!r.done()) return;
+  if (completed_.contains(id)) return;
+  PendingReveal& p = pending_[id];
+  if (p.valid_from.contains(from) || p.unverified.contains(from)) return;
+  p.unverified[from] = share;
+  try_reveal(id, ctx);
+}
+
+void Cp0ReplicaApp::try_reveal(const RequestId& id, bft::ReplicaContext& ctx) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingReveal& p = it->second;
+  // The reveal step only starts after the schedule step committed (we need
+  // the agreed ciphertext to verify shares against).
+  if (!p.delivered || p.revealed) return;
+
+  const Bytes label = id.encode();
+  for (auto uit = p.unverified.begin(); uit != p.unverified.end();) {
+    ctx.charge(Op::kTdh2VerifyShare, uit->second.size());
+    if (backend_->verify_share(p.ciphertext, label, uit->second)) {
+      p.valid_from.insert(uit->first);
+      p.valid.push_back(uit->second);
+    }
+    uit = p.unverified.erase(uit);
+  }
+
+  if (p.valid.size() < backend_->threshold()) return;
+  ctx.charge(Op::kTdh2Combine, p.ciphertext.size());
+  auto plaintext = backend_->combine(p.ciphertext, label, p.valid);
+  if (!plaintext) return;  // need more shares (shouldn't happen: verified)
+  p.revealed = true;
+  p.plaintext = std::move(*plaintext);
+  drain_execution(ctx);
+}
+
+void Cp0ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
+  while (!exec_queue_.empty()) {
+    const RequestId id = exec_queue_.front();
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      exec_queue_.pop_front();
+      continue;
+    }
+    PendingReveal& p = it->second;
+    if (!p.revealed) return;  // total order: block on the oldest reveal
+    ctx.charge(Op::kExecute, p.plaintext.size());
+    Bytes result = service_->execute(p.client, p.plaintext);
+    ctx.send_reply(p.client, p.client_seq, std::move(result));
+    completed_.insert(id);
+    pending_.erase(it);
+    exec_queue_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cp0ClientProtocol
+
+void Cp0ClientProtocol::start(uint64_t client_seq, BytesView op,
+                              bft::ClientContext& ctx) {
+  seq_ = client_seq;
+  const RequestId id{ctx.id(), client_seq};
+  ctx.charge(Op::kTdh2Encrypt, op.size());
+  ciphertext_ = backend_->encrypt(op, id.encode(), ctx.rng());
+  quorum_.arm(client_seq, ctx.config().f + 1);
+  ctx.send_request(client_seq, ciphertext_);
+}
+
+void Cp0ClientProtocol::on_reply(NodeId replica, const bft::ReplyMsg& reply,
+                                 bft::ClientContext& ctx) {
+  if (quorum_.add(replica, reply)) ctx.complete(reply.result);
+}
+
+void Cp0ClientProtocol::on_retransmit(bft::ClientContext& ctx) {
+  // Resend the SAME ciphertext: a fresh encryption would be a different
+  // request to the replicas.
+  ctx.send_request(seq_, ciphertext_);
+}
+
+}  // namespace scab::causal

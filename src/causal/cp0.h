@@ -1,0 +1,170 @@
+// CP0 — secure causal atomic broadcast from a labeled threshold
+// cryptosystem (Reiter–Birman / CKPS, reviewed in paper §V-A).
+//
+// Schedule: the client encrypts its request under the system threshold
+// public key with label ID = (client, seq) and the ciphertext is ordered by
+// PBFT.  Reveal: after a batch commits, every replica broadcasts its
+// decryption share for each ciphertext in the batch; a replica that has
+// collected f+1 valid shares combines, executes, and replies.  Execution of
+// slot s blocks until every request in it is recovered, preserving total
+// order and the CKPS rule that a correct replica never runs two schedule or
+// two reveal steps back-to-back for a request.
+//
+// The threshold cryptosystem itself sits behind Cp0Backend so that the
+// throughput benchmarks can swap the real TDH2 implementation for a
+// calibrated-cost oracle (DESIGN.md §3) without touching protocol logic.
+// Latency benchmarks and tests use the real backend.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bft/app.h"
+#include "bft/client.h"
+#include "causal/id.h"
+#include "causal/service.h"
+#include "threshenc/hybrid.h"
+
+namespace scab::causal {
+
+/// Abstracts the (t, n) labeled threshold cryptosystem used by CP0.
+/// All byte-level objects are opaque wires produced and consumed by the
+/// same backend type.  Costs are charged by the caller via ctx.charge, so a
+/// modeled backend has the same virtual-time behaviour as the real one.
+class Cp0Backend {
+ public:
+  virtual ~Cp0Backend() = default;
+
+  /// Client: encrypt `message` bound to `label`.
+  virtual Bytes encrypt(BytesView message, BytesView label,
+                        crypto::Drbg& rng) = 0;
+  /// Anyone: publicly verify a ciphertext (including label binding).
+  virtual bool verify_ciphertext(BytesView ct, BytesView label) = 0;
+  /// Replica `index` (1-based): produce its decryption share.
+  virtual std::optional<Bytes> decryption_share(uint32_t index, BytesView ct,
+                                                BytesView label,
+                                                crypto::Drbg& rng) = 0;
+  /// Anyone: verify one decryption share.
+  virtual bool verify_share(BytesView ct, BytesView label, BytesView share) = 0;
+  /// Combine >= threshold valid shares into the plaintext.
+  virtual std::optional<Bytes> combine(BytesView ct, BytesView label,
+                                       const std::vector<Bytes>& shares) = 0;
+  virtual uint32_t threshold() const = 0;
+};
+
+/// The real thing: hybrid TDH2 (see threshenc/).
+class RealTdh2Backend : public Cp0Backend {
+ public:
+  explicit RealTdh2Backend(threshenc::Tdh2PublicKey pk,
+                           std::optional<threshenc::Tdh2KeyShare> my_key = std::nullopt)
+      : pk_(std::move(pk)), my_key_(std::move(my_key)) {}
+
+  Bytes encrypt(BytesView message, BytesView label, crypto::Drbg& rng) override;
+  bool verify_ciphertext(BytesView ct, BytesView label) override;
+  std::optional<Bytes> decryption_share(uint32_t index, BytesView ct,
+                                        BytesView label,
+                                        crypto::Drbg& rng) override;
+  bool verify_share(BytesView ct, BytesView label, BytesView share) override;
+  std::optional<Bytes> combine(BytesView ct, BytesView label,
+                               const std::vector<Bytes>& shares) override;
+  uint32_t threshold() const override { return pk_.threshold; }
+
+ private:
+  threshenc::Tdh2PublicKey pk_;
+  std::optional<threshenc::Tdh2KeyShare> my_key_;
+};
+
+/// Calibrated-cost oracle: structurally faithful (labels checked, share
+/// counting and distinctness enforced, corrupt shares rejected) but without
+/// the modular exponentiations.  SIMULATION ONLY — the "ciphertext" is the
+/// label-bound plaintext.  Used by throughput sweeps where executing
+/// thousands of 1024-bit operations per point would make the benchmark
+/// binary take hours; the per-op costs are still charged by the protocol
+/// from the live-calibrated table.
+class ModeledThresholdBackend : public Cp0Backend {
+ public:
+  explicit ModeledThresholdBackend(uint32_t threshold) : threshold_(threshold) {}
+
+  Bytes encrypt(BytesView message, BytesView label, crypto::Drbg& rng) override;
+  bool verify_ciphertext(BytesView ct, BytesView label) override;
+  std::optional<Bytes> decryption_share(uint32_t index, BytesView ct,
+                                        BytesView label,
+                                        crypto::Drbg& rng) override;
+  bool verify_share(BytesView ct, BytesView label, BytesView share) override;
+  std::optional<Bytes> combine(BytesView ct, BytesView label,
+                               const std::vector<Bytes>& shares) override;
+  uint32_t threshold() const override { return threshold_; }
+
+ private:
+  uint32_t threshold_;
+};
+
+// ---------------------------------------------------------------------------
+
+class Cp0ReplicaApp : public bft::ReplicaApp {
+ public:
+  Cp0ReplicaApp(std::unique_ptr<Service> service,
+                std::unique_ptr<Cp0Backend> backend)
+      : service_(std::move(service)), backend_(std::move(backend)) {}
+
+  /// Table IV's fault model: this replica contributes garbage decryption
+  /// shares (it stays otherwise protocol-compliant).
+  void set_corrupt_shares(bool corrupt) { corrupt_shares_ = corrupt; }
+
+  bool validate_request(bft::NodeId client, const bft::ClientRequestMsg& msg,
+                        bft::ReplicaContext& ctx) override;
+  void on_deliver(uint64_t seq, const bft::Request& req,
+                  bft::ReplicaContext& ctx) override;
+  void on_causal_message(bft::NodeId from, BytesView body,
+                         bft::ReplicaContext& ctx) override;
+
+  Service& service() { return *service_; }
+
+ private:
+  struct PendingReveal {
+    Bytes ciphertext;  // empty until the schedule step committed
+    bft::NodeId client = 0;
+    uint64_t client_seq = 0;
+    std::map<bft::NodeId, Bytes> unverified;  // sender -> share wire
+    std::set<bft::NodeId> valid_from;
+    std::vector<Bytes> valid;
+    bool delivered = false;
+    bool revealed = false;
+    Bytes plaintext;
+  };
+
+  void try_reveal(const RequestId& id, bft::ReplicaContext& ctx);
+  void drain_execution(bft::ReplicaContext& ctx);
+
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<Cp0Backend> backend_;
+  bool corrupt_shares_ = false;
+
+  std::unordered_map<RequestId, PendingReveal> pending_;
+  std::unordered_set<RequestId> completed_;
+  // Execution queue: requests execute in delivery order, each blocking on
+  // its reveal (the CKPS schedule/reveal alternation).
+  std::deque<RequestId> exec_queue_;
+};
+
+class Cp0ClientProtocol : public bft::ClientProtocol {
+ public:
+  explicit Cp0ClientProtocol(std::unique_ptr<Cp0Backend> backend)
+      : backend_(std::move(backend)) {}
+
+  void start(uint64_t client_seq, BytesView op, bft::ClientContext& ctx) override;
+  void on_reply(bft::NodeId replica, const bft::ReplyMsg& reply,
+                bft::ClientContext& ctx) override;
+  void on_retransmit(bft::ClientContext& ctx) override;
+
+ private:
+  std::unique_ptr<Cp0Backend> backend_;
+  uint64_t seq_ = 0;
+  Bytes ciphertext_;
+  bft::ReplyQuorum quorum_;
+};
+
+}  // namespace scab::causal

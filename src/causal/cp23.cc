@@ -1,0 +1,361 @@
+#include "causal/cp23.h"
+
+#include "crypto/aead.h"
+
+namespace scab::causal {
+
+using bft::NodeId;
+using secretshare::Arss1Share;
+using secretshare::ShamirShare;
+using sim::Op;
+
+// ---------------------------------------------------------------------------
+// Private-channel share envelopes
+
+Bytes seal_share(const bft::KeyRing& keys, NodeId from, NodeId to,
+                 const RequestId& id, BytesView share_wire, crypto::Drbg& rng) {
+  Writer w;
+  id.write(w);
+  w.bytes(crypto::aead_seal(keys.channel_key(from, to), id.encode(),
+                            share_wire, rng));
+  return std::move(w).take();
+}
+
+std::optional<std::pair<RequestId, Bytes>> open_share(const bft::KeyRing& keys,
+                                                      NodeId self, NodeId from,
+                                                      BytesView body) {
+  Reader r(body);
+  const RequestId id = RequestId::read(r);
+  const Bytes box = r.bytes();
+  if (!r.done()) return std::nullopt;
+  auto share = crypto::aead_open(keys.channel_key(from, self), id.encode(), box);
+  if (!share) return std::nullopt;
+  return std::make_pair(id, std::move(*share));
+}
+
+namespace {
+
+Bytes corrupt_wire(Bytes wire) {
+  // Garbles the share values (value-dependent, the paper's "randomly
+  // corrupt" model) while keeping the wire parseable.
+  for (std::size_t i = wire.size() / 2; i < wire.size(); i += 3) {
+    wire[i] ^= 0x5c;
+  }
+  return wire;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CP2 replica
+
+bool Cp2ReplicaApp::validate_request(NodeId /*client*/,
+                                     const bft::ClientRequestMsg& msg,
+                                     bft::ReplicaContext& /*ctx*/) {
+  Reader r(msg.payload);
+  const Bytes c = r.bytes();
+  return r.done() && !c.empty();
+}
+
+void Cp2ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
+                               bft::ReplicaContext& ctx) {
+  const RequestId id{req.client, req.client_seq};
+  if (completed_.contains(id)) return;
+  Pending& p = pending_[id];
+  if (p.delivered) return;
+
+  Reader r(req.payload);
+  p.agreed_commitment = r.bytes();
+  if (!r.done()) return;
+  p.delivered = true;
+  p.client = req.client;
+  p.client_seq = req.client_seq;
+  exec_queue_.push_back(id);
+  start_reveal(id, p, ctx);
+}
+
+void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
+                                 bft::ReplicaContext& ctx) {
+  p.reconstructor = std::make_unique<secretshare::Arss1Reconstructor>(
+      commitment_, ctx.config().f, p.agreed_commitment);
+
+  // Broadcast our own share to the other replicas over private channels.
+  if (p.own_share) {
+    Bytes wire = p.own_share->serialize();
+    if (corrupt_shares_) wire = corrupt_wire(std::move(wire));
+    for (NodeId to = 0; to < ctx.config().n; ++to) {
+      if (to == ctx.id()) continue;
+      ctx.charge(Op::kAeadSeal, wire.size());
+      ctx.send_causal(to, seal_share(ctx.keys(), ctx.id(), to, id, wire,
+                                     ctx.rng()));
+    }
+  }
+
+  // Feed what we have: our own share first, then anything buffered.
+  if (p.own_share) feed_share(id, p, *p.own_share, ctx);
+  for (const auto& s : p.buffered) {
+    if (p.revealed) break;
+    feed_share(id, p, s, ctx);
+  }
+  p.buffered.clear();
+}
+
+void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
+                                      bft::ReplicaContext& ctx) {
+  ctx.charge(Op::kAeadOpen, body.size());
+  auto opened = open_share(ctx.keys(), ctx.id(), from, body);
+  if (!opened) return;
+  const auto& [id, wire] = *opened;
+  if (completed_.contains(id)) return;
+  auto share = Arss1Share::parse(wire);
+  if (!share) return;
+
+  Pending& p = pending_[id];
+  if (!p.seen_senders.insert(from).second) return;
+
+  if (from == id.client) {
+    // The client's private distribution of OUR share.
+    if (!p.own_share) p.own_share = std::move(*share);
+    return;
+  }
+  if (from >= ctx.config().n) return;  // only replicas relay shares
+
+  if (!p.delivered) {
+    p.buffered.push_back(std::move(*share));
+    return;
+  }
+  feed_share(id, p, *share, ctx);
+}
+
+void Cp2ReplicaApp::feed_share(const RequestId& id, Pending& p,
+                               const Arss1Share& share,
+                               bft::ReplicaContext& ctx) {
+  if (p.revealed || !p.reconstructor) return;
+  const std::size_t before = p.reconstructor->attempts();
+  auto secret = p.reconstructor->add(share);
+  const std::size_t attempts = p.reconstructor->attempts() - before;
+  recovery_attempts_ += attempts;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    ctx.charge(Op::kShamirRec, share.inner.secret_len);
+    ctx.charge(Op::kCommitOpen, share.inner.secret_len);
+  }
+  if (secret) {
+    p.revealed = true;
+    p.plaintext = std::move(*secret);
+    drain_execution(ctx);
+  }
+  (void)id;
+}
+
+void Cp2ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
+  while (!exec_queue_.empty()) {
+    const RequestId id = exec_queue_.front();
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      exec_queue_.pop_front();
+      continue;
+    }
+    Pending& p = it->second;
+    if (!p.revealed) return;
+    ctx.charge(Op::kExecute, p.plaintext.size());
+    Bytes result = service_->execute(p.client, p.plaintext);
+    ctx.send_reply(p.client, p.client_seq, std::move(result));
+    completed_.insert(id);
+    pending_.erase(it);
+    exec_queue_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CP2 client
+
+void Cp2ClientProtocol::start(uint64_t client_seq, BytesView op,
+                              bft::ClientContext& ctx) {
+  seq_ = client_seq;
+  id_ = RequestId{ctx.id(), client_seq};
+  const auto& cfg = ctx.config();
+
+  ctx.charge(Op::kCommit, op.size());
+  ctx.charge(Op::kShamirShare, op.size());  // calibrated for the full n-vector
+  auto shares =
+      secretshare::arss1_share(op, cfg.f + 1, cfg.n, commitment_, ctx.rng());
+
+  Writer w;
+  w.bytes(shares[0].commitment);
+  schedule_payload_ = std::move(w).take();
+
+  share_wires_.clear();
+  share_wires_.reserve(cfg.n);
+  for (const auto& s : shares) share_wires_.push_back(s.serialize());
+
+  quorum_.arm(client_seq, cfg.f + 1);
+  send_all(ctx);
+}
+
+void Cp2ClientProtocol::send_all(bft::ClientContext& ctx) {
+  const auto& cfg = ctx.config();
+  for (NodeId r = 0; r < cfg.n; ++r) {
+    ctx.charge(Op::kAeadSeal, share_wires_[r].size());
+    ctx.send_causal(r, seal_share(ctx.keys(), ctx.id(), r, id_,
+                                  share_wires_[r], ctx.rng()));
+  }
+  ctx.send_request(seq_, schedule_payload_);
+}
+
+void Cp2ClientProtocol::on_reply(NodeId replica, const bft::ReplyMsg& reply,
+                                 bft::ClientContext& ctx) {
+  if (quorum_.add(replica, reply)) ctx.complete(reply.result);
+}
+
+void Cp2ClientProtocol::on_retransmit(bft::ClientContext& ctx) {
+  send_all(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// CP3 replica
+
+bool Cp3ReplicaApp::validate_request(NodeId /*client*/,
+                                     const bft::ClientRequestMsg& msg,
+                                     bft::ReplicaContext& /*ctx*/) {
+  return msg.payload.empty();  // CP3 agrees on the ID alone
+}
+
+void Cp3ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
+                               bft::ReplicaContext& ctx) {
+  const RequestId id{req.client, req.client_seq};
+  if (completed_.contains(id)) return;
+  Pending& p = pending_[id];
+  if (p.delivered) return;
+  p.delivered = true;
+  p.client = req.client;
+  p.client_seq = req.client_seq;
+  exec_queue_.push_back(id);
+  start_reveal(id, p, ctx);
+}
+
+void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
+                                 bft::ReplicaContext& ctx) {
+  p.reconstructor = std::make_unique<secretshare::Arss2Reconstructor>(
+      ctx.config().f, p.own_share, mode_);
+
+  if (p.own_share) {
+    Bytes wire = p.own_share->serialize();
+    if (corrupt_shares_) wire = corrupt_wire(std::move(wire));
+    for (NodeId to = 0; to < ctx.config().n; ++to) {
+      if (to == ctx.id()) continue;
+      ctx.charge(Op::kAeadSeal, wire.size());
+      ctx.send_causal(to, seal_share(ctx.keys(), ctx.id(), to, id, wire,
+                                     ctx.rng()));
+    }
+  }
+  for (const auto& s : p.buffered) {
+    if (p.revealed) break;
+    feed_share(id, p, s, ctx);
+  }
+  p.buffered.clear();
+}
+
+void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,
+                                      bft::ReplicaContext& ctx) {
+  ctx.charge(Op::kAeadOpen, body.size());
+  auto opened = open_share(ctx.keys(), ctx.id(), from, body);
+  if (!opened) return;
+  const auto& [id, wire] = *opened;
+  if (completed_.contains(id)) return;
+  auto share = ShamirShare::parse(wire);
+  if (!share) return;
+
+  Pending& p = pending_[id];
+  if (!p.seen_senders.insert(from).second) return;
+
+  if (from == id.client) {
+    if (!p.own_share) p.own_share = std::move(*share);
+    return;
+  }
+  if (from >= ctx.config().n) return;
+
+  if (!p.delivered) {
+    p.buffered.push_back(std::move(*share));
+    return;
+  }
+  feed_share(id, p, *share, ctx);
+}
+
+void Cp3ReplicaApp::feed_share(const RequestId& id, Pending& p,
+                               const ShamirShare& share,
+                               bft::ReplicaContext& ctx) {
+  if (p.revealed || !p.reconstructor) return;
+  const std::size_t before = p.reconstructor->attempts();
+  auto secret = p.reconstructor->add(share);
+  const std::size_t attempts = p.reconstructor->attempts() - before;
+  recovery_attempts_ += attempts;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    ctx.charge(Op::kShamirRec, share.secret_len);
+  }
+  if (secret) {
+    p.revealed = true;
+    p.plaintext = std::move(*secret);
+    drain_execution(ctx);
+  }
+  (void)id;
+}
+
+void Cp3ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
+  while (!exec_queue_.empty()) {
+    const RequestId id = exec_queue_.front();
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      exec_queue_.pop_front();
+      continue;
+    }
+    Pending& p = it->second;
+    if (!p.revealed) return;
+    ctx.charge(Op::kExecute, p.plaintext.size());
+    Bytes result = service_->execute(p.client, p.plaintext);
+    ctx.send_reply(p.client, p.client_seq, std::move(result));
+    completed_.insert(id);
+    pending_.erase(it);
+    exec_queue_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CP3 client
+
+void Cp3ClientProtocol::start(uint64_t client_seq, BytesView op,
+                              bft::ClientContext& ctx) {
+  seq_ = client_seq;
+  id_ = RequestId{ctx.id(), client_seq};
+  const auto& cfg = ctx.config();
+
+  ctx.charge(Op::kShamirShare, op.size());  // calibrated for the full n-vector
+  auto shares = secretshare::arss2_share(op, cfg.f, cfg.n, ctx.rng());
+
+  share_wires_.clear();
+  share_wires_.reserve(cfg.n);
+  for (const auto& s : shares) share_wires_.push_back(s.serialize());
+
+  quorum_.arm(client_seq, cfg.f + 1);
+  send_all(ctx);
+}
+
+void Cp3ClientProtocol::send_all(bft::ClientContext& ctx) {
+  const auto& cfg = ctx.config();
+  for (NodeId r = 0; r < cfg.n; ++r) {
+    ctx.charge(Op::kAeadSeal, share_wires_[r].size());
+    ctx.send_causal(r, seal_share(ctx.keys(), ctx.id(), r, id_,
+                                  share_wires_[r], ctx.rng()));
+  }
+  ctx.send_request(seq_, Bytes{});
+}
+
+void Cp3ClientProtocol::on_reply(NodeId replica, const bft::ReplyMsg& reply,
+                                 bft::ClientContext& ctx) {
+  if (quorum_.add(replica, reply)) ctx.complete(reply.result);
+}
+
+void Cp3ClientProtocol::on_retransmit(bft::ClientContext& ctx) {
+  send_all(ctx);
+}
+
+}  // namespace scab::causal

@@ -1,0 +1,185 @@
+// CP2 and CP3 — secure causal atomic broadcast from ARSS (paper §V-D).
+//
+// Generic flow (both protocols): the client Shamir-shares its request and
+// sends replica i the share S[i] over an authenticated AND private channel
+// (AEAD); the BFT protocol orders only the public part (ID plus, for CP2,
+// the commitment c).  When a replica delivers the identifier it starts the
+// reveal: it broadcasts its share to the other replicas (again over private
+// channels), feeds arriving shares to the incremental ARSS reconstructor,
+// and executes + replies once the secret is recovered.  Execution is
+// blocked in delivery order, exactly like CP0's reveal.
+//
+//   CP2 = ARSS1: shares carry a commitment tag; the commitment is *agreed*
+//         in the schedule step, so foreign/forged share sets are rejected
+//         immediately and recovery needs f+1 shares.
+//   CP3 = ARSS2: plain Shamir shares, information-theoretic, recovery needs
+//         f+2 consistent shares (and more under faults).
+//
+// Clients here may only crash (the paper's §V-D assumption); a crashing
+// client can block the service but can never break causality.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bft/app.h"
+#include "bft/client.h"
+#include "causal/id.h"
+#include "causal/service.h"
+#include "secretshare/arss.h"
+
+namespace scab::causal {
+
+// ---------------------------------------------------------------------------
+// CP2
+
+class Cp2ReplicaApp : public bft::ReplicaApp {
+ public:
+  Cp2ReplicaApp(std::unique_ptr<Service> service, crypto::Commitment commitment)
+      : service_(std::move(service)), commitment_(std::move(commitment)) {}
+
+  /// Table IV fault model: broadcast corrupted shares to the other replicas.
+  void set_corrupt_shares(bool corrupt) { corrupt_shares_ = corrupt; }
+
+  bool validate_request(bft::NodeId client, const bft::ClientRequestMsg& msg,
+                        bft::ReplicaContext& ctx) override;
+  void on_deliver(uint64_t seq, const bft::Request& req,
+                  bft::ReplicaContext& ctx) override;
+  void on_causal_message(bft::NodeId from, BytesView body,
+                         bft::ReplicaContext& ctx) override;
+
+  Service& service() { return *service_; }
+  /// Total combination-search attempts across recoveries (bench metric).
+  uint64_t recovery_attempts() const { return recovery_attempts_; }
+
+ private:
+  struct Pending {
+    Bytes agreed_commitment;
+    bft::NodeId client = 0;
+    uint64_t client_seq = 0;
+    bool delivered = false;
+    bool revealed = false;
+    Bytes plaintext;
+    std::optional<secretshare::Arss1Share> own_share;
+    std::vector<secretshare::Arss1Share> buffered;  // arrived pre-delivery
+    std::unordered_set<bft::NodeId> seen_senders;
+    std::unique_ptr<secretshare::Arss1Reconstructor> reconstructor;
+  };
+
+  void feed_share(const RequestId& id, Pending& p,
+                  const secretshare::Arss1Share& share,
+                  bft::ReplicaContext& ctx);
+  void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
+  void drain_execution(bft::ReplicaContext& ctx);
+
+  std::unique_ptr<Service> service_;
+  crypto::Commitment commitment_;
+  bool corrupt_shares_ = false;
+
+  std::unordered_map<RequestId, Pending> pending_;
+  std::unordered_set<RequestId> completed_;
+  std::deque<RequestId> exec_queue_;
+  uint64_t recovery_attempts_ = 0;
+};
+
+class Cp2ClientProtocol : public bft::ClientProtocol {
+ public:
+  explicit Cp2ClientProtocol(crypto::Commitment commitment)
+      : commitment_(std::move(commitment)) {}
+
+  void start(uint64_t client_seq, BytesView op, bft::ClientContext& ctx) override;
+  void on_reply(bft::NodeId replica, const bft::ReplyMsg& reply,
+                bft::ClientContext& ctx) override;
+  void on_retransmit(bft::ClientContext& ctx) override;
+
+ private:
+  void send_all(bft::ClientContext& ctx);
+
+  crypto::Commitment commitment_;
+  uint64_t seq_ = 0;
+  RequestId id_;
+  Bytes schedule_payload_;
+  std::vector<Bytes> share_wires_;  // per replica
+  bft::ReplyQuorum quorum_;
+};
+
+// ---------------------------------------------------------------------------
+// CP3
+
+class Cp3ReplicaApp : public bft::ReplicaApp {
+ public:
+  Cp3ReplicaApp(std::unique_ptr<Service> service,
+                secretshare::Arss2Mode mode = secretshare::Arss2Mode::kFast)
+      : service_(std::move(service)), mode_(mode) {}
+
+  void set_corrupt_shares(bool corrupt) { corrupt_shares_ = corrupt; }
+
+  bool validate_request(bft::NodeId client, const bft::ClientRequestMsg& msg,
+                        bft::ReplicaContext& ctx) override;
+  void on_deliver(uint64_t seq, const bft::Request& req,
+                  bft::ReplicaContext& ctx) override;
+  void on_causal_message(bft::NodeId from, BytesView body,
+                         bft::ReplicaContext& ctx) override;
+
+  Service& service() { return *service_; }
+  uint64_t recovery_attempts() const { return recovery_attempts_; }
+
+ private:
+  struct Pending {
+    bft::NodeId client = 0;
+    uint64_t client_seq = 0;
+    bool delivered = false;
+    bool revealed = false;
+    Bytes plaintext;
+    std::optional<secretshare::ShamirShare> own_share;
+    std::vector<secretshare::ShamirShare> buffered;
+    std::unordered_set<bft::NodeId> seen_senders;
+    std::unique_ptr<secretshare::Arss2Reconstructor> reconstructor;
+  };
+
+  void feed_share(const RequestId& id, Pending& p,
+                  const secretshare::ShamirShare& share,
+                  bft::ReplicaContext& ctx);
+  void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
+  void drain_execution(bft::ReplicaContext& ctx);
+
+  std::unique_ptr<Service> service_;
+  secretshare::Arss2Mode mode_;
+  bool corrupt_shares_ = false;
+
+  std::unordered_map<RequestId, Pending> pending_;
+  std::unordered_set<RequestId> completed_;
+  std::deque<RequestId> exec_queue_;
+  uint64_t recovery_attempts_ = 0;
+};
+
+class Cp3ClientProtocol : public bft::ClientProtocol {
+ public:
+  void start(uint64_t client_seq, BytesView op, bft::ClientContext& ctx) override;
+  void on_reply(bft::NodeId replica, const bft::ReplyMsg& reply,
+                bft::ClientContext& ctx) override;
+  void on_retransmit(bft::ClientContext& ctx) override;
+
+ private:
+  void send_all(bft::ClientContext& ctx);
+
+  uint64_t seq_ = 0;
+  RequestId id_;
+  std::vector<Bytes> share_wires_;
+  bft::ReplyQuorum quorum_;
+};
+
+// --- shared helpers (also used by tests) ---
+
+/// Seals a share wire for the private channel a -> b, bound to the ID.
+Bytes seal_share(const bft::KeyRing& keys, bft::NodeId from, bft::NodeId to,
+                 const RequestId& id, BytesView share_wire, crypto::Drbg& rng);
+
+/// Opens a sealed share envelope (returns ID and share wire).
+std::optional<std::pair<RequestId, Bytes>> open_share(const bft::KeyRing& keys,
+                                                      bft::NodeId self,
+                                                      bft::NodeId from,
+                                                      BytesView body);
+
+}  // namespace scab::causal

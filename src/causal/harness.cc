@@ -1,0 +1,201 @@
+#include "causal/harness.h"
+
+namespace scab::causal {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kPbft:
+      return "PBFT";
+    case Protocol::kCp0:
+      return "CP0";
+    case Protocol::kCp1:
+      return "CP1";
+    case Protocol::kCp2:
+      return "CP2";
+    case Protocol::kCp3:
+      return "CP3";
+  }
+  return "?";
+}
+
+namespace {
+Bytes seed_bytes(uint64_t seed, std::string_view label) {
+  Writer w;
+  w.u64(seed);
+  w.str(std::string(label));
+  return std::move(w).take();
+}
+}  // namespace
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      master_rng_(seed_bytes(options_.seed, "cluster-master")) {
+  const auto& cfg = options_.bft;
+  if (!options_.service_factory) {
+    options_.service_factory = [] { return std::make_unique<EchoService>(0); };
+  }
+
+  net_ = std::make_unique<sim::Network>(sim_, options_.profile, options_.seed);
+
+  std::vector<bft::NodeId> node_ids;
+  for (uint32_t i = 0; i < cfg.n; ++i) node_ids.push_back(i);
+  for (uint32_t i = 0; i < options_.num_clients; ++i) {
+    node_ids.push_back(client_id(i));
+  }
+  keys_ = std::make_unique<bft::KeyRing>(seed_bytes(options_.seed, "keyring"),
+                                         node_ids);
+
+  // Protocol-wide cryptographic setup (the "trusted dealer" of §V-A for
+  // CP0; plain Cgen for the commitment-based protocols).
+  switch (options_.protocol) {
+    case Protocol::kCp0: {
+      if (!options_.group) {
+        crypto::Drbg grng = master_rng_.fork(to_bytes("group"));
+        options_.group = crypto::ModGroup::generate(options_.group_bits, grng);
+      }
+      crypto::Drbg krng = master_rng_.fork(to_bytes("tdh2"));
+      tdh2_ = threshenc::tdh2_keygen(*options_.group, cfg.f + 1, cfg.n, krng);
+      break;
+    }
+    case Protocol::kCp1: {
+      crypto::Drbg crng = master_rng_.fork(to_bytes("nmcad"));
+      nmcad_key_ = crypto::NmCadCommitment::cgen(crng);
+      break;
+    }
+    case Protocol::kCp2: {
+      crypto::Drbg crng = master_rng_.fork(to_bytes("commit"));
+      commitment_key_ = crypto::Commitment::cgen(crng);
+      break;
+    }
+    default:
+      break;
+  }
+
+  if (options_.engine == Engine::kAsyncEngine) {
+    if (!options_.coin_group) {
+      crypto::Drbg grng = master_rng_.fork(to_bytes("coin-group"));
+      options_.coin_group =
+          crypto::ModGroup::generate(options_.coin_group_bits, grng);
+    }
+    crypto::Drbg crng = master_rng_.fork(to_bytes("coin"));
+    coin_ = abft::coin_keygen(*options_.coin_group, cfg.f + 1, cfg.n, crng);
+  }
+
+  // Replicas.
+  for (uint32_t i = 0; i < cfg.n; ++i) {
+    auto service = options_.service_factory();
+    services_.push_back(service.get());
+
+    std::unique_ptr<bft::ReplicaApp> app;
+    switch (options_.protocol) {
+      case Protocol::kPbft:
+        app = std::make_unique<PlainReplicaApp>(std::move(service));
+        break;
+      case Protocol::kCp0:
+        app = std::make_unique<Cp0ReplicaApp>(std::move(service),
+                                              make_cp0_backend(i));
+        break;
+      case Protocol::kCp1:
+        app = std::make_unique<Cp1ReplicaApp>(
+            std::move(service), crypto::NmCadCommitment(nmcad_key_),
+            options_.cp1);
+        break;
+      case Protocol::kCp2:
+        app = std::make_unique<Cp2ReplicaApp>(
+            std::move(service), crypto::Commitment(commitment_key_));
+        break;
+      case Protocol::kCp3:
+        app = std::make_unique<Cp3ReplicaApp>(std::move(service),
+                                              options_.arss2_mode);
+        break;
+    }
+    replica_apps_.push_back(std::move(app));
+
+    if (options_.engine == Engine::kPbftEngine) {
+      auto replica = std::make_unique<bft::Replica>(
+          *net_, i, cfg, *keys_, options_.costs, replica_apps_.back().get(),
+          master_rng_.fork(seed_bytes(i, "replica")));
+      net_->attach(replica.get());
+      replica->start();
+      replicas_.push_back(std::move(replica));
+    } else {
+      auto replica = std::make_unique<abft::AsyncReplica>(
+          *net_, i, cfg, *keys_, options_.costs, coin_.pk, coin_.shares.at(i),
+          replica_apps_.back().get(),
+          master_rng_.fork(seed_bytes(i, "replica")));
+      net_->attach(replica.get());
+      async_replicas_.push_back(std::move(replica));
+    }
+  }
+
+  // Clients.
+  for (uint32_t i = 0; i < options_.num_clients; ++i) {
+    std::unique_ptr<bft::ClientProtocol> protocol;
+    switch (options_.protocol) {
+      case Protocol::kPbft:
+        protocol = std::make_unique<PlainClientProtocol>();
+        break;
+      case Protocol::kCp0:
+        protocol = std::make_unique<Cp0ClientProtocol>(
+            make_cp0_backend(std::nullopt));
+        break;
+      case Protocol::kCp1:
+        protocol = std::make_unique<Cp1ClientProtocol>(
+            crypto::NmCadCommitment(nmcad_key_));
+        break;
+      case Protocol::kCp2:
+        protocol = std::make_unique<Cp2ClientProtocol>(
+            crypto::Commitment(commitment_key_));
+        break;
+      case Protocol::kCp3:
+        protocol = std::make_unique<Cp3ClientProtocol>();
+        break;
+    }
+    client_protocols_.push_back(std::move(protocol));
+
+    auto client = std::make_unique<bft::Client>(
+        *net_, client_id(i), cfg, *keys_, options_.costs,
+        client_protocols_.back().get(),
+        master_rng_.fork(seed_bytes(i, "client")));
+    net_->attach(client.get());
+    clients_.push_back(std::move(client));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::unique_ptr<Cp0Backend> Cluster::make_cp0_backend(
+    std::optional<uint32_t> replica_index) const {
+  if (options_.cp0_modeled) {
+    return std::make_unique<ModeledThresholdBackend>(options_.bft.f + 1);
+  }
+  std::optional<threshenc::Tdh2KeyShare> key;
+  if (replica_index) key = tdh2_.shares.at(*replica_index);
+  return std::make_unique<RealTdh2Backend>(tdh2_.pk, std::move(key));
+}
+
+void Cluster::corrupt_replica_shares(uint32_t i) {
+  bft::ReplicaApp* app = replica_apps_.at(i).get();
+  if (auto* cp0 = dynamic_cast<Cp0ReplicaApp*>(app)) {
+    cp0->set_corrupt_shares(true);
+  } else if (auto* cp2 = dynamic_cast<Cp2ReplicaApp*>(app)) {
+    cp2->set_corrupt_shares(true);
+  } else if (auto* cp3 = dynamic_cast<Cp3ReplicaApp*>(app)) {
+    cp3->set_corrupt_shares(true);
+  }
+}
+
+std::optional<Bytes> Cluster::run_one(uint32_t ci, Bytes op,
+                                      sim::SimTime deadline) {
+  bft::Client& c = client(ci);
+  const uint64_t before = c.completed_ops();
+  c.submit(std::move(op));
+  const sim::SimTime stop_at = sim_.now() + deadline;
+  sim_.run_while([&] {
+    return c.completed_ops() > before || sim_.now() >= stop_at;
+  });
+  if (c.completed_ops() > before) return c.last_result();
+  return std::nullopt;
+}
+
+}  // namespace scab::causal

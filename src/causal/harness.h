@@ -1,0 +1,135 @@
+// One-stop cluster assembly: simulator + network + keys + replicas +
+// clients for any of the five measured protocols (PBFT baseline, CP0–CP3).
+//
+// Used by the integration tests, every benchmark, and the examples; it is
+// the public "deployment" API of the library.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abft/replica.h"
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "causal/cp0.h"
+#include "causal/cp1.h"
+#include "causal/cp23.h"
+#include "causal/plain.h"
+#include "causal/service.h"
+#include "crypto/modgroup.h"
+#include "threshenc/tdh2.h"
+
+namespace scab::causal {
+
+enum class Protocol { kPbft, kCp0, kCp1, kCp2, kCp3 };
+
+/// The underlying atomic-broadcast engine: sequencer-based PBFT or the
+/// asynchronous consensus-based engine (RBC + common-coin ABA + ACS).
+/// Every causal protocol runs on either — the paper's generality claim.
+enum class Engine { kPbftEngine, kAsyncEngine };
+
+const char* protocol_name(Protocol p);
+
+/// Replica ids are 0..n-1; client ids start here.
+inline constexpr bft::NodeId kClientBase = 100;
+
+struct ClusterOptions {
+  Protocol protocol = Protocol::kPbft;
+  Engine engine = Engine::kPbftEngine;
+  bft::BftConfig bft = bft::BftConfig::for_f(1);
+  sim::NetworkProfile profile = sim::NetworkProfile::ideal();
+  sim::CostModel costs = sim::CostModel::zero();
+  uint32_t num_clients = 1;
+  uint64_t seed = 1;
+
+  /// Per-replica service; default EchoService with 0-byte replies.
+  ServiceFactory service_factory;
+
+  /// CP0: threshold-cryptosystem group. Tests default to a small generated
+  /// group; benches install ModGroup::modp_1024().
+  std::optional<crypto::ModGroup> group;
+  std::size_t group_bits = 64;
+  /// CP0: use the calibrated-cost oracle instead of real TDH2 (throughput
+  /// sweeps only; see DESIGN.md §3).
+  bool cp0_modeled = false;
+
+  Cp1Options cp1;
+  secretshare::Arss2Mode arss2_mode = secretshare::Arss2Mode::kFast;
+
+  /// Async engine: the common-coin group (defaults to a small generated
+  /// group in tests; benches install modp_512 to price the coin honestly).
+  std::optional<crypto::ModGroup> coin_group;
+  std::size_t coin_group_bits = 64;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return *net_; }
+  const bft::KeyRing& keys() const { return *keys_; }
+  const ClusterOptions& options() const { return options_; }
+
+  uint32_t n() const { return options_.bft.n; }
+  uint32_t f() const { return options_.bft.f; }
+  uint32_t num_clients() const { return static_cast<uint32_t>(clients_.size()); }
+  static bft::NodeId client_id(uint32_t index) { return kClientBase + index; }
+
+  /// PBFT engine only.
+  bft::Replica& replica(uint32_t i) { return *replicas_.at(i); }
+  /// Async engine only.
+  abft::AsyncReplica& async_replica(uint32_t i) { return *async_replicas_.at(i); }
+  /// Engine-agnostic: requests executed by replica i.
+  uint64_t replica_executed(uint32_t i) const {
+    return options_.engine == Engine::kPbftEngine
+               ? replicas_.at(i)->executed_requests()
+               : async_replicas_.at(i)->executed_requests();
+  }
+  bft::Client& client(uint32_t i) { return *clients_.at(i); }
+  bft::ReplicaApp& replica_app(uint32_t i) { return *replica_apps_.at(i); }
+  bft::ClientProtocol& client_protocol(uint32_t i) {
+    return *client_protocols_.at(i);
+  }
+  Service& service(uint32_t i) { return *services_.at(i); }
+
+  /// Marks replica i as a share-corrupting Byzantine replica (Table IV).
+  /// Only meaningful for CP0/CP2/CP3.
+  void corrupt_replica_shares(uint32_t i);
+
+  /// Convenience: submit one op from client `ci` and run the simulation
+  /// until it completes or `deadline` of virtual time passes.  Returns the
+  /// result on success.
+  std::optional<Bytes> run_one(uint32_t ci, Bytes op,
+                               sim::SimTime deadline = 30 * sim::kSecond);
+
+  /// CP0 key material (empty unless protocol == kCp0).
+  const threshenc::Tdh2KeyMaterial& tdh2_keys() const { return tdh2_; }
+
+ private:
+  std::unique_ptr<Cp0Backend> make_cp0_backend(
+      std::optional<uint32_t> replica_index) const;
+
+  ClusterOptions options_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<bft::KeyRing> keys_;
+  crypto::Drbg master_rng_;
+
+  // Shared crypto material.
+  threshenc::Tdh2KeyMaterial tdh2_;     // CP0
+  Bytes nmcad_key_;                     // CP1
+  Bytes commitment_key_;                // CP2
+
+  abft::CoinKeyMaterial coin_;          // async engine
+
+  std::vector<Service*> services_;  // borrowed from the apps
+  std::vector<std::unique_ptr<bft::ReplicaApp>> replica_apps_;
+  std::vector<std::unique_ptr<bft::Replica>> replicas_;
+  std::vector<std::unique_ptr<abft::AsyncReplica>> async_replicas_;
+  std::vector<std::unique_ptr<bft::ClientProtocol>> client_protocols_;
+  std::vector<std::unique_ptr<bft::Client>> clients_;
+};
+
+}  // namespace scab::causal

@@ -1,0 +1,58 @@
+// Plain PBFT (no causality preservation) — the paper's baseline.
+//
+// This is deliberately the degenerate "causal engine": requests travel in
+// cleartext, execution happens at delivery, and — as the front-running test
+// demonstrates — a Byzantine replica can read a pending request and get a
+// derived request ordered first.  CP0–CP3 exist to close exactly that gap.
+#pragma once
+
+#include "bft/app.h"
+#include "bft/client.h"
+#include "causal/service.h"
+
+namespace scab::causal {
+
+class PlainReplicaApp : public bft::ReplicaApp {
+ public:
+  explicit PlainReplicaApp(std::unique_ptr<Service> service)
+      : service_(std::move(service)) {}
+
+  void on_deliver(uint64_t /*seq*/, const bft::Request& req,
+                  bft::ReplicaContext& ctx) override {
+    ctx.charge(sim::Op::kExecute, req.payload.size());
+    Bytes result = service_->execute(req.client, req.payload);
+    ctx.send_reply(req.client, req.client_seq, std::move(result));
+  }
+
+  Service& service() { return *service_; }
+
+ private:
+  std::unique_ptr<Service> service_;
+};
+
+class PlainClientProtocol : public bft::ClientProtocol {
+ public:
+  void start(uint64_t client_seq, BytesView op,
+             bft::ClientContext& ctx) override {
+    seq_ = client_seq;
+    op_.assign(op.begin(), op.end());
+    quorum_.arm(client_seq, ctx.config().f + 1);
+    ctx.send_request(client_seq, op_);
+  }
+
+  void on_reply(bft::NodeId replica, const bft::ReplyMsg& reply,
+                bft::ClientContext& ctx) override {
+    if (quorum_.add(replica, reply)) ctx.complete(reply.result);
+  }
+
+  void on_retransmit(bft::ClientContext& ctx) override {
+    ctx.send_request(seq_, op_);
+  }
+
+ private:
+  uint64_t seq_ = 0;
+  Bytes op_;
+  bft::ReplyQuorum quorum_;
+};
+
+}  // namespace scab::causal

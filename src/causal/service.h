@@ -1,0 +1,49 @@
+// The replicated application interface.
+//
+// Every replica owns one deterministic Service instance; the BFT layer
+// (plain or causal) feeds it client operations in total order.  Concrete
+// services live in src/apps (key-value store, trading service, DNS
+// registry); EchoService is the microbenchmark workload (x/y benchmark:
+// x kB request in, y kB reply out).
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "sim/network.h"
+
+namespace scab::causal {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Executes one operation; must be deterministic.
+  virtual Bytes execute(sim::NodeId client, BytesView op) = 0;
+};
+
+/// Returns a fixed-size reply, ignoring the request body (the
+/// Castro–Liskov x/y microbenchmark service).
+class EchoService : public Service {
+ public:
+  explicit EchoService(std::size_t reply_size = 0) : reply_size_(reply_size) {}
+
+  Bytes execute(sim::NodeId /*client*/, BytesView op) override {
+    ++executed_;
+    bytes_in_ += op.size();
+    return Bytes(reply_size_, 0x5a);
+  }
+
+  uint64_t executed() const { return executed_; }
+  uint64_t bytes_in() const { return bytes_in_; }
+
+ private:
+  std::size_t reply_size_;
+  uint64_t executed_ = 0;
+  uint64_t bytes_in_ = 0;
+};
+
+/// Builds a fresh Service per replica.
+using ServiceFactory = std::function<std::unique_ptr<Service>()>;
+
+}  // namespace scab::causal

@@ -1,0 +1,53 @@
+// Byte-string utilities shared by every module.
+//
+// The whole library speaks `Bytes` (a std::vector<uint8_t>) on its public
+// boundaries: wire messages, hashes, keys, shares, ciphertexts.  The helpers
+// here keep conversions explicit and allocation-aware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scab {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+/// Builds a Bytes from the raw characters of `s` (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets `b` as raw characters (no encoding applied).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding, two characters per byte.
+std::string hex_encode(BytesView b);
+
+/// Inverse of hex_encode. Throws std::invalid_argument on malformed input
+/// (odd length or non-hex characters).
+Bytes hex_decode(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of byte views into a fresh buffer.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = 0;
+  ((total += BytesView(views).size()), ...);
+  out.reserve(total);
+  (append(out, BytesView(views)), ...);
+  return out;
+}
+
+/// Constant-time equality check; safe for comparing MACs and other secrets.
+/// Returns false for length mismatches (length is not considered secret).
+bool ct_equal(BytesView a, BytesView b);
+
+/// XORs `b` into `a` in place; the spans must be the same length.
+void xor_inplace(std::span<uint8_t> a, BytesView b);
+
+}  // namespace scab

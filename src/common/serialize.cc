@@ -1,0 +1,85 @@
+#include "common/serialize.h"
+
+namespace scab {
+
+void Writer::u16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::bytes(BytesView b) {
+  u32(static_cast<uint32_t>(b.size()));
+  append(buf_, b);
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool Reader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t Reader::u16() {
+  if (!take(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+uint32_t Reader::u32() {
+  if (!take(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Reader::u64() {
+  if (!take(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Bytes Reader::bytes() {
+  const uint32_t n = u32();
+  return raw(n);
+}
+
+std::string Reader::str() {
+  const uint32_t n = u32();
+  if (!take(n)) return {};
+  std::string s(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return s;
+}
+
+Bytes Reader::raw(std::size_t n) {
+  if (!take(n)) return {};
+  Bytes b(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
+}  // namespace scab

@@ -1,0 +1,66 @@
+// Minimal, explicit wire serialization.
+//
+// All multi-byte integers are little-endian.  Variable-length fields are
+// length-prefixed with a u32.  Readers are *strict*: any truncation or
+// overlong length yields an error state that the caller must check via ok()
+// (subsequent reads on a failed reader return zero values and keep ok()
+// false), so malformed network input can never fault the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace scab {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  /// Length-prefixed byte string (u32 length).
+  void bytes(BytesView b);
+  /// Length-prefixed UTF-8/raw string (u32 length).
+  void str(std::string_view s);
+  /// Raw bytes with NO length prefix; reader must know the size.
+  void raw(BytesView b) { append(buf_, b); }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  Bytes bytes();
+  std::string str();
+  /// Reads exactly `n` raw bytes (no length prefix).
+  Bytes raw(std::size_t n);
+
+  bool ok() const { return ok_; }
+  /// True when every byte has been consumed and no error occurred.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  bool take(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace scab

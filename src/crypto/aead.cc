@@ -1,0 +1,48 @@
+#include "crypto/aead.h"
+
+#include <stdexcept>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace scab::crypto {
+
+namespace {
+struct KeyPair {
+  BytesView enc;
+  BytesView mac;
+};
+
+KeyPair split_key(BytesView key) {
+  if (key.size() != kAeadKeySize) {
+    throw std::invalid_argument("aead: key must be 64 bytes");
+  }
+  return {key.subspan(0, 32), key.subspan(32, 32)};
+}
+}  // namespace
+
+Bytes aead_seal(BytesView key, BytesView associated_data, BytesView plaintext,
+                Drbg& rng) {
+  const KeyPair k = split_key(key);
+  const Bytes nonce = rng.generate(kAeadNonceSize);
+  const Bytes ct = aes256_ctr(k.enc, nonce, plaintext);
+  const Bytes tag = hmac_sha256_trunc(
+      k.mac, sha256_tuple({associated_data, nonce, ct}), kAeadTagSize);
+  return concat(nonce, ct, tag);
+}
+
+std::optional<Bytes> aead_open(BytesView key, BytesView associated_data,
+                               BytesView box) {
+  const KeyPair k = split_key(key);
+  if (box.size() < kAeadOverhead) return std::nullopt;
+  const BytesView nonce = box.subspan(0, kAeadNonceSize);
+  const BytesView ct = box.subspan(kAeadNonceSize, box.size() - kAeadOverhead);
+  const BytesView tag = box.subspan(box.size() - kAeadTagSize);
+  const Bytes expect = hmac_sha256_trunc(
+      k.mac, sha256_tuple({associated_data, nonce, ct}), kAeadTagSize);
+  if (!ct_equal(expect, tag)) return std::nullopt;
+  return aes256_ctr(k.enc, nonce, ct);
+}
+
+}  // namespace scab::crypto

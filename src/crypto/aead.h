@@ -1,0 +1,31 @@
+// Authenticated encryption with associated data, composed as
+// CTR(AES-256) then HMAC-SHA256 (encrypt-then-MAC), exactly the composition
+// the paper names in §VI-A for building authenticated *and private*
+// channels (Rogaway's generic AEAD composition [58]).
+//
+// Wire layout of a sealed box:  nonce(16) || ciphertext || tag(16)
+// The tag covers  associated_data || nonce || ciphertext.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace scab::crypto {
+
+inline constexpr std::size_t kAeadKeySize = 64;  // 32 enc + 32 mac
+inline constexpr std::size_t kAeadNonceSize = 16;
+inline constexpr std::size_t kAeadTagSize = 16;
+inline constexpr std::size_t kAeadOverhead = kAeadNonceSize + kAeadTagSize;
+
+/// Seals `plaintext` under `key` (64 bytes: enc key || mac key), binding
+/// `associated_data`. The nonce is drawn from `rng`.
+Bytes aead_seal(BytesView key, BytesView associated_data, BytesView plaintext,
+                Drbg& rng);
+
+/// Opens a sealed box. Returns std::nullopt on any authenticity failure.
+std::optional<Bytes> aead_open(BytesView key, BytesView associated_data,
+                               BytesView box);
+
+}  // namespace scab::crypto

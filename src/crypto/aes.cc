@@ -1,0 +1,243 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <wmmintrin.h>
+#define SCAB_X86 1
+#endif
+
+namespace scab::crypto {
+
+namespace {
+
+// The S-box and the round T-tables are generated at startup from their
+// algebraic definitions (multiplicative inverse in GF(2^8) plus the affine
+// map) rather than transcribed — a table typo would be silent, the algebra
+// cannot be.  The T-tables fold SubBytes + ShiftRows + MixColumns into four
+// lookups per output column (classic software AES).
+struct AesTables {
+  uint8_t sbox[256];
+  uint32_t te0[256], te1[256], te2[256], te3[256];
+
+  static uint8_t gf_mul(uint8_t a, uint8_t b) {
+    uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (b & 1) p ^= a;
+      const bool hi = a & 0x80;
+      a <<= 1;
+      if (hi) a ^= 0x1b;  // x^8 + x^4 + x^3 + x + 1
+      b >>= 1;
+    }
+    return p;
+  }
+
+  AesTables() {
+    auto inv = [](uint8_t a) -> uint8_t {
+      if (a == 0) return 0;
+      uint8_t result = 1, base = a;
+      int e = 254;
+      while (e) {
+        if (e & 1) result = gf_mul(result, base);
+        base = gf_mul(base, base);
+        e >>= 1;
+      }
+      return result;
+    };
+    for (int x = 0; x < 256; ++x) {
+      const uint8_t i = inv(static_cast<uint8_t>(x));
+      uint8_t s = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        const int b = ((i >> bit) & 1) ^ ((i >> ((bit + 4) % 8)) & 1) ^
+                      ((i >> ((bit + 5) % 8)) & 1) ^ ((i >> ((bit + 6) % 8)) & 1) ^
+                      ((i >> ((bit + 7) % 8)) & 1) ^ ((0x63 >> bit) & 1);
+        s |= static_cast<uint8_t>(b << bit);
+      }
+      sbox[x] = s;
+      const uint8_t s2 = gf_mul(s, 2);
+      const uint8_t s3 = gf_mul(s, 3);
+      // Column layout (big-endian word): [2s, s, s, 3s] for te0.
+      te0[x] = static_cast<uint32_t>(s2) << 24 | static_cast<uint32_t>(s) << 16 |
+               static_cast<uint32_t>(s) << 8 | s3;
+      te1[x] = static_cast<uint32_t>(s3) << 24 | static_cast<uint32_t>(s2) << 16 |
+               static_cast<uint32_t>(s) << 8 | s;
+      te2[x] = static_cast<uint32_t>(s) << 24 | static_cast<uint32_t>(s3) << 16 |
+               static_cast<uint32_t>(s2) << 8 | s;
+      te3[x] = static_cast<uint32_t>(s) << 24 | static_cast<uint32_t>(s) << 16 |
+               static_cast<uint32_t>(s3) << 8 | s2;
+    }
+  }
+};
+
+const AesTables kT;
+
+inline uint32_t sub_word(uint32_t w) {
+  return static_cast<uint32_t>(kT.sbox[(w >> 24) & 0xff]) << 24 |
+         static_cast<uint32_t>(kT.sbox[(w >> 16) & 0xff]) << 16 |
+         static_cast<uint32_t>(kT.sbox[(w >> 8) & 0xff]) << 8 |
+         static_cast<uint32_t>(kT.sbox[w & 0xff]);
+}
+
+inline uint32_t rot_word(uint32_t w) { return (w << 8) | (w >> 24); }
+
+inline uint8_t xtime(uint8_t a) {
+  return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+inline uint32_t load_be32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | p[3];
+}
+
+inline void store_be32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+Aes256::Aes256(BytesView key) {
+  if (key.size() != kAes256KeySize) {
+    throw std::invalid_argument("Aes256: key must be 32 bytes");
+  }
+  constexpr int kNk = 8;   // key words
+  constexpr int kNr = 14;  // rounds
+  for (int i = 0; i < kNk; ++i) round_keys_[i] = load_be32(key.data() + 4 * i);
+  uint32_t rcon = 0x01000000;
+  for (int i = kNk; i < 4 * (kNr + 1); ++i) {
+    uint32_t temp = round_keys_[i - 1];
+    if (i % kNk == 0) {
+      temp = sub_word(rot_word(temp)) ^ rcon;
+      rcon = static_cast<uint32_t>(xtime(static_cast<uint8_t>(rcon >> 24))) << 24;
+    } else if (i % kNk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - kNk] ^ temp;
+  }
+  for (int i = 0; i < 60; ++i) {
+    store_be32(round_key_bytes_.data() + 4 * i, round_keys_[i]);
+  }
+}
+
+bool Aes256::has_aesni() {
+#ifdef SCAB_X86
+  static const bool supported = __builtin_cpu_supports("aes");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+#ifdef SCAB_X86
+__attribute__((target("aes,sse2"))) void Aes256::encrypt_block_ni(
+    uint8_t block[kAesBlockSize]) const {
+  const auto* rk = round_key_bytes_.data();
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  b = _mm_xor_si128(b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int r = 1; r < 14; ++r) {
+    b = _mm_aesenc_si128(
+        b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r)));
+  }
+  b = _mm_aesenclast_si128(
+      b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * 14)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), b);
+}
+#else
+void Aes256::encrypt_block_ni(uint8_t block[kAesBlockSize]) const {
+  encrypt_block_soft(block);
+}
+#endif
+
+void Aes256::encrypt_block(uint8_t block[kAesBlockSize]) const {
+  if (has_aesni()) {
+    encrypt_block_ni(block);
+  } else {
+    encrypt_block_soft(block);
+  }
+}
+
+void Aes256::encrypt_block_soft(uint8_t block[kAesBlockSize]) const {
+  constexpr int kNr = 14;
+  uint32_t s0 = load_be32(block) ^ round_keys_[0];
+  uint32_t s1 = load_be32(block + 4) ^ round_keys_[1];
+  uint32_t s2 = load_be32(block + 8) ^ round_keys_[2];
+  uint32_t s3 = load_be32(block + 12) ^ round_keys_[3];
+
+  for (int round = 1; round < kNr; ++round) {
+    const uint32_t* rk = &round_keys_[4 * round];
+    const uint32_t t0 = kT.te0[(s0 >> 24) & 0xff] ^ kT.te1[(s1 >> 16) & 0xff] ^
+                        kT.te2[(s2 >> 8) & 0xff] ^ kT.te3[s3 & 0xff] ^ rk[0];
+    const uint32_t t1 = kT.te0[(s1 >> 24) & 0xff] ^ kT.te1[(s2 >> 16) & 0xff] ^
+                        kT.te2[(s3 >> 8) & 0xff] ^ kT.te3[s0 & 0xff] ^ rk[1];
+    const uint32_t t2 = kT.te0[(s2 >> 24) & 0xff] ^ kT.te1[(s3 >> 16) & 0xff] ^
+                        kT.te2[(s0 >> 8) & 0xff] ^ kT.te3[s1 & 0xff] ^ rk[2];
+    const uint32_t t3 = kT.te0[(s3 >> 24) & 0xff] ^ kT.te1[(s0 >> 16) & 0xff] ^
+                        kT.te2[(s1 >> 8) & 0xff] ^ kT.te3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const uint32_t* rk = &round_keys_[4 * kNr];
+  const uint32_t o0 =
+      (static_cast<uint32_t>(kT.sbox[(s0 >> 24) & 0xff]) << 24 |
+       static_cast<uint32_t>(kT.sbox[(s1 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(kT.sbox[(s2 >> 8) & 0xff]) << 8 |
+       kT.sbox[s3 & 0xff]) ^
+      rk[0];
+  const uint32_t o1 =
+      (static_cast<uint32_t>(kT.sbox[(s1 >> 24) & 0xff]) << 24 |
+       static_cast<uint32_t>(kT.sbox[(s2 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(kT.sbox[(s3 >> 8) & 0xff]) << 8 |
+       kT.sbox[s0 & 0xff]) ^
+      rk[1];
+  const uint32_t o2 =
+      (static_cast<uint32_t>(kT.sbox[(s2 >> 24) & 0xff]) << 24 |
+       static_cast<uint32_t>(kT.sbox[(s3 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(kT.sbox[(s0 >> 8) & 0xff]) << 8 |
+       kT.sbox[s1 & 0xff]) ^
+      rk[2];
+  const uint32_t o3 =
+      (static_cast<uint32_t>(kT.sbox[(s3 >> 24) & 0xff]) << 24 |
+       static_cast<uint32_t>(kT.sbox[(s0 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(kT.sbox[(s1 >> 8) & 0xff]) << 8 |
+       kT.sbox[s2 & 0xff]) ^
+      rk[3];
+
+  store_be32(block, o0);
+  store_be32(block + 4, o1);
+  store_be32(block + 8, o2);
+  store_be32(block + 12, o3);
+}
+
+Bytes aes256_ctr(BytesView key, BytesView nonce, BytesView data) {
+  if (nonce.size() != kAesBlockSize) {
+    throw std::invalid_argument("aes256_ctr: nonce must be 16 bytes");
+  }
+  const Aes256 cipher(key);
+  Bytes out(data.begin(), data.end());
+  uint8_t counter[kAesBlockSize];
+  std::memcpy(counter, nonce.data(), kAesBlockSize);
+
+  std::size_t off = 0;
+  while (off < out.size()) {
+    uint8_t keystream[kAesBlockSize];
+    std::memcpy(keystream, counter, kAesBlockSize);
+    cipher.encrypt_block(keystream);
+    const std::size_t n = std::min<std::size_t>(kAesBlockSize, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    off += n;
+    // Big-endian increment of the trailing 8 counter bytes.
+    for (int i = 15; i >= 8; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace scab::crypto

@@ -1,0 +1,47 @@
+#include "crypto/commitment.h"
+
+#include "crypto/sha256.h"
+
+namespace scab::crypto {
+
+namespace {
+const Bytes kConvTag = to_bytes("scab.commit.v1");
+const Bytes kNmCadTag = to_bytes("scab.nmcad.v1");
+}  // namespace
+
+Bytes Commitment::cgen(Drbg& rng) { return rng.generate(32); }
+
+Committed Commitment::commit(BytesView message, Drbg& rng) const {
+  Committed out;
+  out.decommitment = rng.generate(kCommitCoinSize);
+  out.commitment = sha256_tuple({kConvTag, ck_, message, out.decommitment});
+  return out;
+}
+
+bool Commitment::open(BytesView commitment, BytesView message,
+                      BytesView decommitment) const {
+  if (decommitment.size() != kCommitCoinSize) return false;
+  const Bytes expect = sha256_tuple({kConvTag, ck_, message, decommitment});
+  return ct_equal(expect, commitment);
+}
+
+Bytes NmCadCommitment::cgen(Drbg& rng) { return rng.generate(32); }
+
+Committed NmCadCommitment::commit(BytesView header, BytesView message,
+                                  Drbg& rng) const {
+  Committed out;
+  out.decommitment = rng.generate(kCommitCoinSize);
+  out.commitment =
+      sha256_tuple({kNmCadTag, ck_, header, message, out.decommitment});
+  return out;
+}
+
+bool NmCadCommitment::open(BytesView header, BytesView commitment,
+                           BytesView message, BytesView decommitment) const {
+  if (decommitment.size() != kCommitCoinSize) return false;
+  const Bytes expect =
+      sha256_tuple({kNmCadTag, ck_, header, message, decommitment});
+  return ct_equal(expect, commitment);
+}
+
+}  // namespace scab::crypto

@@ -1,0 +1,67 @@
+// Commitment schemes (paper §IV-B).
+//
+// Two schemes are provided, both instantiated in the random-oracle model
+// with SHA-256, exactly as the paper's efficient instantiation:
+//
+//  * Commitment          — the conventional scheme used inside ARSS1 / CP2:
+//                          c = H_k(m, r),        d = r
+//  * NmCadCommitment     — non-malleable commitment with associated-data
+//                          (NM-CAD), the primitive CP1 is built on:
+//                          c = H_k(h, m, r),     d = r
+//
+// `k` is a public commitment key chosen by Cgen; it domain-separates
+// independent deployments.  The coin r is 32 bytes, which makes the scheme
+// computationally hiding, binding, and concurrently non-malleable w.r.t.
+// opening and associated-data (NM-OAD) in the ROM.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace scab::crypto {
+
+inline constexpr std::size_t kCommitCoinSize = 32;
+
+struct Committed {
+  Bytes commitment;    // c
+  Bytes decommitment;  // d (the coin r)
+};
+
+/// Conventional commitment scheme CS = (Cgen, Commit, Open).
+class Commitment {
+ public:
+  /// Cgen: draws a fresh commitment key.
+  static Bytes cgen(Drbg& rng);
+
+  explicit Commitment(Bytes commitment_key) : ck_(std::move(commitment_key)) {}
+
+  Committed commit(BytesView message, Drbg& rng) const;
+  bool open(BytesView commitment, BytesView message, BytesView decommitment) const;
+
+  const Bytes& key() const { return ck_; }
+
+ private:
+  Bytes ck_;
+};
+
+/// Non-malleable commitment with associated-data (NM-CAD),
+/// Π = (Cgen, Commit, Open) with Commit_ck^h(m) -> (c, d).
+class NmCadCommitment {
+ public:
+  static Bytes cgen(Drbg& rng);
+
+  explicit NmCadCommitment(Bytes commitment_key) : ck_(std::move(commitment_key)) {}
+
+  /// Commit_ck^header(message).
+  Committed commit(BytesView header, BytesView message, Drbg& rng) const;
+  /// Open_ck^header(c, m, d).
+  bool open(BytesView header, BytesView commitment, BytesView message,
+            BytesView decommitment) const;
+
+  const Bytes& key() const { return ck_; }
+
+ private:
+  Bytes ck_;
+};
+
+}  // namespace scab::crypto

@@ -1,0 +1,70 @@
+#include "crypto/drbg.h"
+
+#include <random>
+
+#include "crypto/hmac.h"
+
+namespace scab::crypto {
+
+Drbg::Drbg(BytesView seed) : key_(32, 0x00), v_(32, 0x01) {
+  update(seed);
+}
+
+Drbg Drbg::from_os_entropy() {
+  std::random_device rd;
+  Bytes seed(48);
+  for (auto& b : seed) b = static_cast<uint8_t>(rd());
+  return Drbg(seed);
+}
+
+void Drbg::update(BytesView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes msg = concat(v_, Bytes{0x00}, provided);
+  key_ = hmac_sha256(key_, msg);
+  v_ = hmac_sha256(key_, v_);
+  if (!provided.empty()) {
+    msg = concat(v_, Bytes{0x01}, provided);
+    key_ = hmac_sha256(key_, msg);
+    v_ = hmac_sha256(key_, v_);
+  }
+}
+
+Bytes Drbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = hmac_sha256(key_, v_);
+    const std::size_t take = std::min<std::size_t>(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + take);
+  }
+  update({});
+  return out;
+}
+
+uint64_t Drbg::uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling over the smallest power-of-two mask covering bound.
+  uint64_t mask = bound - 1;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  for (;;) {
+    const Bytes raw = generate(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    v &= mask;
+    if (v < bound) return v;
+  }
+}
+
+void Drbg::reseed(BytesView material) { update(material); }
+
+Drbg Drbg::fork(BytesView label) {
+  const Bytes seed = concat(generate(32), label);
+  return Drbg(seed);
+}
+
+}  // namespace scab::crypto

@@ -1,0 +1,47 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace scab::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = 64;
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    const Bytes kh = sha256(key);
+    std::copy(kh.begin(), kh.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad).update(data);
+  const auto inner_digest = inner.digest();
+
+  Sha256 outer;
+  outer.update(opad).update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto d = outer.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hmac_sha256_trunc(BytesView key, BytesView data, std::size_t n) {
+  Bytes tag = hmac_sha256(key, data);
+  tag.resize(std::min(n, tag.size()));
+  return tag;
+}
+
+bool hmac_verify(BytesView key, BytesView data, BytesView tag) {
+  if (tag.empty() || tag.size() > kSha256DigestSize) return false;
+  const Bytes full = hmac_sha256(key, data);
+  return ct_equal(BytesView(full.data(), tag.size()), tag);
+}
+
+}  // namespace scab::crypto

@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// The paper (§VI-A) builds authenticated channels from HMAC; PBFT message
+// authenticators and the encrypt-then-MAC AEAD both sit on this.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace scab::crypto {
+
+/// HMAC-SHA256 of `data` under `key`. Returns the full 32-byte tag.
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// Truncated HMAC, as used in PBFT authenticator vectors (first `n` bytes).
+Bytes hmac_sha256_trunc(BytesView key, BytesView data, std::size_t n);
+
+/// Verifies a (possibly truncated) tag in constant time.
+bool hmac_verify(BytesView key, BytesView data, BytesView tag);
+
+}  // namespace scab::crypto

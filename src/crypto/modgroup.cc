@@ -1,0 +1,118 @@
+#include "crypto/modgroup.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace scab::crypto {
+
+namespace {
+// RFC 2409, section 6.2: 1024-bit MODP group ("Oakley Group 2").
+// p = 2^1024 - 2^960 - 1 + 2^64 * floor(2^894 * pi + 129093), a safe prime.
+constexpr const char* kModp1024Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF";
+// Generated with random_safe_prime(512) from the fixed seed
+// "scab-512-safe-prime-search-v1"; both p and (p-1)/2 revalidated by
+// tests/modgroup_test.cc.
+constexpr const char* kModp512Hex =
+    "d913181945b49c2e8d4725e4b422863c39fd01d935b85ab232f8f154a41ce59f"
+    "b2c7a43244e93dc007682dc753322e5e8584717d08f07ae4390732da5fc68d2f";
+}  // namespace
+
+ModGroup::ModGroup(Bignum p, Bignum q, Bignum g)
+    : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)) {
+  if ((q_ << 1) + Bignum(1) != p_) {
+    throw std::invalid_argument("ModGroup: p must equal 2q + 1");
+  }
+  gbar_ = hash_to_element(to_bytes("scab.modgroup.gbar.v1"));
+}
+
+ModGroup ModGroup::modp_1024() {
+  Bignum p = Bignum::from_hex(kModp1024Hex);
+  Bignum q = (p - Bignum(1)) >> 1;
+  // p = 7 mod 8, so 2 is a quadratic residue and generates the order-q
+  // subgroup (q prime means every non-identity QR is a generator).
+  return ModGroup(std::move(p), std::move(q), Bignum(2));
+}
+
+ModGroup ModGroup::modp_512() {
+  Bignum p = Bignum::from_hex(kModp512Hex);
+  Bignum q = (p - Bignum(1)) >> 1;
+  // p = 7 mod 8 (low byte 0x2f), so 2 generates the order-q QR subgroup.
+  return ModGroup(std::move(p), std::move(q), Bignum(2));
+}
+
+ModGroup ModGroup::generate(std::size_t bits, Drbg& rng) {
+  Bignum p = random_safe_prime(bits, rng);
+  Bignum q = (p - Bignum(1)) >> 1;
+  // Find a generator of the QR subgroup: square a random element; retry on
+  // the identity.
+  Bignum g;
+  do {
+    const Bignum h = random_nonzero_below(p, rng);
+    g = mod_mul(h, h, p);
+  } while (g == Bignum(1));
+  return ModGroup(std::move(p), std::move(q), std::move(g));
+}
+
+Bignum ModGroup::exp(const Bignum& base, const Bignum& e) const {
+  return mod_exp(base, e, p_);
+}
+
+Bignum ModGroup::mul(const Bignum& a, const Bignum& b) const {
+  return mod_mul(a, b, p_);
+}
+
+Bignum ModGroup::inv(const Bignum& a) const { return mod_inv_prime(a, p_); }
+
+bool ModGroup::is_element(const Bignum& x) const {
+  if (x.is_zero() || x >= p_) return false;
+  return exp(x, q_) == Bignum(1);
+}
+
+Bignum ModGroup::hash_to_element(BytesView seed) const {
+  // Expand the seed with a counter until we land on a non-identity element
+  // after squaring (squaring maps Z_p^* into the QR subgroup).
+  for (uint64_t ctr = 0;; ++ctr) {
+    Bytes material;
+    const std::size_t want = element_bytes() + 16;
+    while (material.size() < want) {
+      uint8_t ctr_bytes[16];
+      for (int i = 0; i < 8; ++i) {
+        ctr_bytes[i] = static_cast<uint8_t>(ctr >> (8 * i));
+        ctr_bytes[8 + i] = static_cast<uint8_t>(material.size() >> (8 * i));
+      }
+      append(material,
+             sha256_tuple({to_bytes("scab.h2e"), seed, BytesView(ctr_bytes, 16)}));
+    }
+    const Bignum x = Bignum::from_bytes_be(material) % p_;
+    if (x.is_zero()) continue;
+    const Bignum e = mod_mul(x, x, p_);
+    if (e != Bignum(1)) return e;
+  }
+}
+
+Bignum ModGroup::hash_to_exponent(BytesView data) const {
+  // Derive ~ q-size + 128 extra bits and reduce; the statistical distance
+  // from uniform is negligible.
+  Bytes material;
+  const std::size_t want = exponent_bytes() + 16;
+  uint64_t ctr = 0;
+  while (material.size() < want) {
+    uint8_t ctr_bytes[8];
+    for (int i = 0; i < 8; ++i) ctr_bytes[i] = static_cast<uint8_t>(ctr >> (8 * i));
+    append(material,
+           sha256_tuple({to_bytes("scab.h2x"), data, BytesView(ctr_bytes, 8)}));
+    ++ctr;
+  }
+  return Bignum::from_bytes_be(material) % q_;
+}
+
+Bignum ModGroup::random_exponent(Drbg& rng) const {
+  return random_below(q_, rng);
+}
+
+}  // namespace scab::crypto

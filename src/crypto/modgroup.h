@@ -1,0 +1,81 @@
+// Schnorr groups: the prime-order subgroup of quadratic residues modulo a
+// safe prime p = 2q + 1.
+//
+// This is the algebraic setting of the TDH2 labeled threshold cryptosystem
+// (see src/threshenc).  The benchmark configuration uses the well-known
+// 1024-bit MODP group (RFC 2409 Oakley Group 2) — deliberately matching the
+// paper's "very conservative (insecure) security parameter (less than 80
+// bits of security)" for CP0's evaluation — while tests use small
+// freshly-generated safe-prime groups so the whole pipeline stays fast.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+
+namespace scab::crypto {
+
+class ModGroup {
+ public:
+  /// RFC 2409 Oakley Group 2 (1024-bit safe prime, generator 2).
+  static ModGroup modp_1024();
+
+  /// A fixed 512-bit safe-prime group (generated once with this library's
+  /// own random_safe_prime and revalidated by the test suite).  Used by the
+  /// group-size ablation bench: roughly the paper's "less than 80 bits of
+  /// security" setting.
+  static ModGroup modp_512();
+
+  /// Generates a fresh safe-prime group of exactly `bits` bits.  Intended
+  /// for tests (small bits) and the group-size ablation bench.
+  static ModGroup generate(std::size_t bits, Drbg& rng);
+
+  ModGroup(Bignum p, Bignum q, Bignum g);
+
+  /// Empty (invalid) group; exists only so aggregates holding a ModGroup can
+  /// be default-constructed before assignment.  Using an empty group throws.
+  ModGroup() = default;
+
+  const Bignum& p() const { return p_; }
+  /// Subgroup order q = (p - 1) / 2.
+  const Bignum& q() const { return q_; }
+  /// Generator of the order-q subgroup.
+  const Bignum& g() const { return g_; }
+  /// Independent second generator ḡ (derived by hashing into the subgroup).
+  const Bignum& gbar() const { return gbar_; }
+
+  /// Number of bytes of a serialized group element (fixed width).
+  std::size_t element_bytes() const { return (p_.bit_length() + 7) / 8; }
+  /// Number of bytes of a serialized exponent (fixed width).
+  std::size_t exponent_bytes() const { return (q_.bit_length() + 7) / 8; }
+
+  Bignum exp(const Bignum& base, const Bignum& e) const;
+  Bignum mul(const Bignum& a, const Bignum& b) const;
+  Bignum inv(const Bignum& a) const;
+
+  /// True iff x is a valid element of the order-q subgroup (1 <= x < p and
+  /// x^q = 1 mod p).  Used to validate all untrusted wire inputs.
+  bool is_element(const Bignum& x) const;
+
+  /// Deterministically maps arbitrary bytes into the subgroup (hash then
+  /// square), for deriving ḡ and other verifiably-random elements.
+  Bignum hash_to_element(BytesView seed) const;
+
+  /// Deterministically maps arbitrary bytes to an exponent in [0, q)
+  /// (random-oracle H2/H4 of TDH2, Fiat–Shamir challenges).
+  Bignum hash_to_exponent(BytesView data) const;
+
+  /// Uniform exponent in [0, q).
+  Bignum random_exponent(Drbg& rng) const;
+
+  bool operator==(const ModGroup& rhs) const {
+    return p_ == rhs.p_ && q_ == rhs.q_ && g_ == rhs.g_;
+  }
+
+ private:
+  Bignum p_, q_, g_, gbar_;
+};
+
+}  // namespace scab::crypto

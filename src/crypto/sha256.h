@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used throughout the library: request digests, hash commitments (the NM-CAD
+// instantiation of the paper's §IV-B is c = H_k(h, m, r) with H = SHA-256),
+// HMAC, and the random-oracle hashes of the TDH2 threshold cryptosystem.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace scab::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(BytesView data);
+  /// Finalizes and returns the 32-byte digest. The hasher must not be
+  /// updated afterwards (reset() first).
+  std::array<uint8_t, kSha256DigestSize> digest();
+  void reset();
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience: SHA-256 of `data` as a Bytes.
+Bytes sha256(BytesView data);
+
+/// SHA-256 over the concatenation of several byte views, with each view
+/// length-prefixed (u64) so distinct splits hash differently.  This is the
+/// canonical "hash a tuple" helper used by commitments and NIZK challenges.
+Bytes sha256_tuple(std::initializer_list<BytesView> views);
+
+}  // namespace scab::crypto

@@ -1,0 +1,193 @@
+#include "secretshare/avss.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scab::secretshare {
+
+using crypto::Bignum;
+using crypto::ModGroup;
+
+namespace {
+
+// Evaluates the polynomial with coefficients `coeffs` (constant first) at
+// `x`, all arithmetic mod q.
+Bignum poly_eval_q(const ModGroup& group, std::span<const Bignum> coeffs,
+                   const Bignum& x) {
+  const Bignum& q = group.q();
+  Bignum acc;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = crypto::mod_add(crypto::mod_mul(acc, x, q), coeffs[i], q);
+  }
+  return acc;
+}
+
+// In-exponent evaluation: returns prod_j base[j]^{x^j} = g^{p(x)} where
+// base[j] = g^{p_j}.
+Bignum exp_poly_eval(const ModGroup& group, std::span<const Bignum> bases,
+                     const Bignum& x) {
+  const Bignum& q = group.q();
+  Bignum acc(1);
+  Bignum power(1);  // x^j mod q
+  for (const Bignum& base : bases) {
+    acc = group.mul(acc, group.exp(base, power));
+    power = crypto::mod_mul(power, x, q);
+  }
+  return acc;
+}
+
+Bignum lagrange_at_zero_q(const ModGroup& group, uint32_t j,
+                          std::span<const uint32_t> indices) {
+  const Bignum& q = group.q();
+  Bignum num(1), den(1);
+  const Bignum bj(j);
+  for (uint32_t k : indices) {
+    if (k == j) continue;
+    const Bignum bk(k);
+    num = crypto::mod_mul(num, bk, q);
+    den = crypto::mod_mul(den, crypto::mod_sub(bk, bj, q), q);
+  }
+  return crypto::mod_mul(num, crypto::mod_inv_prime(den, q), q);
+}
+
+}  // namespace
+
+AvssDeal avss_deal(const ModGroup& group, const Bignum& secret, uint32_t t,
+                   uint32_t n, crypto::Drbg& rng) {
+  if (t == 0 || t > n) throw std::invalid_argument("avss_deal: 1 <= t <= n");
+  if (secret >= group.q()) {
+    throw std::invalid_argument("avss_deal: secret must be in Z_q");
+  }
+  const Bignum& q = group.q();
+
+  // Random bivariate polynomial with f_00 = secret.
+  std::vector<std::vector<Bignum>> f(t, std::vector<Bignum>(t));
+  for (uint32_t j = 0; j < t; ++j) {
+    for (uint32_t k = 0; k < t; ++k) f[j][k] = crypto::random_below(q, rng);
+  }
+  f[0][0] = secret;
+
+  AvssDeal out;
+  out.commitment.c.assign(t, std::vector<Bignum>(t));
+  for (uint32_t j = 0; j < t; ++j) {
+    for (uint32_t k = 0; k < t; ++k) {
+      out.commitment.c[j][k] = group.exp(group.g(), f[j][k]);
+    }
+  }
+
+  out.shares.resize(n);
+  for (uint32_t i = 1; i <= n; ++i) {
+    AvssShare& share = out.shares[i - 1];
+    share.index = i;
+    share.a_coeffs.resize(t);
+    share.b_coeffs.resize(t);
+    const Bignum xi(i);
+    // a_i(y) = f(i, y): coefficient of y^k is sum_j f_jk i^j.
+    for (uint32_t k = 0; k < t; ++k) {
+      Bignum acc;
+      Bignum power(1);
+      for (uint32_t j = 0; j < t; ++j) {
+        acc = crypto::mod_add(acc, crypto::mod_mul(f[j][k], power, q), q);
+        power = crypto::mod_mul(power, xi, q);
+      }
+      share.a_coeffs[k] = std::move(acc);
+    }
+    // b_i(x) = f(x, i): coefficient of x^j is sum_k f_jk i^k.
+    for (uint32_t j = 0; j < t; ++j) {
+      Bignum acc;
+      Bignum power(1);
+      for (uint32_t k = 0; k < t; ++k) {
+        acc = crypto::mod_add(acc, crypto::mod_mul(f[j][k], power, q), q);
+        power = crypto::mod_mul(power, xi, q);
+      }
+      share.b_coeffs[j] = std::move(acc);
+    }
+  }
+  return out;
+}
+
+bool avss_verify_share(const ModGroup& group, const AvssCommitment& com,
+                       const AvssShare& share) {
+  const uint32_t t = com.t();
+  if (t == 0 || share.index == 0) return false;
+  if (share.a_coeffs.size() != t || share.b_coeffs.size() != t) return false;
+  for (const auto& row : com.c) {
+    if (row.size() != t) return false;
+  }
+  const Bignum xi(share.index);
+
+  // g^{a_i coefficient k} must equal prod_j C[j][k]^{i^j}.
+  for (uint32_t k = 0; k < t; ++k) {
+    if (share.a_coeffs[k] >= group.q()) return false;
+    std::vector<Bignum> column(t);
+    for (uint32_t j = 0; j < t; ++j) column[j] = com.c[j][k];
+    if (group.exp(group.g(), share.a_coeffs[k]) !=
+        exp_poly_eval(group, column, xi)) {
+      return false;
+    }
+  }
+  // g^{b_i coefficient j} must equal prod_k C[j][k]^{i^k}.
+  for (uint32_t j = 0; j < t; ++j) {
+    if (share.b_coeffs[j] >= group.q()) return false;
+    if (group.exp(group.g(), share.b_coeffs[j]) !=
+        exp_poly_eval(group, com.c[j], xi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool avss_cross_check(const ModGroup& group, const AvssShare& share_i,
+                      const AvssShare& share_j) {
+  // a_i(j) = f(i, j) = b_j(i)
+  return poly_eval_q(group, share_i.a_coeffs, Bignum(share_j.index)) ==
+         poly_eval_q(group, share_j.b_coeffs, Bignum(share_i.index));
+}
+
+AvssPoint avss_reveal_point(const ModGroup& /*group*/, const AvssShare& share) {
+  AvssPoint p;
+  p.index = share.index;
+  // a_i(0) = f(i, 0) is the constant coefficient.
+  p.value = share.a_coeffs.empty() ? Bignum() : share.a_coeffs[0];
+  return p;
+}
+
+bool avss_verify_point(const ModGroup& group, const AvssCommitment& com,
+                       const AvssPoint& point) {
+  if (point.index == 0 || com.t() == 0 || point.value >= group.q()) {
+    return false;
+  }
+  // g^{f(i,0)} = prod_j C[j][0]^{i^j}
+  std::vector<Bignum> column(com.t());
+  for (uint32_t j = 0; j < com.t(); ++j) column[j] = com.c[j][0];
+  return group.exp(group.g(), point.value) ==
+         exp_poly_eval(group, column, Bignum(point.index));
+}
+
+std::optional<Bignum> avss_reconstruct(const ModGroup& group,
+                                       const AvssCommitment& com,
+                                       std::span<const AvssPoint> points) {
+  const uint32_t t = com.t();
+  std::vector<const AvssPoint*> valid;
+  std::vector<uint32_t> indices;
+  for (const auto& p : points) {
+    if (valid.size() == t) break;
+    if (std::find(indices.begin(), indices.end(), p.index) != indices.end()) {
+      continue;
+    }
+    if (!avss_verify_point(group, com, p)) continue;
+    valid.push_back(&p);
+    indices.push_back(p.index);
+  }
+  if (valid.size() < t) return std::nullopt;
+
+  const Bignum& q = group.q();
+  Bignum secret;
+  for (const auto* p : valid) {
+    const Bignum lambda = lagrange_at_zero_q(group, p->index, indices);
+    secret = crypto::mod_add(secret, crypto::mod_mul(p->value, lambda, q), q);
+  }
+  return secret;
+}
+
+}  // namespace scab::secretshare

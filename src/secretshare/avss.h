@@ -1,0 +1,93 @@
+// AVSS — asynchronous verifiable secret sharing (Cachin–Kursawe–
+// Lysyanskaya–Strobl, CCS '02 style), the paper's reference [20] and the
+// baseline for its claim that ARSS is "several orders of magnitude faster
+// than the most efficient AVSS for any reasonably large (practical) n"
+// (§IV-C).  `bench_ablation_avss` reproduces that comparison.
+//
+// AVSS tolerates a MALICIOUS dealer (ARSS assumes a correct one); the price
+// is public verifiability: the dealer commits to every coefficient of a
+// random bivariate polynomial
+//
+//     f(x, y) = sum_{j,k < t} f_jk x^j y^k,      f_00 = secret
+//
+// with the commitment matrix C[j][k] = g^{f_jk} over a Schnorr group, and
+// server i receives the two univariate slices a_i(y) = f(i, y) and
+// b_i(x) = f(x, i).  Everything is checkable in the exponent:
+//
+//   * a share slice:       g^{a_i coefficients} against C   (~t^2 exps)
+//   * cross-consistency:   a_i(j) = b_j(i) for any pair of correct servers
+//   * a revealed point:    g^{f(i,0)} against column 0 of C (~t exps)
+//
+// so reconstruction accepts only verified points and never needs
+// combination search — but every verification is a stack of modular
+// exponentiations, which is exactly the gap the paper's ARSS removes.
+//
+// The echo/ready agreement rounds of the full CKLS protocol are network
+// logic orthogonal to this cost comparison; the bench accounts for them as
+// message counts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/modgroup.h"
+
+namespace scab::secretshare {
+
+struct AvssCommitment {
+  // C[j][k] = g^{f_jk}; t rows and t columns.
+  std::vector<std::vector<crypto::Bignum>> c;
+
+  uint32_t t() const { return static_cast<uint32_t>(c.size()); }
+};
+
+/// Server i's slice of the bivariate polynomial.
+struct AvssShare {
+  uint32_t index = 0;                    // 1-based server index
+  std::vector<crypto::Bignum> a_coeffs;  // a_i(y) = f(i, y), t coefficients
+  std::vector<crypto::Bignum> b_coeffs;  // b_i(x) = f(x, i), t coefficients
+};
+
+/// A revealed reconstruction point s_i = f(i, 0) = a_i(0).
+struct AvssPoint {
+  uint32_t index = 0;
+  crypto::Bignum value;
+};
+
+struct AvssDeal {
+  AvssCommitment commitment;
+  std::vector<AvssShare> shares;  // one per server, 1..n
+};
+
+/// Dealer: shares `secret` (an element of Z_q) with threshold t among n
+/// servers.  Costs t^2 group exponentiations for the commitment matrix.
+AvssDeal avss_deal(const crypto::ModGroup& group, const crypto::Bignum& secret,
+                   uint32_t t, uint32_t n, crypto::Drbg& rng);
+
+/// Server-side acceptance check of a received slice against the agreed
+/// commitment matrix (~2 t^2 exponentiations).  This is what lets AVSS
+/// tolerate a malicious dealer.
+bool avss_verify_share(const crypto::ModGroup& group,
+                       const AvssCommitment& com, const AvssShare& share);
+
+/// Cross-consistency between two servers' slices: a_i(j) must equal
+/// b_j(i).  Used by the echo phase of the full protocol; exposed for tests.
+bool avss_cross_check(const crypto::ModGroup& group, const AvssShare& share_i,
+                      const AvssShare& share_j);
+
+/// The point server `share.index` contributes during reconstruction.
+AvssPoint avss_reveal_point(const crypto::ModGroup& group,
+                            const AvssShare& share);
+
+/// Public verification of a contributed point (~t exponentiations).
+bool avss_verify_point(const crypto::ModGroup& group,
+                       const AvssCommitment& com, const AvssPoint& point);
+
+/// Reconstructs the secret from contributed points: verifies each, keeps
+/// the first t valid ones with distinct indices, interpolates at 0.
+/// Returns nullopt if fewer than t valid points were supplied.
+std::optional<crypto::Bignum> avss_reconstruct(const crypto::ModGroup& group,
+                                               const AvssCommitment& com,
+                                               std::span<const AvssPoint> points);
+
+}  // namespace scab::secretshare

@@ -1,0 +1,125 @@
+#include "secretshare/field.h"
+
+#include <stdexcept>
+
+#include "crypto/aes.h"
+
+namespace scab::secretshare {
+
+Fe Fe::pow(uint64_t e) const {
+  Fe result(1);
+  Fe base = *this;
+  while (e != 0) {
+    if (e & 1) result = result * base;
+    base = base * base;
+    e >>= 1;
+  }
+  return result;
+}
+
+Fe Fe::inv() const {
+  if (is_zero()) throw std::domain_error("Fe::inv: zero has no inverse");
+  return pow(kFieldPrime - 2);
+}
+
+Fe Fe::random(crypto::Drbg& rng) {
+  // Rejection-sample 61 bits.
+  for (;;) {
+    const Bytes raw = rng.generate(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    v &= (uint64_t{1} << 61) - 1;
+    if (v < kFieldPrime) return Fe(v);
+  }
+}
+
+void FeSampler::refill() {
+  // Nonce: 8 base bytes || 4-byte refill counter || 4 zero bytes left for
+  // the in-call CTR (4096 bytes = 256 blocks, far below 2^32).
+  Bytes nonce(16, 0);
+  std::copy(nonce_base_.begin(), nonce_base_.end(), nonce.begin());
+  for (int i = 0; i < 4; ++i) {
+    nonce[8 + i] = static_cast<uint8_t>(refill_count_ >> (8 * i));
+  }
+  ++refill_count_;
+  buf_ = crypto::aes256_ctr(key_, nonce, Bytes(4096, 0));
+  pos_ = 0;
+}
+
+Fe FeSampler::next() {
+  for (;;) {
+    if (pos_ + 8 > buf_.size()) refill();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    v &= (uint64_t{1} << 61) - 1;
+    if (v < kFieldPrime) return Fe(v);
+  }
+}
+
+std::vector<Fe> bytes_to_field(BytesView data) {
+  std::vector<Fe> out;
+  out.reserve((data.size() + kChunkBytes - 1) / kChunkBytes);
+  for (std::size_t off = 0; off < data.size(); off += kChunkBytes) {
+    uint64_t v = 0;
+    const std::size_t n = std::min(kChunkBytes, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<uint64_t>(data[off + i]) << (8 * i);
+    }
+    out.push_back(Fe(v));
+  }
+  return out;
+}
+
+Bytes field_to_bytes(std::span<const Fe> elems, std::size_t length) {
+  if ((length + kChunkBytes - 1) / kChunkBytes != elems.size()) {
+    throw std::invalid_argument("field_to_bytes: length/element mismatch");
+  }
+  Bytes out;
+  out.reserve(length);
+  for (std::size_t e = 0; e < elems.size(); ++e) {
+    const uint64_t v = elems[e].value();
+    const std::size_t n = std::min(kChunkBytes, length - e * kChunkBytes);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+Fe poly_eval(std::span<const Fe> coeffs, Fe x) {
+  Fe acc;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+Fe interpolate_at(std::span<const Fe> xs, std::span<const Fe> ys, Fe at) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("interpolate_at: bad point set");
+  }
+  const std::vector<Fe> coeffs = lagrange_coeffs(xs, at);
+  Fe result;
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    result = result + ys[j] * coeffs[j];
+  }
+  return result;
+}
+
+std::vector<Fe> lagrange_coeffs(std::span<const Fe> xs, Fe at) {
+  if (xs.empty()) throw std::invalid_argument("lagrange_coeffs: no points");
+  std::vector<Fe> out(xs.size());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    Fe num(1), den(1);
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      if (k == j) continue;
+      num = num * (at - xs[k]);
+      den = den * (xs[j] - xs[k]);
+    }
+    out[j] = num * den.inv();
+  }
+  return out;
+}
+
+}  // namespace scab::secretshare

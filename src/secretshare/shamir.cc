@@ -1,0 +1,127 @@
+#include "secretshare/shamir.h"
+
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace scab::secretshare {
+
+Bytes ShamirShare::serialize() const {
+  Writer w;
+  w.u32(index);
+  w.u64(secret_len);
+  w.u32(static_cast<uint32_t>(values.size()));
+  for (const Fe& v : values) w.u64(v.value());
+  return std::move(w).take();
+}
+
+std::optional<ShamirShare> ShamirShare::parse(BytesView wire) {
+  Reader r(wire);
+  ShamirShare s;
+  s.index = r.u32();
+  s.secret_len = r.u64();
+  const uint32_t count = r.u32();
+  // Structural sanity: chunk count must match the claimed length.
+  if (!r.ok() ||
+      count != (s.secret_len + kChunkBytes - 1) / kChunkBytes) {
+    return std::nullopt;
+  }
+  s.values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t v = r.u64();
+    if (v >= kFieldPrime) return std::nullopt;
+    s.values.push_back(Fe(v));
+  }
+  if (!r.done() || s.index == 0) return std::nullopt;
+  return s;
+}
+
+std::vector<ShamirShare> shamir_share(BytesView secret, uint32_t t, uint32_t n,
+                                      crypto::Drbg& rng) {
+  if (t == 0 || t > n) throw std::invalid_argument("shamir_share: 1 <= t <= n");
+  const std::vector<Fe> chunks = bytes_to_field(secret);
+
+  std::vector<ShamirShare> shares(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    shares[i].index = i + 1;
+    shares[i].secret_len = secret.size();
+    shares[i].values.resize(chunks.size());
+  }
+
+  FeSampler sampler(rng);
+  std::vector<Fe> coeffs(t);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    coeffs[0] = chunks[c];
+    for (uint32_t j = 1; j < t; ++j) coeffs[j] = sampler.next();
+    for (uint32_t i = 0; i < n; ++i) {
+      shares[i].values[c] = poly_eval(coeffs, Fe(i + 1));
+    }
+  }
+  return shares;
+}
+
+std::optional<Bytes> shamir_reconstruct(std::span<const ShamirShare> shares) {
+  if (shares.empty()) return std::nullopt;
+  const uint64_t len = shares[0].secret_len;
+  const std::size_t chunks = shares[0].values.size();
+
+  std::vector<Fe> xs;
+  xs.reserve(shares.size());
+  for (const auto& s : shares) {
+    if (s.index == 0 || s.secret_len != len || s.values.size() != chunks) {
+      return std::nullopt;
+    }
+    const Fe x(s.index);
+    for (const Fe& seen : xs) {
+      if (seen == x) return std::nullopt;  // duplicated evaluation point
+    }
+    xs.push_back(x);
+  }
+
+  // One set of Lagrange coefficients serves every chunk (same xs).
+  const std::vector<Fe> coeffs = lagrange_coeffs(xs, Fe(0));
+  std::vector<Fe> secret(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    Fe acc;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      acc = acc + shares[i].values[c] * coeffs[i];
+    }
+    secret[c] = acc;
+  }
+  return field_to_bytes(secret, len);
+}
+
+bool shamir_consistent(std::span<const ShamirShare* const> shares,
+                       uint32_t deg) {
+  if (shares.empty()) return false;
+  const uint64_t len = shares[0]->secret_len;
+  const std::size_t chunks = shares[0]->values.size();
+  for (const auto* s : shares) {
+    if (s->index == 0 || s->secret_len != len || s->values.size() != chunks) {
+      return false;
+    }
+  }
+  const std::size_t base = std::min<std::size_t>(deg + 1, shares.size());
+
+  std::vector<Fe> xs(base);
+  for (std::size_t i = 0; i < base; ++i) xs[i] = Fe(shares[i]->index);
+  // Coefficient sets are per check point but shared across all chunks.
+  std::vector<std::vector<Fe>> coeff_sets;
+  coeff_sets.reserve(shares.size() - base);
+  for (std::size_t i = base; i < shares.size(); ++i) {
+    coeff_sets.push_back(lagrange_coeffs(xs, Fe(shares[i]->index)));
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t i = base; i < shares.size(); ++i) {
+      const auto& coeffs = coeff_sets[i - base];
+      Fe predicted;
+      for (std::size_t j = 0; j < base; ++j) {
+        predicted = predicted + shares[j]->values[c] * coeffs[j];
+      }
+      if (!(predicted == shares[i]->values[c])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scab::secretshare

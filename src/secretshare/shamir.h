@@ -1,0 +1,49 @@
+// Shamir (t, n) secret sharing of byte strings over GF(2^61 - 1).
+//
+// The secret is packed into 7-byte field chunks; every chunk gets its own
+// independent random degree-(t-1) polynomial, so privacy holds per chunk
+// with information-theoretic security (paper §IV-C, building block of both
+// ARSS constructions).  Share i carries the evaluations at x = i (1-based).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+#include "secretshare/field.h"
+
+namespace scab::secretshare {
+
+struct ShamirShare {
+  uint32_t index = 0;  // evaluation point x = index, 1-based, 0 = invalid
+  uint64_t secret_len = 0;
+  std::vector<Fe> values;  // one per 7-byte chunk
+
+  Bytes serialize() const;
+  static std::optional<ShamirShare> parse(BytesView wire);
+
+  bool operator==(const ShamirShare&) const = default;
+};
+
+/// Splits `secret` into n shares, any t of which reconstruct.
+/// Requires 1 <= t <= n and n < field size (trivially true).
+std::vector<ShamirShare> shamir_share(BytesView secret, uint32_t t, uint32_t n,
+                                      crypto::Drbg& rng);
+
+/// Reconstructs from exactly the given shares (all are used; caller picks
+/// the subset).  Returns nullopt if shares are structurally inconsistent
+/// (mismatched lengths/duplicated indices) — NOT if they are maliciously
+/// wrong-but-well-formed; that detection is ARSS's job.
+std::optional<Bytes> shamir_reconstruct(std::span<const ShamirShare> shares);
+
+/// ARSS2's consistency predicate (Harn–Lin): true iff all given shares lie
+/// on one degree <= deg polynomial per chunk.  Interpolates each chunk from
+/// the first deg+1 shares and checks the remaining points.  Requires
+/// shares.size() >= deg + 2 to be meaningful (with fewer points the answer
+/// is vacuously true).
+bool shamir_consistent(std::span<const ShamirShare* const> shares,
+                       uint32_t deg);
+
+}  // namespace scab::secretshare

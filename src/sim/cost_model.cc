@@ -1,0 +1,30 @@
+#include "sim/cost_model.h"
+
+namespace scab::sim {
+
+CostModel CostModel::default_symmetric_era() {
+  CostModel m;
+  // Symmetric primitives: sub-microsecond fixed cost, linear in input.
+  m.set(Op::kHash, {500, 3'000});
+  m.set(Op::kMac, {900, 3'200});
+  m.set(Op::kAeadSeal, {1'500, 9'000});
+  m.set(Op::kAeadOpen, {1'500, 9'000});
+  m.set(Op::kCommit, {900, 3'200});
+  m.set(Op::kCommitOpen, {900, 3'200});
+  m.set(Op::kShamirShare, {2'000, 20'000});
+  m.set(Op::kShamirRec, {3'000, 25'000});
+  // Threshold cryptography at a 1024-bit modulus: milliseconds.
+  m.set(Op::kTdh2Encrypt, {8'000'000, 9'000});
+  m.set(Op::kTdh2VerifyCt, {6'500'000, 0});
+  m.set(Op::kTdh2ShareDec, {11'000'000, 0});
+  m.set(Op::kTdh2VerifyShare, {6'500'000, 0});
+  m.set(Op::kTdh2Combine, {3'500'000, 0});
+  // Application execution: cheap.
+  m.set(Op::kExecute, {1'000, 500});
+  // Kernel/network-stack per-message cost (syscall + copies), absent from
+  // an in-process measurement but very real on the paper's testbed.
+  m.set(Op::kMsgOverhead, {12'000, 0});
+  return m;
+}
+
+}  // namespace scab::sim

@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace scab::sim {
+
+void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // never schedule into the past
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::pop_and_run() {
+  // Moving out of a priority_queue top requires a const_cast; the element
+  // is popped immediately after, so the heap invariant is never observed
+  // broken.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+}
+
+uint64_t Simulator::run() {
+  const uint64_t start = processed_;
+  while (!queue_.empty()) pop_and_run();
+  return processed_ - start;
+}
+
+uint64_t Simulator::run_until(SimTime deadline) {
+  const uint64_t start = processed_;
+  while (!queue_.empty() && queue_.top().time <= deadline) pop_and_run();
+  if (now_ < deadline) now_ = deadline;
+  return processed_ - start;
+}
+
+bool Simulator::run_while(const std::function<bool()>& stop) {
+  if (stop()) return true;
+  while (!queue_.empty()) {
+    pop_and_run();
+    if (stop()) return true;
+  }
+  return false;
+}
+
+}  // namespace scab::sim

@@ -1,0 +1,57 @@
+#include "threshenc/hybrid.h"
+
+#include "common/serialize.h"
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+
+namespace scab::threshenc {
+
+namespace {
+Bytes derive_aead_key(BytesView seed) {
+  return concat(crypto::sha256_tuple({to_bytes("hybrid.enc"), seed}),
+                crypto::sha256_tuple({to_bytes("hybrid.mac"), seed}));
+}
+}  // namespace
+
+Bytes HybridCiphertext::serialize(const crypto::ModGroup& group) const {
+  Writer w;
+  w.bytes(kem.serialize(group));
+  w.bytes(box);
+  return std::move(w).take();
+}
+
+std::optional<HybridCiphertext> HybridCiphertext::parse(
+    const crypto::ModGroup& group, BytesView wire) {
+  Reader r(wire);
+  const Bytes kem_wire = r.bytes();
+  HybridCiphertext out;
+  out.box = r.bytes();
+  if (!r.done()) return std::nullopt;
+  auto kem = Tdh2Ciphertext::parse(group, kem_wire);
+  if (!kem) return std::nullopt;
+  out.kem = std::move(*kem);
+  return out;
+}
+
+HybridCiphertext hybrid_encrypt(const Tdh2PublicKey& pk, BytesView message,
+                                BytesView label, crypto::Drbg& rng) {
+  const Bytes seed = rng.generate(kTdh2MessageSize);
+  HybridCiphertext out;
+  out.kem = tdh2_encrypt(pk, seed, label, rng);
+  out.box = crypto::aead_seal(derive_aead_key(seed), label, message, rng);
+  return out;
+}
+
+bool hybrid_verify(const Tdh2PublicKey& pk, const HybridCiphertext& ct,
+                   BytesView label) {
+  if (ct.box.size() < crypto::kAeadOverhead) return false;
+  return tdh2_verify_ciphertext(pk, ct.kem, label);
+}
+
+std::optional<Bytes> hybrid_open(const HybridCiphertext& ct, BytesView label,
+                                 BytesView kem_plaintext) {
+  if (kem_plaintext.size() != kTdh2MessageSize) return std::nullopt;
+  return crypto::aead_open(derive_aead_key(kem_plaintext), label, ct.box);
+}
+
+}  // namespace scab::threshenc

@@ -1,0 +1,123 @@
+// TDH2: a CCA-secure *labeled* threshold cryptosystem (Shoup–Gennaro,
+// EUROCRYPT '98 — the paper's reference [64]).
+//
+// This instantiates the abstract ThreshEnc = (TGen, TEnc, ShareDec, Vrf,
+// Comb) interface of paper §IV-A that CP0 is built on.  The paper's own
+// implementation extended the Baek–Zheng GDH scheme with labels; we use
+// TDH2 instead because it needs no pairings, is the canonical labeled
+// scheme from the very reference the paper cites for the primitive, and has
+// the same cost profile (a handful of modular exponentiations per
+// operation) — see DESIGN.md §3 for the substitution note.
+//
+// The scheme works over a Schnorr group (p = 2q+1, generators g, ḡ):
+//
+//   TEnc(m, L):   r, s ← Z_q
+//                 c  = H1(h^r) ⊕ m
+//                 u  = g^r   w  = g^s   ū = ḡ^r   w̄ = ḡ^s
+//                 e  = H2(c, L, u, w, ū, w̄)        f = s + r·e
+//                 ciphertext = (c, L, u, ū, e, f)
+//
+//   The (e, f) pair is a Fiat–Shamir proof that log_g(u) = log_ḡ(ū); its
+//   *public* verifiability is what yields CCA security and lets any replica
+//   reject malformed ciphertexts before agreement ("verify ciphertext" in
+//   the paper's Fig. 3).
+//
+//   ShareDec_i:   u_i = u^{x_i} plus a discrete-log-equality proof
+//                 (e_i, f_i) that log_u(u_i) = log_g(h_i).
+//
+//   Comb:         h^r = ∏ u_j^{λ_j}  (Lagrange in the exponent on t valid
+//                 shares), m = c ⊕ H1(h^r).
+//
+// TEnc encrypts exactly kTdh2MessageSize bytes; arbitrary-length requests
+// use the hybrid wrapper in hybrid.h (threshold-KEM + AEAD), mirroring the
+// paper's "hybrid encryption to encrypt long messages".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+#include "crypto/modgroup.h"
+
+namespace scab::threshenc {
+
+inline constexpr std::size_t kTdh2MessageSize = 32;
+
+/// Public key: the group, h = g^x, and per-server verification keys
+/// h_i = g^{x_i} (the "vk" of the abstract syntax).
+struct Tdh2PublicKey {
+  crypto::ModGroup group;
+  crypto::Bignum h;
+  std::vector<crypto::Bignum> verification_keys;  // [0] is server 1
+  uint32_t threshold = 0;                         // t: shares needed
+  uint32_t servers = 0;                           // n
+
+  /// Verification key of server `index` (1-based).
+  const crypto::Bignum& vk(uint32_t index) const {
+    return verification_keys.at(index - 1);
+  }
+};
+
+/// One server's private key share x_i = F(i).
+struct Tdh2KeyShare {
+  uint32_t index = 0;  // 1-based
+  crypto::Bignum x;
+};
+
+struct Tdh2KeyMaterial {
+  Tdh2PublicKey pk;
+  std::vector<Tdh2KeyShare> shares;
+};
+
+struct Tdh2Ciphertext {
+  Bytes c;  // kTdh2MessageSize bytes, pad-XOR of the message
+  crypto::Bignum u, ubar, e, f;
+
+  Bytes serialize(const crypto::ModGroup& group) const;
+  static std::optional<Tdh2Ciphertext> parse(const crypto::ModGroup& group,
+                                             BytesView wire);
+};
+
+struct Tdh2DecryptionShare {
+  uint32_t index = 0;  // 1-based server index
+  crypto::Bignum u_i, e_i, f_i;
+
+  Bytes serialize(const crypto::ModGroup& group) const;
+  static std::optional<Tdh2DecryptionShare> parse(const crypto::ModGroup& group,
+                                                  BytesView wire);
+};
+
+/// TGen: dealer-based key generation (the paper's CP0 likewise assumes a
+/// trusted dealer or an expensive interactive setup, §V-A).
+Tdh2KeyMaterial tdh2_keygen(const crypto::ModGroup& group, uint32_t threshold,
+                            uint32_t servers, crypto::Drbg& rng);
+
+/// TEnc. `message` must be exactly kTdh2MessageSize bytes.
+Tdh2Ciphertext tdh2_encrypt(const Tdh2PublicKey& pk, BytesView message,
+                            BytesView label, crypto::Drbg& rng);
+
+/// Public ciphertext validity check (no key material needed).
+bool tdh2_verify_ciphertext(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
+                            BytesView label);
+
+/// ShareDec. Returns nullopt if the ciphertext is invalid.
+std::optional<Tdh2DecryptionShare> tdh2_share_decrypt(
+    const Tdh2PublicKey& pk, const Tdh2KeyShare& key, const Tdh2Ciphertext& ct,
+    BytesView label, crypto::Drbg& rng);
+
+/// Vrf: checks one decryption share against the ciphertext.
+bool tdh2_verify_share(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
+                       BytesView label, const Tdh2DecryptionShare& share);
+
+/// Comb: combines >= t shares with DISTINCT indices into the plaintext.
+/// Shares must already have been verified with tdh2_verify_share (matching
+/// the abstract syntax, where Comb consumes valid shares); returns nullopt
+/// if fewer than t distinct-index shares are supplied or the ciphertext is
+/// invalid.
+std::optional<Bytes> tdh2_combine(const Tdh2PublicKey& pk,
+                                  const Tdh2Ciphertext& ct, BytesView label,
+                                  std::span<const Tdh2DecryptionShare> shares);
+
+}  // namespace scab::threshenc

@@ -1,0 +1,87 @@
+#include "crypto/aead.h"
+
+#include <gtest/gtest.h>
+
+namespace scab::crypto {
+namespace {
+
+class AeadTest : public ::testing::Test {
+ protected:
+  Drbg rng_{to_bytes("aead-test-seed")};
+  Bytes key_ = Drbg(to_bytes("aead-key-seed")).generate(kAeadKeySize);
+};
+
+TEST_F(AeadTest, SealOpenRoundTrip) {
+  const Bytes ad = to_bytes("header");
+  const Bytes msg = to_bytes("the secret share payload");
+  const Bytes box = aead_seal(key_, ad, msg, rng_);
+  EXPECT_EQ(box.size(), msg.size() + kAeadOverhead);
+  const auto opened = aead_open(key_, ad, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST_F(AeadTest, EmptyPlaintextAndAd) {
+  const Bytes box = aead_seal(key_, {}, {}, rng_);
+  const auto opened = aead_open(key_, {}, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST_F(AeadTest, RejectsCiphertextTampering) {
+  const Bytes ad = to_bytes("ad");
+  Bytes box = aead_seal(key_, ad, to_bytes("msg"), rng_);
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    Bytes tampered = box;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(aead_open(key_, ad, tampered).has_value()) << "byte " << i;
+  }
+}
+
+TEST_F(AeadTest, RejectsWrongAssociatedData) {
+  const Bytes box = aead_seal(key_, to_bytes("ad1"), to_bytes("msg"), rng_);
+  EXPECT_FALSE(aead_open(key_, to_bytes("ad2"), box).has_value());
+  EXPECT_FALSE(aead_open(key_, {}, box).has_value());
+}
+
+TEST_F(AeadTest, RejectsWrongMacKey) {
+  const Bytes box = aead_seal(key_, {}, to_bytes("msg"), rng_);
+  Bytes other_key = key_;
+  other_key[40] ^= 1;  // flips a byte of the MAC half (bytes 32..63)
+  EXPECT_FALSE(aead_open(other_key, {}, box).has_value());
+}
+
+TEST_F(AeadTest, WrongEncKeyGarblesPlaintext) {
+  // Flipping an encryption-key byte leaves the MAC valid (encrypt-then-MAC
+  // authenticates the ciphertext), but the recovered plaintext must differ.
+  const Bytes msg = to_bytes("msg");
+  const Bytes box = aead_seal(key_, {}, msg, rng_);
+  Bytes other_key = key_;
+  other_key[0] ^= 1;
+  const auto opened = aead_open(other_key, {}, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_NE(*opened, msg);
+}
+
+TEST_F(AeadTest, RejectsTruncatedBox) {
+  const Bytes box = aead_seal(key_, {}, to_bytes("m"), rng_);
+  EXPECT_FALSE(aead_open(key_, {}, BytesView(box.data(), box.size() - 1)).has_value());
+  EXPECT_FALSE(aead_open(key_, {}, Bytes{}).has_value());
+  EXPECT_FALSE(aead_open(key_, {}, Bytes(kAeadOverhead - 1, 0)).has_value());
+}
+
+TEST_F(AeadTest, NoncesAreFresh) {
+  const Bytes msg = to_bytes("same message");
+  const Bytes b1 = aead_seal(key_, {}, msg, rng_);
+  const Bytes b2 = aead_seal(key_, {}, msg, rng_);
+  EXPECT_NE(b1, b2);
+}
+
+TEST_F(AeadTest, RejectsBadKeySize) {
+  Drbg rng(to_bytes("x"));
+  EXPECT_THROW(aead_seal(Bytes(32, 0), {}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(aead_open(Bytes(63, 0), {}, Bytes(64, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scab::crypto

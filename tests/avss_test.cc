@@ -1,0 +1,154 @@
+#include "secretshare/avss.h"
+
+#include <gtest/gtest.h>
+
+namespace scab::secretshare {
+namespace {
+
+using crypto::Bignum;
+using crypto::Drbg;
+using crypto::ModGroup;
+
+const ModGroup& test_group() {
+  static const ModGroup grp = [] {
+    Drbg rng(to_bytes("avss-test-group"));
+    return ModGroup::generate(64, rng);
+  }();
+  return grp;
+}
+
+class AvssTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  uint32_t f() const { return GetParam(); }
+  uint32_t t() const { return f() + 1; }
+  uint32_t n() const { return 3 * f() + 1; }
+
+  AvssTest() : rng_(to_bytes("avss-test")) {
+    secret_ = crypto::random_below(test_group().q(), rng_);
+    deal_ = avss_deal(test_group(), secret_, t(), n(), rng_);
+  }
+
+  Drbg rng_;
+  Bignum secret_;
+  AvssDeal deal_;
+};
+
+TEST_P(AvssTest, AllSharesVerify) {
+  for (const auto& share : deal_.shares) {
+    EXPECT_TRUE(avss_verify_share(test_group(), deal_.commitment, share))
+        << "server " << share.index;
+  }
+}
+
+TEST_P(AvssTest, CrossConsistencyHolds) {
+  for (uint32_t i = 0; i < n(); ++i) {
+    for (uint32_t j = 0; j < n(); ++j) {
+      EXPECT_TRUE(avss_cross_check(test_group(), deal_.shares[i], deal_.shares[j]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST_P(AvssTest, ReconstructFromAnyTValidPoints) {
+  std::vector<AvssPoint> points;
+  // Use the LAST t servers (any subset works).
+  for (uint32_t i = n() - t(); i < n(); ++i) {
+    points.push_back(avss_reveal_point(test_group(), deal_.shares[i]));
+  }
+  const auto rec = avss_reconstruct(test_group(), deal_.commitment, points);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, secret_);
+}
+
+TEST_P(AvssTest, CorruptPointsAreFilteredOut) {
+  std::vector<AvssPoint> points;
+  // f corrupted points arrive first; reconstruction skips them.
+  for (uint32_t i = 0; i < f(); ++i) {
+    AvssPoint bad = avss_reveal_point(test_group(), deal_.shares[i]);
+    bad.value = crypto::mod_add(bad.value, Bignum(1), test_group().q());
+    points.push_back(std::move(bad));
+  }
+  for (uint32_t i = f(); i < n(); ++i) {
+    points.push_back(avss_reveal_point(test_group(), deal_.shares[i]));
+  }
+  const auto rec = avss_reconstruct(test_group(), deal_.commitment, points);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, secret_);
+}
+
+TEST_P(AvssTest, TamperedShareIsRejected) {
+  AvssShare bad = deal_.shares[0];
+  bad.a_coeffs[0] = crypto::mod_add(bad.a_coeffs[0], Bignum(1), test_group().q());
+  EXPECT_FALSE(avss_verify_share(test_group(), deal_.commitment, bad));
+
+  AvssShare bad_b = deal_.shares[1];
+  bad_b.b_coeffs.back() =
+      crypto::mod_add(bad_b.b_coeffs.back(), Bignum(3), test_group().q());
+  EXPECT_FALSE(avss_verify_share(test_group(), deal_.commitment, bad_b));
+
+  AvssShare wrong_index = deal_.shares[0];
+  wrong_index.index = 2;  // claims another server's slot
+  EXPECT_FALSE(avss_verify_share(test_group(), deal_.commitment, wrong_index));
+}
+
+TEST_P(AvssTest, TooFewPointsFail) {
+  std::vector<AvssPoint> points;
+  for (uint32_t i = 0; i + 1 < t(); ++i) {
+    points.push_back(avss_reveal_point(test_group(), deal_.shares[i]));
+  }
+  EXPECT_FALSE(
+      avss_reconstruct(test_group(), deal_.commitment, points).has_value());
+  // Duplicated indices do not count twice.
+  if (t() > 1) {
+    std::vector<AvssPoint> dup(
+        t(), avss_reveal_point(test_group(), deal_.shares[0]));
+    EXPECT_FALSE(
+        avss_reconstruct(test_group(), deal_.commitment, dup).has_value());
+  }
+}
+
+TEST_P(AvssTest, DifferentSubsetsAgree) {
+  std::vector<AvssPoint> first, last;
+  for (uint32_t i = 0; i < t(); ++i) {
+    first.push_back(avss_reveal_point(test_group(), deal_.shares[i]));
+    last.push_back(avss_reveal_point(test_group(), deal_.shares[n() - 1 - i]));
+  }
+  EXPECT_EQ(avss_reconstruct(test_group(), deal_.commitment, first),
+            avss_reconstruct(test_group(), deal_.commitment, last));
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultLevels, AvssTest, ::testing::Values(1u, 2u, 3u),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param);
+                         });
+
+TEST(Avss, MaliciousDealerInconsistentSliceDetected) {
+  // The whole point of AVSS vs ARSS: a dealer that hands server 1 a slice
+  // inconsistent with the committed polynomial is caught locally.
+  Drbg rng(to_bytes("bad-dealer"));
+  const ModGroup& grp = test_group();
+  auto deal = avss_deal(grp, Bignum(42), 2, 4, rng);
+  // The dealer swaps in a fresh random slice for server 1.
+  deal.shares[0].a_coeffs[0] = crypto::random_below(grp.q(), rng);
+  EXPECT_FALSE(avss_verify_share(grp, deal.commitment, deal.shares[0]));
+  // ... and cross-checks with honest servers expose it too (generically).
+  EXPECT_FALSE(avss_cross_check(grp, deal.shares[0], deal.shares[1]));
+}
+
+TEST(Avss, RejectsDegenerateInputs) {
+  Drbg rng(to_bytes("degenerate"));
+  const ModGroup& grp = test_group();
+  EXPECT_THROW(avss_deal(grp, Bignum(1), 0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(avss_deal(grp, Bignum(1), 5, 4, rng), std::invalid_argument);
+  EXPECT_THROW(avss_deal(grp, grp.q(), 2, 4, rng), std::invalid_argument);
+
+  auto deal = avss_deal(grp, Bignum(7), 2, 4, rng);
+  AvssShare truncated = deal.shares[0];
+  truncated.a_coeffs.pop_back();
+  EXPECT_FALSE(avss_verify_share(grp, deal.commitment, truncated));
+  AvssPoint zero;
+  EXPECT_FALSE(avss_verify_point(grp, deal.commitment, zero));
+}
+
+}  // namespace
+}  // namespace scab::secretshare

@@ -1,0 +1,61 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace scab {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(hex_encode(b), "0001abff7f");
+  EXPECT_EQ(hex_decode("0001abff7f"), b);
+  EXPECT_EQ(hex_decode("0001ABFF7F"), b);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+  EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello \x01\x02 world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2}, b = {}, c = {3};
+  EXPECT_EQ(concat(a, b, c), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(concat(Bytes{}, Bytes{}).empty());
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1};
+  append(dst, Bytes{2, 3});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0xff, 0x0f, 0x00};
+  xor_inplace(a, Bytes{0x0f, 0x0f, 0xaa});
+  EXPECT_EQ(a, (Bytes{0xf0, 0x00, 0xaa}));
+  EXPECT_THROW(xor_inplace(a, Bytes{1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scab

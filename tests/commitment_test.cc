@@ -1,0 +1,149 @@
+#include "crypto/commitment.h"
+
+#include <gtest/gtest.h>
+
+namespace scab::crypto {
+namespace {
+
+class CommitmentTest : public ::testing::Test {
+ protected:
+  Drbg rng_{to_bytes("commitment-test")};
+};
+
+TEST_F(CommitmentTest, ConventionalCommitOpen) {
+  Commitment cs(Commitment::cgen(rng_));
+  const Bytes m = to_bytes("a message");
+  const Committed c = cs.commit(m, rng_);
+  EXPECT_TRUE(cs.open(c.commitment, m, c.decommitment));
+}
+
+TEST_F(CommitmentTest, ConventionalRejectsWrongMessage) {
+  Commitment cs(Commitment::cgen(rng_));
+  const Committed c = cs.commit(to_bytes("m1"), rng_);
+  EXPECT_FALSE(cs.open(c.commitment, to_bytes("m2"), c.decommitment));
+}
+
+TEST_F(CommitmentTest, ConventionalRejectsWrongCoin) {
+  Commitment cs(Commitment::cgen(rng_));
+  const Bytes m = to_bytes("m");
+  const Committed c = cs.commit(m, rng_);
+  Bytes bad = c.decommitment;
+  bad[5] ^= 1;
+  EXPECT_FALSE(cs.open(c.commitment, m, bad));
+  EXPECT_FALSE(cs.open(c.commitment, m, Bytes{}));
+  EXPECT_FALSE(cs.open(c.commitment, m, Bytes(31, 0)));
+}
+
+TEST_F(CommitmentTest, HidingSmokeTest) {
+  // Commitments to equal messages with fresh coins are unlinkable;
+  // commitments reveal nothing recognizable about the message.
+  Commitment cs(Commitment::cgen(rng_));
+  const Bytes m = to_bytes("same message");
+  const Committed c1 = cs.commit(m, rng_);
+  const Committed c2 = cs.commit(m, rng_);
+  EXPECT_NE(c1.commitment, c2.commitment);
+}
+
+TEST_F(CommitmentTest, KeySeparatesDeployments) {
+  Commitment cs1(Commitment::cgen(rng_));
+  Commitment cs2(Commitment::cgen(rng_));
+  const Bytes m = to_bytes("m");
+  const Committed c = cs1.commit(m, rng_);
+  EXPECT_FALSE(cs2.open(c.commitment, m, c.decommitment));
+}
+
+TEST_F(CommitmentTest, NmCadCommitOpen) {
+  NmCadCommitment cs(NmCadCommitment::cgen(rng_));
+  const Bytes h = to_bytes("client-7:seq-3");
+  const Bytes m = to_bytes("buy 100 shares");
+  const Committed c = cs.commit(h, m, rng_);
+  EXPECT_TRUE(cs.open(h, c.commitment, m, c.decommitment));
+}
+
+TEST_F(CommitmentTest, NmCadBindsHeader) {
+  // The associated-data is part of the commitment: opening under a different
+  // header must fail.  This is exactly what stops a faulty replica from
+  // replaying a commitment under its own colluding client's identity (the
+  // front-running attack of §I).
+  NmCadCommitment cs(NmCadCommitment::cgen(rng_));
+  const Bytes m = to_bytes("buy 100 shares");
+  const Committed c = cs.commit(to_bytes("honest-client:1"), m, rng_);
+  EXPECT_FALSE(cs.open(to_bytes("corrupt-client:1"), c.commitment, m,
+                       c.decommitment));
+}
+
+TEST_F(CommitmentTest, NmCadRejectsWrongMessageOrCoin) {
+  NmCadCommitment cs(NmCadCommitment::cgen(rng_));
+  const Bytes h = to_bytes("h");
+  const Committed c = cs.commit(h, to_bytes("m"), rng_);
+  EXPECT_FALSE(cs.open(h, c.commitment, to_bytes("m'"), c.decommitment));
+  Bytes bad = c.decommitment;
+  bad[0] ^= 1;
+  EXPECT_FALSE(cs.open(h, c.commitment, to_bytes("m"), bad));
+}
+
+TEST_F(CommitmentTest, NmCadEmptyMessageAndHeader) {
+  NmCadCommitment cs(NmCadCommitment::cgen(rng_));
+  const Committed c = cs.commit({}, {}, rng_);
+  EXPECT_TRUE(cs.open({}, c.commitment, {}, c.decommitment));
+  EXPECT_FALSE(cs.open(to_bytes("x"), c.commitment, {}, c.decommitment));
+}
+
+TEST_F(CommitmentTest, ConcurrentCommitmentsAreIndependent) {
+  // The concurrent setting of §IV-B: an adversary holding many commitments
+  // cannot mix-and-match openings across them — each (header, message,
+  // coin) triple binds exactly one commitment.
+  NmCadCommitment cs(NmCadCommitment::cgen(rng_));
+  struct Item {
+    Bytes h, m;
+    Committed c;
+  };
+  std::vector<Item> items;
+  for (int i = 0; i < 8; ++i) {
+    Item it;
+    it.h = to_bytes("client-" + std::to_string(i));
+    it.m = to_bytes("message-" + std::to_string(i));
+    it.c = cs.commit(it.h, it.m, rng_);
+    items.push_back(std::move(it));
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      const bool ok = cs.open(items[i].h, items[i].c.commitment, items[j].m,
+                              items[j].c.decommitment);
+      EXPECT_EQ(ok, i == j) << i << "," << j;
+      if (i != j) {
+        // Cross headers with matching message/coin also fail.
+        EXPECT_FALSE(cs.open(items[j].h, items[i].c.commitment, items[i].m,
+                             items[i].c.decommitment));
+      }
+    }
+  }
+}
+
+TEST_F(CommitmentTest, OpeningIsNotReusableAsCoinForOtherMessages) {
+  // A malleability probe: given (c, m, d), the adversary tries to reuse d
+  // as the coin for a related message under its own header.
+  NmCadCommitment cs(NmCadCommitment::cgen(rng_));
+  const Bytes h1 = to_bytes("victim:1");
+  const Bytes m = to_bytes("BUY 100 ACME");
+  const Committed c = cs.commit(h1, m, rng_);
+
+  const Bytes h2 = to_bytes("attacker:1");
+  // The attacker's "derived commitment" built from public material plus the
+  // now-revealed opening cannot verify for any related message it can name.
+  for (const auto& derived :
+       {to_bytes("BUY 100 ACME"), to_bytes("BUY 101 ACME"), m}) {
+    EXPECT_FALSE(cs.open(h2, c.commitment, derived, c.decommitment));
+  }
+}
+
+TEST_F(CommitmentTest, CommitmentSizeIsConstant) {
+  NmCadCommitment cs(NmCadCommitment::cgen(rng_));
+  const Committed small = cs.commit(to_bytes("h"), Bytes(1, 0), rng_);
+  const Committed large = cs.commit(to_bytes("h"), Bytes(100000, 0), rng_);
+  EXPECT_EQ(small.commitment.size(), large.commitment.size());
+  EXPECT_EQ(small.commitment.size(), 32u);
+}
+
+}  // namespace
+}  // namespace scab::crypto

@@ -1,0 +1,93 @@
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace scab::crypto {
+namespace {
+
+TEST(Drbg, DeterministicFromSeed) {
+  Drbg a(to_bytes("seed"));
+  Drbg b(to_bytes("seed"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+  EXPECT_EQ(a.generate(17), b.generate(17));
+}
+
+TEST(Drbg, DistinctSeedsDistinctStreams) {
+  Drbg a(to_bytes("seed-a"));
+  Drbg b(to_bytes("seed-b"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, SuccessiveOutputsDiffer) {
+  Drbg d(to_bytes("s"));
+  EXPECT_NE(d.generate(32), d.generate(32));
+}
+
+TEST(Drbg, GenerateOddSizes) {
+  Drbg d(to_bytes("s"));
+  EXPECT_EQ(d.generate(0).size(), 0u);
+  EXPECT_EQ(d.generate(1).size(), 1u);
+  EXPECT_EQ(d.generate(33).size(), 33u);
+  EXPECT_EQ(d.generate(100).size(), 100u);
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  Drbg a(to_bytes("s"));
+  Drbg b(to_bytes("s"));
+  b.reseed(to_bytes("extra"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, ForkIsIndependentAndDeterministic) {
+  Drbg parent1(to_bytes("s"));
+  Drbg parent2(to_bytes("s"));
+  Drbg child1 = parent1.fork(to_bytes("node-1"));
+  Drbg child2 = parent2.fork(to_bytes("node-1"));
+  EXPECT_EQ(child1.generate(32), child2.generate(32));
+  // Fork label matters: a different label yields a different stream. (Both
+  // parents have consumed the same amount of state.)
+  Drbg parent3(to_bytes("s"));
+  Drbg child3 = parent3.fork(to_bytes("node-2"));
+  Drbg parent4(to_bytes("s"));
+  Drbg child4 = parent4.fork(to_bytes("node-1"));
+  EXPECT_NE(child3.generate(32), child4.generate(32));
+}
+
+TEST(Drbg, UniformStaysBelowBound) {
+  Drbg d(to_bytes("u"));
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 33}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LT(d.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Drbg, UniformCoversRange) {
+  Drbg d(to_bytes("cover"));
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(d.uniform(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Drbg, UniformIsRoughlyUnbiased) {
+  Drbg d(to_bytes("bias"));
+  std::map<uint64_t, int> counts;
+  const int kDraws = 6000;
+  for (int i = 0; i < kDraws; ++i) ++counts[d.uniform(3)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, kDraws / 3 - kDraws / 10) << "value " << v;
+    EXPECT_LT(c, kDraws / 3 + kDraws / 10) << "value " << v;
+  }
+}
+
+TEST(Drbg, OsEntropyInstancesDiffer) {
+  Drbg a = Drbg::from_os_entropy();
+  Drbg b = Drbg::from_os_entropy();
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+}  // namespace
+}  // namespace scab::crypto

@@ -1,0 +1,106 @@
+#include "bft/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "bft/keyring.h"
+
+namespace scab::bft {
+namespace {
+
+class EnvelopeTest : public ::testing::Test {
+ protected:
+  EnvelopeTest() : keys_(to_bytes("envelope-test-seed"), {0, 1, 2, 100}) {}
+  KeyRing keys_;
+};
+
+TEST_F(EnvelopeTest, SealOpenRoundTrip) {
+  const Bytes body = to_bytes("payload");
+  const Bytes wire = seal_envelope(keys_, Channel::kBft, 0, 1, body);
+  const auto env = open_envelope(keys_, 1, wire);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->channel, Channel::kBft);
+  EXPECT_EQ(env->sender, 0u);
+  EXPECT_EQ(env->body, body);
+}
+
+TEST_F(EnvelopeTest, WrongReceiverRejects) {
+  const Bytes wire = seal_envelope(keys_, Channel::kBft, 0, 1, to_bytes("x"));
+  EXPECT_FALSE(open_envelope(keys_, 2, wire).has_value());
+}
+
+TEST_F(EnvelopeTest, TamperedBodyRejects) {
+  Bytes wire = seal_envelope(keys_, Channel::kReply, 2, 100, to_bytes("reply"));
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes bad = wire;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(open_envelope(keys_, 100, bad).has_value()) << "byte " << i;
+  }
+}
+
+TEST_F(EnvelopeTest, SenderSpoofingRejects) {
+  // Node 2 seals a message, then someone rewrites the sender field to 0;
+  // the MAC binds the sender so the receiver rejects it.
+  Bytes wire = seal_envelope(keys_, Channel::kBft, 2, 1, to_bytes("x"));
+  Reader r(wire);
+  r.u8();
+  EXPECT_EQ(r.u32(), 2u);
+  wire[1] = 0;  // sender id low byte (little-endian u32 after channel byte)
+  EXPECT_FALSE(open_envelope(keys_, 1, wire).has_value());
+}
+
+TEST_F(EnvelopeTest, ChannelIsBound) {
+  // Re-tagging a client-request envelope as a BFT message must fail.
+  Bytes wire = seal_envelope(keys_, Channel::kClientRequest, 100, 0, to_bytes("x"));
+  wire[0] = static_cast<uint8_t>(Channel::kBft);
+  EXPECT_FALSE(open_envelope(keys_, 0, wire).has_value());
+}
+
+TEST_F(EnvelopeTest, UnknownSenderRejects) {
+  // A receiver must not crash or accept mail claiming to come from a node
+  // outside the key ring.
+  Bytes wire = seal_envelope(keys_, Channel::kBft, 0, 1, to_bytes("x"));
+  wire[1] = 55;  // no such node
+  EXPECT_FALSE(open_envelope(keys_, 1, wire).has_value());
+}
+
+TEST_F(EnvelopeTest, GarbageAndTruncationRejected) {
+  EXPECT_FALSE(open_envelope(keys_, 1, Bytes{}).has_value());
+  EXPECT_FALSE(open_envelope(keys_, 1, Bytes{0xff, 0x00}).has_value());
+  const Bytes wire = seal_envelope(keys_, Channel::kBft, 0, 1, to_bytes("x"));
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        open_envelope(keys_, 1, BytesView(wire.data(), len)).has_value());
+  }
+}
+
+TEST(KeyRing, PairwiseKeysAreSymmetricAndDistinct) {
+  KeyRing kr(to_bytes("seed"), {0, 1, 2});
+  EXPECT_EQ(kr.session_key(0, 1), kr.session_key(1, 0));
+  EXPECT_NE(kr.session_key(0, 1), kr.session_key(0, 2));
+  EXPECT_NE(kr.session_key(0, 1), kr.channel_key(0, 1));
+  EXPECT_EQ(kr.channel_key(0, 1).size(), 64u);
+  EXPECT_THROW(kr.session_key(0, 9), std::out_of_range);
+}
+
+TEST(KeyRing, SeedSeparatesDeployments) {
+  KeyRing a(to_bytes("seed-a"), {0, 1});
+  KeyRing b(to_bytes("seed-b"), {0, 1});
+  EXPECT_NE(a.session_key(0, 1), b.session_key(0, 1));
+}
+
+TEST(KeyRing, SignVerify) {
+  KeyRing kr(to_bytes("seed"), {0, 1});
+  const Bytes msg = to_bytes("view-change body");
+  const Bytes sig = kr.sign(0, msg);
+  EXPECT_TRUE(kr.verify(0, msg, sig));
+  EXPECT_FALSE(kr.verify(1, msg, sig));           // wrong signer
+  EXPECT_FALSE(kr.verify(0, to_bytes("other"), sig));
+  Bytes bad = sig;
+  bad[0] ^= 1;
+  EXPECT_FALSE(kr.verify(0, msg, bad));
+  EXPECT_FALSE(kr.verify(42, msg, sig));          // unknown node
+  EXPECT_THROW(kr.sign(42, msg), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace scab::bft

@@ -1,0 +1,131 @@
+#include "secretshare/field.h"
+
+#include <gtest/gtest.h>
+
+namespace scab::secretshare {
+namespace {
+
+TEST(Fe, ConstructionReduces) {
+  EXPECT_EQ(Fe(kFieldPrime).value(), 0u);
+  EXPECT_EQ(Fe(kFieldPrime + 5).value(), 5u);
+  EXPECT_EQ(Fe(~uint64_t{0}).value(), (~uint64_t{0}) % kFieldPrime);
+}
+
+TEST(Fe, AdditionWrapsAtPrime) {
+  const Fe a(kFieldPrime - 1);
+  EXPECT_EQ((a + Fe(1)).value(), 0u);
+  EXPECT_EQ((a + Fe(2)).value(), 1u);
+}
+
+TEST(Fe, SubtractionWraps) {
+  EXPECT_EQ((Fe(0) - Fe(1)).value(), kFieldPrime - 1);
+  EXPECT_EQ((Fe(5) - Fe(3)).value(), 2u);
+}
+
+TEST(Fe, MultiplicationKnownValues) {
+  EXPECT_EQ((Fe(0) * Fe(12345)).value(), 0u);
+  EXPECT_EQ((Fe(1) * Fe(12345)).value(), 12345u);
+  // (p-1)^2 = p^2 - 2p + 1 = 1 mod p
+  EXPECT_EQ((Fe(kFieldPrime - 1) * Fe(kFieldPrime - 1)).value(), 1u);
+  // 2^60 * 2 = 2^61 = 1 mod p  (since p = 2^61 - 1)
+  EXPECT_EQ((Fe(uint64_t{1} << 60) * Fe(2)).value(), 1u);
+}
+
+TEST(Fe, PowAndInverse) {
+  const Fe a(987654321);
+  EXPECT_EQ(a.pow(0).value(), 1u);
+  EXPECT_EQ(a.pow(1), a);
+  EXPECT_EQ(a.pow(2), a * a);
+  EXPECT_EQ((a * a.inv()).value(), 1u);
+  EXPECT_THROW(Fe(0).inv(), std::domain_error);
+}
+
+TEST(Fe, FermatLittleTheorem) {
+  for (uint64_t v : {uint64_t{2}, uint64_t{3}, uint64_t{999999937}, kFieldPrime - 2}) {
+    EXPECT_EQ(Fe(v).pow(kFieldPrime - 1).value(), 1u) << v;
+  }
+}
+
+class FieldPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  crypto::Drbg rng_{to_bytes("field-prop-" + std::to_string(GetParam()))};
+};
+
+TEST_P(FieldPropertyTest, RingLaws) {
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = Fe::random(rng_), b = Fe::random(rng_), c = Fe::random(rng_);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Fe(0));
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST_P(FieldPropertyTest, InverseLaw) {
+  for (int i = 0; i < 20; ++i) {
+    Fe a = Fe::random(rng_);
+    if (a.is_zero()) a = Fe(1);
+    EXPECT_EQ(a * a.inv(), Fe(1));
+    EXPECT_EQ(a.inv().inv(), a);
+  }
+}
+
+TEST_P(FieldPropertyTest, RandomIsInRange) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(Fe::random(rng_).value(), kFieldPrime);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldPropertyTest, ::testing::Range(0, 4));
+
+TEST(FieldBytes, RoundTripVariousLengths) {
+  crypto::Drbg rng(to_bytes("pack"));
+  for (std::size_t len : {0u, 1u, 6u, 7u, 8u, 13u, 14u, 100u, 1000u}) {
+    const Bytes data = rng.generate(len);
+    const auto elems = bytes_to_field(data);
+    EXPECT_EQ(elems.size(), (len + 6) / 7);
+    EXPECT_EQ(field_to_bytes(elems, len), data) << "len=" << len;
+  }
+}
+
+TEST(FieldBytes, LengthMismatchThrows) {
+  const auto elems = bytes_to_field(Bytes(14, 1));  // 2 chunks
+  EXPECT_THROW(field_to_bytes(elems, 7), std::invalid_argument);
+  EXPECT_THROW(field_to_bytes(elems, 15), std::invalid_argument);
+}
+
+TEST(Poly, EvalMatchesManualHorner) {
+  // p(x) = 3 + 2x + x^2 ; p(5) = 3 + 10 + 25 = 38
+  const std::vector<Fe> coeffs = {Fe(3), Fe(2), Fe(1)};
+  EXPECT_EQ(poly_eval(coeffs, Fe(5)).value(), 38u);
+  EXPECT_EQ(poly_eval(coeffs, Fe(0)).value(), 3u);
+  EXPECT_EQ(poly_eval({}, Fe(7)).value(), 0u);
+}
+
+TEST(Poly, InterpolateRecoversPolynomial) {
+  crypto::Drbg rng(to_bytes("interp"));
+  std::vector<Fe> coeffs(5);
+  for (auto& c : coeffs) c = Fe::random(rng);
+
+  std::vector<Fe> xs, ys;
+  for (uint64_t x = 1; x <= 5; ++x) {
+    xs.push_back(Fe(x));
+    ys.push_back(poly_eval(coeffs, Fe(x)));
+  }
+  // Interpolation through deg+1 points reproduces the polynomial anywhere.
+  for (uint64_t probe : {0ull, 6ull, 12345ull}) {
+    EXPECT_EQ(interpolate_at(xs, ys, Fe(probe)), poly_eval(coeffs, Fe(probe)));
+  }
+}
+
+TEST(Poly, InterpolateRejectsBadInput) {
+  std::vector<Fe> xs = {Fe(1)}, ys = {Fe(1), Fe(2)};
+  EXPECT_THROW(interpolate_at(xs, ys, Fe(0)), std::invalid_argument);
+  EXPECT_THROW(interpolate_at({}, {}, Fe(0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scab::secretshare

@@ -1,0 +1,79 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace scab::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes tag = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes tag = hmac_sha256(to_bytes("Jefe"),
+                                to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const Bytes tag = hmac_sha256(key, data);
+  EXPECT_EQ(hex_encode(tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  // Keys longer than the block size are hashed first.
+  const Bytes key(131, 0xaa);
+  const Bytes tag = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, TruncationTakesPrefix) {
+  const Bytes key = to_bytes("k");
+  const Bytes data = to_bytes("d");
+  const Bytes full = hmac_sha256(key, data);
+  const Bytes trunc = hmac_sha256_trunc(key, data, 8);
+  ASSERT_EQ(trunc.size(), 8u);
+  EXPECT_TRUE(std::equal(trunc.begin(), trunc.end(), full.begin()));
+}
+
+TEST(Hmac, VerifyAcceptsValidTag) {
+  const Bytes key = to_bytes("secret");
+  const Bytes data = to_bytes("message");
+  EXPECT_TRUE(hmac_verify(key, data, hmac_sha256(key, data)));
+  EXPECT_TRUE(hmac_verify(key, data, hmac_sha256_trunc(key, data, 8)));
+}
+
+TEST(Hmac, VerifyRejectsTamperedTagOrData) {
+  const Bytes key = to_bytes("secret");
+  const Bytes data = to_bytes("message");
+  Bytes tag = hmac_sha256(key, data);
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, data, tag));
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, to_bytes("messagf"), tag));
+  EXPECT_FALSE(hmac_verify(to_bytes("secres"), data, tag));
+}
+
+TEST(Hmac, VerifyRejectsDegenerateTags) {
+  const Bytes key = to_bytes("k");
+  EXPECT_FALSE(hmac_verify(key, to_bytes("d"), Bytes{}));
+  EXPECT_FALSE(hmac_verify(key, to_bytes("d"), Bytes(33, 0)));
+}
+
+TEST(Hmac, DistinctKeysDistinctTags) {
+  const Bytes data = to_bytes("same data");
+  EXPECT_NE(hmac_sha256(to_bytes("k1"), data), hmac_sha256(to_bytes("k2"), data));
+}
+
+}  // namespace
+}  // namespace scab::crypto

@@ -1,0 +1,88 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace scab {
+namespace {
+
+TEST(Serialize, IntegersRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, BytesAndStrings) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes(Bytes{});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, RawBytes) {
+  Writer w;
+  w.raw(Bytes{9, 8, 7});
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), (Bytes{9, 8, 7}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncatedIntegerFails) {
+  const Bytes data = {1, 2};
+  Reader r(data);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Serialize, OverlongLengthPrefixFails) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.raw(Bytes{1, 2, 3});
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, FailureIsSticky) {
+  const Bytes data = {1};
+  Reader r(data);
+  r.u64();
+  EXPECT_FALSE(r.ok());
+  // Later reads keep failing and return zero values even though one byte
+  // remains in the buffer.
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialize, DoneRequiresFullConsumption) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Serialize, EmptyReaderIsDone) {
+  Reader r(Bytes{});
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace scab

@@ -1,0 +1,91 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace scab::crypto {
+namespace {
+
+std::string hash_hex(std::string_view msg) {
+  return hex_encode(sha256(to_bytes(msg)));
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.digest();
+  EXPECT_EQ(hex_encode(BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and at odd "
+      "block boundaries to stress the buffering path.";
+  const Bytes whole = sha256(to_bytes(msg));
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(to_bytes(msg.substr(0, split)));
+    h.update(to_bytes(msg.substr(split)));
+    const auto d = h.digest();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), whole) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // Messages of exactly 55, 56, 63, 64, 65 bytes hit every padding branch.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x42);
+    Sha256 a;
+    a.update(msg);
+    const auto one = a.digest();
+    Sha256 b;
+    for (std::size_t i = 0; i < len; ++i) b.update(BytesView(&msg[i], 1));
+    const auto two = b.digest();
+    EXPECT_EQ(one, two) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetReusesHasher) {
+  Sha256 h;
+  h.update(to_bytes("garbage"));
+  h.reset();
+  h.update(to_bytes("abc"));
+  const auto d = h.digest();
+  EXPECT_EQ(hex_encode(BytesView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Tuple, SplitsAreDomainSeparated) {
+  // ("ab","c") must differ from ("a","bc") and from ("abc").
+  const Bytes h1 = sha256_tuple({to_bytes("ab"), to_bytes("c")});
+  const Bytes h2 = sha256_tuple({to_bytes("a"), to_bytes("bc")});
+  const Bytes h3 = sha256_tuple({to_bytes("abc")});
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_NE(h2, h3);
+}
+
+TEST(Sha256Tuple, Deterministic) {
+  EXPECT_EQ(sha256_tuple({to_bytes("x"), to_bytes("y")}),
+            sha256_tuple({to_bytes("x"), to_bytes("y")}));
+}
+
+}  // namespace
+}  // namespace scab::crypto

@@ -1,0 +1,178 @@
+#include "secretshare/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+namespace scab::secretshare {
+namespace {
+
+struct ShamirParams {
+  uint32_t t;
+  uint32_t n;
+};
+
+class ShamirTest : public ::testing::TestWithParam<ShamirParams> {
+ protected:
+  crypto::Drbg rng_{to_bytes("shamir-test")};
+};
+
+TEST_P(ShamirTest, AnyTSharesReconstruct) {
+  const auto [t, n] = GetParam();
+  const Bytes secret = to_bytes("attack at dawn, via the north bridge");
+  const auto shares = shamir_share(secret, t, n, rng_);
+  ASSERT_EQ(shares.size(), n);
+
+  // Every contiguous window of t shares reconstructs.
+  for (uint32_t start = 0; start + t <= n; ++start) {
+    std::vector<ShamirShare> subset(shares.begin() + start,
+                                    shares.begin() + start + t);
+    const auto rec = shamir_reconstruct(subset);
+    ASSERT_TRUE(rec.has_value()) << "start=" << start;
+    EXPECT_EQ(*rec, secret);
+  }
+  // A scattered subset too.
+  if (n >= t + 2) {
+    std::vector<ShamirShare> subset;
+    for (uint32_t i = 0; i < t; ++i) subset.push_back(shares[(i * 2) % n]);
+    // Indices may collide under the stride; rebuild distinct.
+    subset.clear();
+    for (uint32_t i = n - t; i < n; ++i) subset.push_back(shares[i]);
+    EXPECT_EQ(shamir_reconstruct(subset), secret);
+  }
+}
+
+TEST_P(ShamirTest, MoreThanTSharesAlsoReconstruct) {
+  const auto [t, n] = GetParam();
+  const Bytes secret = to_bytes("s");
+  const auto shares = shamir_share(secret, t, n, rng_);
+  EXPECT_EQ(shamir_reconstruct(shares), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, ShamirTest,
+    ::testing::Values(ShamirParams{1, 1}, ShamirParams{1, 4}, ShamirParams{2, 4},
+                      ShamirParams{2, 7}, ShamirParams{3, 7}, ShamirParams{4, 10},
+                      ShamirParams{7, 10}, ShamirParams{10, 10}),
+    [](const auto& info) {
+      return "t" + std::to_string(info.param.t) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(Shamir, FewerThanTSharesRevealNothing) {
+  // With t-1 shares, every candidate secret of the same length remains
+  // possible: for each candidate there is a consistent polynomial.  We spot
+  // check the weaker observable property that reconstruction from t-1
+  // shares yields a wrong secret (interpolation through too few points).
+  crypto::Drbg rng(to_bytes("privacy"));
+  const Bytes secret = to_bytes("confidential");
+  const auto shares = shamir_share(secret, 3, 5, rng);
+  const std::vector<ShamirShare> two(shares.begin(), shares.begin() + 2);
+  const auto rec = shamir_reconstruct(two);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_NE(*rec, secret);
+}
+
+TEST(Shamir, SharesAreDistinctFromSecret) {
+  crypto::Drbg rng(to_bytes("distinct"));
+  const Bytes secret(21, 0x42);
+  const auto shares = shamir_share(secret, 2, 4, rng);
+  for (const auto& s : shares) {
+    EXPECT_NE(field_to_bytes(s.values, s.secret_len), secret);
+  }
+}
+
+TEST(Shamir, EmptySecret) {
+  crypto::Drbg rng(to_bytes("empty"));
+  const auto shares = shamir_share(Bytes{}, 2, 4, rng);
+  const std::vector<ShamirShare> subset(shares.begin(), shares.begin() + 2);
+  const auto rec = shamir_reconstruct(subset);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->empty());
+}
+
+TEST(Shamir, InvalidParametersThrow) {
+  crypto::Drbg rng(to_bytes("bad"));
+  EXPECT_THROW(shamir_share(Bytes{1}, 0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(shamir_share(Bytes{1}, 5, 4, rng), std::invalid_argument);
+}
+
+TEST(Shamir, ReconstructRejectsDuplicateIndices) {
+  crypto::Drbg rng(to_bytes("dup"));
+  const auto shares = shamir_share(Bytes{1, 2, 3}, 2, 4, rng);
+  const std::vector<ShamirShare> dup = {shares[0], shares[0]};
+  EXPECT_FALSE(shamir_reconstruct(dup).has_value());
+}
+
+TEST(Shamir, ReconstructRejectsMismatchedShapes) {
+  crypto::Drbg rng(to_bytes("shape"));
+  const auto a = shamir_share(Bytes(10, 1), 2, 4, rng);
+  const auto b = shamir_share(Bytes(20, 2), 2, 4, rng);
+  const std::vector<ShamirShare> mixed = {a[0], b[1]};
+  EXPECT_FALSE(shamir_reconstruct(mixed).has_value());
+  EXPECT_FALSE(shamir_reconstruct({}).has_value());
+}
+
+TEST(Shamir, SerializeRoundTrip) {
+  crypto::Drbg rng(to_bytes("wire"));
+  const auto shares = shamir_share(to_bytes("serialize me please"), 3, 7, rng);
+  for (const auto& s : shares) {
+    const auto parsed = ShamirShare::parse(s.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(Shamir, ParseRejectsMalformedWire) {
+  crypto::Drbg rng(to_bytes("malformed"));
+  const auto shares = shamir_share(to_bytes("x"), 2, 3, rng);
+  Bytes wire = shares[0].serialize();
+  EXPECT_FALSE(ShamirShare::parse(BytesView(wire.data(), wire.size() - 1)).has_value());
+  EXPECT_FALSE(ShamirShare::parse(Bytes{}).has_value());
+  // Index 0 is reserved/invalid.
+  ShamirShare zero = shares[0];
+  zero.index = 0;
+  EXPECT_FALSE(ShamirShare::parse(zero.serialize()).has_value());
+  // Out-of-field value.
+  Writer w;
+  w.u32(1);
+  w.u64(7);
+  w.u32(1);
+  w.u64(kFieldPrime);  // not a valid residue
+  EXPECT_FALSE(ShamirShare::parse(w.data()).has_value());
+}
+
+TEST(Shamir, ConsistencyDetectsTamperedShare) {
+  crypto::Drbg rng(to_bytes("consist"));
+  const uint32_t f = 2;
+  auto shares = shamir_share(to_bytes("watch me"), f + 1, 3 * f + 1, rng);
+
+  std::vector<const ShamirShare*> honest;
+  for (uint32_t i = 0; i < f + 2; ++i) honest.push_back(&shares[i]);
+  EXPECT_TRUE(shamir_consistent(honest, f));
+
+  shares[1].values[0] = shares[1].values[0] + Fe(1);
+  EXPECT_FALSE(shamir_consistent(honest, f));
+}
+
+TEST(Shamir, ConsistencyChecksEveryChunk) {
+  crypto::Drbg rng(to_bytes("chunk"));
+  const uint32_t f = 1;
+  auto shares = shamir_share(Bytes(21, 0xaa), f + 1, 4, rng);  // 3 chunks
+  std::vector<const ShamirShare*> subset = {&shares[0], &shares[1], &shares[2]};
+  EXPECT_TRUE(shamir_consistent(subset, f));
+  // Corrupt only the LAST chunk of one share.
+  shares[2].values[2] = shares[2].values[2] + Fe(3);
+  EXPECT_FALSE(shamir_consistent(subset, f));
+}
+
+TEST(Shamir, ConsistencyVacuousWithFewPoints) {
+  crypto::Drbg rng(to_bytes("vac"));
+  auto shares = shamir_share(Bytes{9}, 3, 5, rng);
+  // deg = 2 needs 3 base points; with exactly 3 there is nothing to check.
+  std::vector<const ShamirShare*> three = {&shares[0], &shares[1], &shares[2]};
+  EXPECT_TRUE(shamir_consistent(three, 2));
+}
+
+}  // namespace
+}  // namespace scab::secretshare

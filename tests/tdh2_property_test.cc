@@ -1,0 +1,123 @@
+// Property-style sweeps over the TDH2 threshold cryptosystem: random
+// messages, random labels, varying group sizes and thresholds — the
+// invariants (round-trip, label binding, subset-independence, consistency
+// of decryptions) must hold everywhere, not just on the happy path of
+// tdh2_test.cc.
+#include <gtest/gtest.h>
+
+#include "threshenc/tdh2.h"
+
+namespace scab::threshenc {
+namespace {
+
+using crypto::Drbg;
+using crypto::ModGroup;
+
+struct SweepParam {
+  std::size_t group_bits;
+  uint32_t t;
+  uint32_t n;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "g" + std::to_string(info.param.group_bits) + "t" +
+         std::to_string(info.param.t) + "n" + std::to_string(info.param.n);
+}
+
+class Tdh2PropertyTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  Tdh2PropertyTest() : rng_(to_bytes("tdh2-prop")) {
+    const auto [bits, t, n] = GetParam();
+    Drbg grng(to_bytes("tdh2-prop-group-" + std::to_string(bits)));
+    group_ = ModGroup::generate(bits, grng);
+    keys_ = tdh2_keygen(group_, t, n, rng_);
+  }
+
+  Drbg rng_;
+  ModGroup group_;
+  Tdh2KeyMaterial keys_;
+};
+
+TEST_P(Tdh2PropertyTest, RoundTripWithRandomMessagesAndLabels) {
+  const auto [bits, t, n] = GetParam();
+  for (int trial = 0; trial < 4; ++trial) {
+    const Bytes msg = rng_.generate(kTdh2MessageSize);
+    const Bytes label = rng_.generate(1 + rng_.uniform(40));
+    const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+    ASSERT_TRUE(tdh2_verify_ciphertext(keys_.pk, ct, label));
+
+    // A random t-subset of servers decrypts.
+    std::vector<uint32_t> order(n);
+    for (uint32_t i = 0; i < n; ++i) order[i] = i;
+    for (uint32_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.uniform(i)]);
+    }
+    std::vector<Tdh2DecryptionShare> shares;
+    for (uint32_t i = 0; i < t; ++i) {
+      auto s = tdh2_share_decrypt(keys_.pk, keys_.shares[order[i]], ct, label,
+                                  rng_);
+      ASSERT_TRUE(s.has_value());
+      ASSERT_TRUE(tdh2_verify_share(keys_.pk, ct, label, *s));
+      shares.push_back(std::move(*s));
+    }
+    EXPECT_EQ(tdh2_combine(keys_.pk, ct, label, shares), msg) << "trial " << trial;
+  }
+}
+
+TEST_P(Tdh2PropertyTest, CiphertextsAreNonDeterministic) {
+  const Bytes msg = rng_.generate(kTdh2MessageSize);
+  const Bytes label = to_bytes("L");
+  const auto c1 = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  const auto c2 = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  EXPECT_NE(c1.serialize(group_), c2.serialize(group_));
+}
+
+TEST_P(Tdh2PropertyTest, LabelMutationAlwaysInvalidates) {
+  const Bytes msg = rng_.generate(kTdh2MessageSize);
+  const Bytes label = rng_.generate(12);
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    Bytes mutated = label;
+    mutated[i] ^= static_cast<uint8_t>(1 + rng_.uniform(255));
+    EXPECT_FALSE(tdh2_verify_ciphertext(keys_.pk, ct, mutated)) << "byte " << i;
+  }
+  // Extension/truncation fail too.
+  Bytes longer = label;
+  longer.push_back(0);
+  EXPECT_FALSE(tdh2_verify_ciphertext(keys_.pk, ct, longer));
+  EXPECT_FALSE(tdh2_verify_ciphertext(
+      keys_.pk, ct, BytesView(label.data(), label.size() - 1)));
+}
+
+TEST_P(Tdh2PropertyTest, ConsistencyOfDecryptionsAcrossRandomSubsets) {
+  // "Consistency of decryptions" (§IV-A): any two valid t-subsets agree.
+  const auto [bits, t, n] = GetParam();
+  if (t >= n) GTEST_SKIP() << "needs two distinct subsets";
+  const Bytes msg = rng_.generate(kTdh2MessageSize);
+  const Bytes label = to_bytes("consistency");
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+
+  std::vector<Tdh2DecryptionShare> all;
+  for (uint32_t i = 0; i < n; ++i) {
+    all.push_back(
+        *tdh2_share_decrypt(keys_.pk, keys_.shares[i], ct, label, rng_));
+  }
+  const std::vector<Tdh2DecryptionShare> head(all.begin(), all.begin() + t);
+  const std::vector<Tdh2DecryptionShare> tail(all.end() - t, all.end());
+  const auto m1 = tdh2_combine(keys_.pk, ct, label, head);
+  const auto m2 = tdh2_combine(keys_.pk, ct, label, tail);
+  ASSERT_TRUE(m1 && m2);
+  EXPECT_EQ(*m1, *m2);
+  EXPECT_EQ(*m1, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Tdh2PropertyTest,
+                         ::testing::Values(SweepParam{48, 1, 4},
+                                           SweepParam{64, 2, 4},
+                                           SweepParam{64, 3, 7},
+                                           SweepParam{96, 4, 10},
+                                           SweepParam{64, 4, 4}),
+                         sweep_name);
+
+}  // namespace
+}  // namespace scab::threshenc

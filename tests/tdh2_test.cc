@@ -1,0 +1,296 @@
+#include "threshenc/tdh2.h"
+
+#include <gtest/gtest.h>
+
+#include "threshenc/hybrid.h"
+
+namespace scab::threshenc {
+namespace {
+
+using crypto::Drbg;
+using crypto::ModGroup;
+
+// A single small test group shared across tests (generation is the slow
+// part; TDH2 itself is fast at 64 bits).
+const ModGroup& test_group() {
+  static const ModGroup grp = [] {
+    Drbg rng(to_bytes("tdh2-test-group"));
+    return ModGroup::generate(64, rng);
+  }();
+  return grp;
+}
+
+class Tdh2Test : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  uint32_t f() const { return GetParam(); }
+  uint32_t n() const { return 3 * f() + 1; }
+  uint32_t t() const { return f() + 1; }
+
+  Tdh2Test() : rng_(to_bytes("tdh2-test")) {
+    keys_ = tdh2_keygen(test_group(), t(), n(), rng_);
+  }
+
+  Bytes fresh_message() { return rng_.generate(kTdh2MessageSize); }
+
+  std::vector<Tdh2DecryptionShare> make_shares(const Tdh2Ciphertext& ct,
+                                               BytesView label,
+                                               uint32_t count) {
+    std::vector<Tdh2DecryptionShare> out;
+    for (uint32_t i = 0; i < count; ++i) {
+      auto s = tdh2_share_decrypt(keys_.pk, keys_.shares[i], ct, label, rng_);
+      EXPECT_TRUE(s.has_value());
+      out.push_back(std::move(*s));
+    }
+    return out;
+  }
+
+  Drbg rng_;
+  Tdh2KeyMaterial keys_;
+};
+
+TEST_P(Tdh2Test, EncryptDecryptRoundTrip) {
+  const Bytes msg = fresh_message();
+  const Bytes label = to_bytes("client-1:7");
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  EXPECT_TRUE(tdh2_verify_ciphertext(keys_.pk, ct, label));
+
+  const auto shares = make_shares(ct, label, t());
+  for (const auto& s : shares) {
+    EXPECT_TRUE(tdh2_verify_share(keys_.pk, ct, label, s));
+  }
+  const auto rec = tdh2_combine(keys_.pk, ct, label, shares);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, msg);
+}
+
+TEST_P(Tdh2Test, AnyThresholdSubsetCombines) {
+  const Bytes msg = fresh_message();
+  const Bytes label = to_bytes("L");
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  const auto all = make_shares(ct, label, n());
+
+  // Last t shares; and a strided subset.
+  std::vector<Tdh2DecryptionShare> tail(all.end() - t(), all.end());
+  EXPECT_EQ(tdh2_combine(keys_.pk, ct, label, tail), msg);
+
+  // Strided subset (distinct for all tested n: stride 3 against n = 3f+1).
+  std::vector<Tdh2DecryptionShare> strided;
+  for (uint32_t i = 0; i < t(); ++i) strided.push_back(all[(i * 3) % n()]);
+  EXPECT_EQ(tdh2_combine(keys_.pk, ct, label, strided), msg);
+}
+
+TEST_P(Tdh2Test, WrongLabelRejectsCiphertext) {
+  // The label is cryptographically bound: verification, share decryption
+  // and combination all fail under a different label. This is what makes
+  // the scheme "labeled" (ID = client identity + sequence in CP0).
+  const auto ct = tdh2_encrypt(keys_.pk, fresh_message(), to_bytes("honest-id"), rng_);
+  EXPECT_FALSE(tdh2_verify_ciphertext(keys_.pk, ct, to_bytes("evil-id")));
+  EXPECT_FALSE(tdh2_share_decrypt(keys_.pk, keys_.shares[0], ct,
+                                  to_bytes("evil-id"), rng_)
+                   .has_value());
+  const auto shares = make_shares(ct, to_bytes("honest-id"), t());
+  EXPECT_FALSE(tdh2_combine(keys_.pk, ct, to_bytes("evil-id"), shares).has_value());
+}
+
+TEST_P(Tdh2Test, TamperedCiphertextRejected) {
+  const Bytes label = to_bytes("L");
+  auto ct = tdh2_encrypt(keys_.pk, fresh_message(), label, rng_);
+  ASSERT_TRUE(tdh2_verify_ciphertext(keys_.pk, ct, label));
+
+  {
+    auto bad = ct;
+    bad.c[0] ^= 1;
+    EXPECT_FALSE(tdh2_verify_ciphertext(keys_.pk, bad, label));
+  }
+  {
+    auto bad = ct;
+    bad.u = keys_.pk.group.mul(bad.u, keys_.pk.group.g());
+    EXPECT_FALSE(tdh2_verify_ciphertext(keys_.pk, bad, label));
+  }
+  {
+    auto bad = ct;
+    bad.f = crypto::mod_add(bad.f, crypto::Bignum(1), keys_.pk.group.q());
+    EXPECT_FALSE(tdh2_verify_ciphertext(keys_.pk, bad, label));
+  }
+  {
+    auto bad = ct;
+    bad.u = crypto::Bignum(0);  // not a group element
+    EXPECT_FALSE(tdh2_verify_ciphertext(keys_.pk, bad, label));
+  }
+}
+
+TEST_P(Tdh2Test, ForgedShareRejected) {
+  const Bytes label = to_bytes("L");
+  const auto ct = tdh2_encrypt(keys_.pk, fresh_message(), label, rng_);
+  auto share = *tdh2_share_decrypt(keys_.pk, keys_.shares[0], ct, label, rng_);
+  ASSERT_TRUE(tdh2_verify_share(keys_.pk, ct, label, share));
+
+  {
+    auto bad = share;
+    bad.u_i = keys_.pk.group.mul(bad.u_i, keys_.pk.group.g());
+    EXPECT_FALSE(tdh2_verify_share(keys_.pk, ct, label, bad));
+  }
+  {
+    auto bad = share;
+    bad.index = 2;  // claims another server's identity
+    EXPECT_FALSE(tdh2_verify_share(keys_.pk, ct, label, bad));
+  }
+  {
+    auto bad = share;
+    bad.index = 0;
+    EXPECT_FALSE(tdh2_verify_share(keys_.pk, ct, label, bad));
+    bad.index = n() + 1;
+    EXPECT_FALSE(tdh2_verify_share(keys_.pk, ct, label, bad));
+  }
+  {
+    auto bad = share;
+    bad.f_i = crypto::mod_add(bad.f_i, crypto::Bignum(1), keys_.pk.group.q());
+    EXPECT_FALSE(tdh2_verify_share(keys_.pk, ct, label, bad));
+  }
+}
+
+TEST_P(Tdh2Test, CombineNeedsThresholdDistinctShares) {
+  const Bytes label = to_bytes("L");
+  const Bytes msg = fresh_message();
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  auto shares = make_shares(ct, label, t());
+
+  if (t() > 1) {
+    std::vector<Tdh2DecryptionShare> few(shares.begin(), shares.end() - 1);
+    EXPECT_FALSE(tdh2_combine(keys_.pk, ct, label, few).has_value());
+    // Duplicated indices don't count twice.
+    std::vector<Tdh2DecryptionShare> dup(t(), shares[0]);
+    EXPECT_FALSE(tdh2_combine(keys_.pk, ct, label, dup).has_value());
+  }
+}
+
+TEST_P(Tdh2Test, ConsistencyAcrossShareSubsets) {
+  // "Consistency of decryptions" (§IV-A): different valid share subsets
+  // yield the same plaintext.
+  const Bytes label = to_bytes("L");
+  const Bytes msg = fresh_message();
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  const auto all = make_shares(ct, label, n());
+
+  const std::vector<Tdh2DecryptionShare> first(all.begin(), all.begin() + t());
+  const std::vector<Tdh2DecryptionShare> last(all.end() - t(), all.end());
+  EXPECT_EQ(tdh2_combine(keys_.pk, ct, label, first),
+            tdh2_combine(keys_.pk, ct, label, last));
+}
+
+TEST_P(Tdh2Test, SerializationRoundTrip) {
+  const Bytes label = to_bytes("L");
+  const auto ct = tdh2_encrypt(keys_.pk, fresh_message(), label, rng_);
+  const auto parsed =
+      Tdh2Ciphertext::parse(keys_.pk.group, ct.serialize(keys_.pk.group));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(tdh2_verify_ciphertext(keys_.pk, *parsed, label));
+  EXPECT_EQ(parsed->c, ct.c);
+
+  const auto share = *tdh2_share_decrypt(keys_.pk, keys_.shares[0], ct, label, rng_);
+  const auto pshare = Tdh2DecryptionShare::parse(
+      keys_.pk.group, share.serialize(keys_.pk.group));
+  ASSERT_TRUE(pshare.has_value());
+  EXPECT_TRUE(tdh2_verify_share(keys_.pk, ct, label, *pshare));
+
+  EXPECT_FALSE(Tdh2Ciphertext::parse(keys_.pk.group, Bytes{1, 2}).has_value());
+  EXPECT_FALSE(Tdh2DecryptionShare::parse(keys_.pk.group, Bytes{}).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultLevels, Tdh2Test, ::testing::Values(1u, 2u, 3u),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param);
+                         });
+
+TEST(Tdh2, KeygenValidatesParams) {
+  Drbg rng(to_bytes("kg"));
+  EXPECT_THROW(tdh2_keygen(test_group(), 0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(tdh2_keygen(test_group(), 5, 4, rng), std::invalid_argument);
+}
+
+TEST(Tdh2, EncryptValidatesMessageSize) {
+  Drbg rng(to_bytes("sz"));
+  auto keys = tdh2_keygen(test_group(), 2, 4, rng);
+  EXPECT_THROW(tdh2_encrypt(keys.pk, Bytes(31, 0), to_bytes("L"), rng),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid encryption
+
+class HybridTest : public ::testing::Test {
+ protected:
+  HybridTest() : rng_(to_bytes("hybrid-test")) {
+    keys_ = tdh2_keygen(test_group(), 2, 4, rng_);
+  }
+
+  Bytes recover_seed(const HybridCiphertext& ct, BytesView label) {
+    std::vector<Tdh2DecryptionShare> shares;
+    for (uint32_t i = 0; i < 2; ++i) {
+      shares.push_back(
+          *tdh2_share_decrypt(keys_.pk, keys_.shares[i], ct.kem, label, rng_));
+    }
+    return *tdh2_combine(keys_.pk, ct.kem, label, shares);
+  }
+
+  Drbg rng_;
+  Tdh2KeyMaterial keys_;
+};
+
+TEST_F(HybridTest, LongMessageRoundTrip) {
+  const Bytes msg = rng_.generate(4096);  // a 4 kB request, like the 4/0 bench
+  const Bytes label = to_bytes("client-9:123");
+  const auto ct = hybrid_encrypt(keys_.pk, msg, label, rng_);
+  EXPECT_TRUE(hybrid_verify(keys_.pk, ct, label));
+
+  const Bytes seed = recover_seed(ct, label);
+  const auto opened = hybrid_open(ct, label, seed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST_F(HybridTest, EmptyMessage) {
+  const Bytes label = to_bytes("L");
+  const auto ct = hybrid_encrypt(keys_.pk, Bytes{}, label, rng_);
+  const auto opened = hybrid_open(ct, label, recover_seed(ct, label));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST_F(HybridTest, WrongLabelFails) {
+  const auto ct = hybrid_encrypt(keys_.pk, to_bytes("m"), to_bytes("L1"), rng_);
+  EXPECT_FALSE(hybrid_verify(keys_.pk, ct, to_bytes("L2")));
+  const Bytes seed = recover_seed(ct, to_bytes("L1"));
+  EXPECT_FALSE(hybrid_open(ct, to_bytes("L2"), seed).has_value());
+}
+
+TEST_F(HybridTest, TamperedBoxFails) {
+  const Bytes label = to_bytes("L");
+  auto ct = hybrid_encrypt(keys_.pk, to_bytes("msg"), label, rng_);
+  const Bytes seed = recover_seed(ct, label);
+  ct.box[3] ^= 1;
+  EXPECT_FALSE(hybrid_open(ct, label, seed).has_value());
+}
+
+TEST_F(HybridTest, WrongSeedFails) {
+  const Bytes label = to_bytes("L");
+  const auto ct = hybrid_encrypt(keys_.pk, to_bytes("msg"), label, rng_);
+  EXPECT_FALSE(hybrid_open(ct, label, Bytes(32, 0)).has_value());
+  EXPECT_FALSE(hybrid_open(ct, label, Bytes(16, 0)).has_value());
+}
+
+TEST_F(HybridTest, SerializeRoundTrip) {
+  const Bytes label = to_bytes("L");
+  const Bytes msg = rng_.generate(100);
+  const auto ct = hybrid_encrypt(keys_.pk, msg, label, rng_);
+  const auto parsed =
+      HybridCiphertext::parse(keys_.pk.group, ct.serialize(keys_.pk.group));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(hybrid_verify(keys_.pk, *parsed, label));
+  const auto opened = hybrid_open(*parsed, label, recover_seed(*parsed, label));
+  EXPECT_EQ(opened, msg);
+  EXPECT_FALSE(HybridCiphertext::parse(keys_.pk.group, Bytes{9}).has_value());
+}
+
+}  // namespace
+}  // namespace scab::threshenc
