@@ -140,11 +140,13 @@ ThreshEncProfile profile_threshenc(const crypto::ModGroup& group, uint32_t f,
       measure_ns(reps,
                  [&] { (void)threshenc::tdh2_verify_ciphertext(keys.pk, ct, label); }) /
       1e6;
+  // Preverified entry points: what the CP0 reveal pipeline actually pays
+  // (the proof check is priced separately under kTdh2VerifyCt).
   out.share_decrypt_ms =
       measure_ns(reps,
                  [&] {
-                   (void)threshenc::tdh2_share_decrypt(keys.pk, keys.shares[0],
-                                                       ct, label, rng);
+                   (void)threshenc::tdh2_share_decrypt_preverified(
+                       keys.pk, keys.shares[0], ct, rng);
                  }) /
       1e6;
   std::vector<threshenc::Tdh2DecryptionShare> shares;
@@ -161,7 +163,10 @@ ThreshEncProfile profile_threshenc(const crypto::ModGroup& group, uint32_t f,
       1e6;
   out.combine_ms =
       measure_ns(reps,
-                 [&] { (void)threshenc::tdh2_combine(keys.pk, ct, label, shares); }) /
+                 [&] {
+                   (void)threshenc::tdh2_combine_preverified(keys.pk, ct,
+                                                             shares);
+                 }) /
       1e6;
   return out;
 }

@@ -23,6 +23,10 @@ namespace scab::bench {
 sim::CostModel calibrate_costs(const crypto::ModGroup& group, uint32_t f);
 
 /// Per-operation TDH2 measurements in milliseconds (Fig. 3's series).
+/// share_decrypt and combine are measured through the *preverified* entry
+/// points: CP0 verifies every ciphertext once at admission and charges
+/// kTdh2VerifyCt for it there, so pricing the reveal-pipeline ops with a
+/// second (and third) proof check would double-bill the virtual clock.
 struct ThreshEncProfile {
   double encrypt_ms = 0;
   double verify_ciphertext_ms = 0;

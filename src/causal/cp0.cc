@@ -57,6 +57,31 @@ std::optional<Bytes> RealTdh2Backend::combine(BytesView ct, BytesView label,
   return threshenc::hybrid_open(*parsed_ct, label, *seed);
 }
 
+std::optional<Bytes> RealTdh2Backend::decryption_share_preverified(
+    uint32_t index, BytesView ct, BytesView label, crypto::Drbg& rng) {
+  (void)label;  // bound into the (already verified) ciphertext
+  if (!my_key_ || my_key_->index != index) return std::nullopt;
+  auto parsed = threshenc::HybridCiphertext::parse(pk_.group, ct);
+  if (!parsed) return std::nullopt;
+  return threshenc::tdh2_share_decrypt_preverified(pk_, *my_key_, parsed->kem,
+                                                   rng)
+      .serialize(pk_.group);
+}
+
+std::optional<Bytes> RealTdh2Backend::combine_preverified(
+    BytesView ct, BytesView label, const std::vector<Bytes>& shares) {
+  auto parsed_ct = threshenc::HybridCiphertext::parse(pk_.group, ct);
+  if (!parsed_ct) return std::nullopt;
+  std::vector<threshenc::Tdh2DecryptionShare> parsed;
+  for (const auto& s : shares) {
+    auto ps = threshenc::Tdh2DecryptionShare::parse(pk_.group, s);
+    if (ps) parsed.push_back(std::move(*ps));
+  }
+  auto seed = threshenc::tdh2_combine_preverified(pk_, parsed_ct->kem, parsed);
+  if (!seed) return std::nullopt;
+  return threshenc::hybrid_open(*parsed_ct, label, *seed);
+}
+
 // ---------------------------------------------------------------------------
 // ModeledThresholdBackend (simulation-only ideal functionality)
 
@@ -101,7 +126,9 @@ bool ModeledThresholdBackend::verify_share(BytesView /*ct*/, BytesView label,
   Reader r(share);
   const uint32_t index = r.u32();
   const Bytes tag = r.raw(8);
-  if (!r.done() || index == 0) return false;
+  // 1 <= index <= n: otherwise one sender can fabricate distinct "valid"
+  // indices (n+1, n+2, ...) toward the combine threshold.
+  if (!r.done() || index == 0 || index > servers_) return false;
   return ct_equal(tag, modeled_share_tag(label, index));
 }
 
@@ -142,7 +169,14 @@ bool Cp0ReplicaApp::validate_request(NodeId client,
   // authenticated sender enforces exactly that.
   const RequestId id{client, msg.client_seq};
   ctx.charge(Op::kTdh2VerifyCt, msg.payload.size());
-  return backend_->verify_ciphertext(msg.payload, id.encode());
+  if (!backend_->verify_ciphertext(msg.payload, id.encode())) return false;
+  // Remember the verdict (keyed by payload digest) so the reveal step can
+  // use the preverified backend paths when PBFT delivers the same bytes.
+  if (validated_.size() >= kMaxValidatedCache) {
+    validated_.erase(validated_.begin());
+  }
+  validated_[id] = crypto::sha256(msg.payload);
+  return true;
 }
 
 void Cp0ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
@@ -157,11 +191,42 @@ void Cp0ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
   p.client_seq = req.client_seq;
   exec_queue_.push_back(id);
 
-  // Reveal step: produce and broadcast our decryption share.
+  // Adopt any shares that raced ahead of delivery.
+  for (auto& [sender, stash] : early_shares_) {
+    for (auto sit = stash.begin(); sit != stash.end();) {
+      if (sit->first != id) {
+        ++sit;
+        continue;
+      }
+      if (!p.valid_from.contains(sender) && !p.unverified.contains(sender)) {
+        p.unverified[sender] = std::move(sit->second);
+      }
+      sit = stash.erase(sit);
+    }
+  }
+
+  // Reveal step: produce and broadcast our decryption share.  The proof
+  // check was already paid at validate_request time iff PBFT delivered the
+  // exact bytes this replica validated; a backup that admitted the request
+  // from a pre-prepare without validating it (or saw different bytes) pays
+  // it now.
   const Bytes label = id.encode();
-  ctx.charge(Op::kTdh2ShareDec, req.payload.size());
-  auto share = backend_->decryption_share(ctx.id() + 1, req.payload, label,
-                                          ctx.rng());
+  bool ciphertext_ok = false;
+  if (auto vit = validated_.find(id); vit != validated_.end()) {
+    ctx.charge(Op::kHash, req.payload.size());
+    ciphertext_ok = vit->second == crypto::sha256(req.payload);
+    validated_.erase(vit);
+  }
+  if (!ciphertext_ok) {
+    ctx.charge(Op::kTdh2VerifyCt, req.payload.size());
+    ciphertext_ok = backend_->verify_ciphertext(req.payload, label);
+  }
+  std::optional<Bytes> share;
+  if (ciphertext_ok) {
+    ctx.charge(Op::kTdh2ShareDec, req.payload.size());
+    share = backend_->decryption_share_preverified(ctx.id() + 1, req.payload,
+                                                   label, ctx.rng());
+  }
   if (share) {
     // Our own share is counted immediately (and kept honest even when this
     // replica serves corrupted shares to everyone else).
@@ -184,10 +249,30 @@ void Cp0ReplicaApp::on_causal_message(NodeId from, BytesView body,
   const Bytes share = r.bytes();
   if (!r.done()) return;
   if (completed_.contains(id)) return;
-  PendingReveal& p = pending_[id];
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    // Not delivered yet.  A correct peer can legitimately be ahead of us,
+    // but a Byzantine one can also name RequestIds forever — so stash the
+    // share in a bounded per-sender FIFO instead of creating reveal state
+    // keyed by an unauthenticated id.
+    auto& stash = early_shares_[from];
+    for (const auto& [stashed_id, unused] : stash) {
+      if (stashed_id == id) return;
+    }
+    if (stash.size() >= kMaxEarlySharesPerSender) stash.pop_front();
+    stash.emplace_back(id, share);
+    return;
+  }
+  PendingReveal& p = it->second;
   if (p.valid_from.contains(from) || p.unverified.contains(from)) return;
   p.unverified[from] = share;
   try_reveal(id, ctx);
+}
+
+std::size_t Cp0ReplicaApp::early_share_count() const {
+  std::size_t count = 0;
+  for (const auto& [sender, stash] : early_shares_) count += stash.size();
+  return count;
 }
 
 void Cp0ReplicaApp::try_reveal(const RequestId& id, bft::ReplicaContext& ctx) {
@@ -210,7 +295,9 @@ void Cp0ReplicaApp::try_reveal(const RequestId& id, bft::ReplicaContext& ctx) {
 
   if (p.valid.size() < backend_->threshold()) return;
   ctx.charge(Op::kTdh2Combine, p.ciphertext.size());
-  auto plaintext = backend_->combine(p.ciphertext, label, p.valid);
+  // The ciphertext was verified before our own share was produced (see
+  // on_deliver), so combination skips the redundant proof check.
+  auto plaintext = backend_->combine_preverified(p.ciphertext, label, p.valid);
   if (!plaintext) return;  // need more shares (shouldn't happen: verified)
   p.revealed = true;
   p.plaintext = std::move(*plaintext);

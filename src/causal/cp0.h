@@ -53,6 +53,21 @@ class Cp0Backend {
   virtual std::optional<Bytes> combine(BytesView ct, BytesView label,
                                        const std::vector<Bytes>& shares) = 0;
   virtual uint32_t threshold() const = 0;
+
+  /// Reveal-pipeline variants for a ciphertext the caller has ALREADY
+  /// verified (CP0 verifies once at request admission, so the reveal step
+  /// must not pay the proof check again — and again at combine).  Defaults
+  /// delegate to the checked versions; the real backend overrides them.
+  virtual std::optional<Bytes> decryption_share_preverified(uint32_t index,
+                                                            BytesView ct,
+                                                            BytesView label,
+                                                            crypto::Drbg& rng) {
+    return decryption_share(index, ct, label, rng);
+  }
+  virtual std::optional<Bytes> combine_preverified(
+      BytesView ct, BytesView label, const std::vector<Bytes>& shares) {
+    return combine(ct, label, shares);
+  }
 };
 
 /// The real thing: hybrid TDH2 (see threshenc/).
@@ -70,6 +85,12 @@ class RealTdh2Backend : public Cp0Backend {
   bool verify_share(BytesView ct, BytesView label, BytesView share) override;
   std::optional<Bytes> combine(BytesView ct, BytesView label,
                                const std::vector<Bytes>& shares) override;
+  std::optional<Bytes> decryption_share_preverified(uint32_t index,
+                                                    BytesView ct,
+                                                    BytesView label,
+                                                    crypto::Drbg& rng) override;
+  std::optional<Bytes> combine_preverified(
+      BytesView ct, BytesView label, const std::vector<Bytes>& shares) override;
   uint32_t threshold() const override { return pk_.threshold; }
 
  private:
@@ -86,7 +107,8 @@ class RealTdh2Backend : public Cp0Backend {
 /// from the live-calibrated table.
 class ModeledThresholdBackend : public Cp0Backend {
  public:
-  explicit ModeledThresholdBackend(uint32_t threshold) : threshold_(threshold) {}
+  ModeledThresholdBackend(uint32_t threshold, uint32_t servers)
+      : threshold_(threshold), servers_(servers) {}
 
   Bytes encrypt(BytesView message, BytesView label, crypto::Drbg& rng) override;
   bool verify_ciphertext(BytesView ct, BytesView label) override;
@@ -100,6 +122,7 @@ class ModeledThresholdBackend : public Cp0Backend {
 
  private:
   uint32_t threshold_;
+  uint32_t servers_;
 };
 
 // ---------------------------------------------------------------------------
@@ -122,6 +145,18 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
                          bft::ReplicaContext& ctx) override;
 
   Service& service() { return *service_; }
+
+  /// Diagnostics/tests: number of reveal entries in flight (all correspond
+  /// to delivered requests) and of stashed pre-delivery shares.
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t early_share_count() const;
+
+  /// Per-sender cap on shares stashed before their request is delivered; a
+  /// Byzantine replica naming made-up RequestIds can occupy at most this
+  /// much state per sender.
+  static constexpr std::size_t kMaxEarlySharesPerSender = 32;
+  /// Cap on remembered validate_request verdicts awaiting delivery.
+  static constexpr std::size_t kMaxValidatedCache = 1024;
 
  private:
   struct PendingReveal {
@@ -148,6 +183,15 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
   // Execution queue: requests execute in delivery order, each blocking on
   // its reveal (the CKPS schedule/reveal alternation).
   std::deque<RequestId> exec_queue_;
+  // RequestIds this replica verified at validate_request time (payload
+  // digest), letting on_deliver take the preverified reveal path when PBFT
+  // delivers the same bytes.  Bounded FIFO-ish: entries are erased at
+  // delivery; overflow evicts arbitrarily (worst case: one extra verify).
+  std::unordered_map<RequestId, Bytes> validated_;
+  // Shares that arrived before their request was delivered, bounded per
+  // sender (kMaxEarlySharesPerSender) so Byzantine peers cannot grow
+  // protocol state with shares for requests that never existed.
+  std::map<bft::NodeId, std::deque<std::pair<RequestId, Bytes>>> early_shares_;
 };
 
 class Cp0ClientProtocol : public bft::ClientProtocol {

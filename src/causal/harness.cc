@@ -167,7 +167,8 @@ Cluster::~Cluster() = default;
 std::unique_ptr<Cp0Backend> Cluster::make_cp0_backend(
     std::optional<uint32_t> replica_index) const {
   if (options_.cp0_modeled) {
-    return std::make_unique<ModeledThresholdBackend>(options_.bft.f + 1);
+    return std::make_unique<ModeledThresholdBackend>(options_.bft.f + 1,
+                                                     options_.bft.n);
   }
   std::optional<threshenc::Tdh2KeyShare> key;
   if (replica_index) key = tdh2_.shares.at(*replica_index);

@@ -178,6 +178,12 @@ Bignum Bignum::operator>>(std::size_t bits) const {
   return out;
 }
 
+namespace {
+uint64_t g_divmod_addback_count = 0;
+}  // namespace
+
+uint64_t divmod_addback_count() { return g_divmod_addback_count; }
+
 DivMod divmod(const Bignum& dividend, const Bignum& divisor) {
   if (divisor.is_zero()) throw std::domain_error("Bignum: division by zero");
   if (dividend < divisor) return {Bignum{}, dividend};
@@ -243,6 +249,7 @@ DivMod divmod(const Bignum& dividend, const Bignum& divisor) {
 
     if (diff >> 64) {
       // qhat was one too large: add vn back.
+      ++g_divmod_addback_count;
       --qhat;
       u128 c = 0;
       for (std::size_t i = 0; i < n; ++i) {

@@ -77,6 +77,11 @@ struct DivMod {
 };
 DivMod divmod(const Bignum& dividend, const Bignum& divisor);
 
+/// Times Algorithm D's rare add-back correction has fired since process
+/// start.  Test instrumentation: crafted divisor patterns must be able to
+/// prove they actually exercise the branch.
+uint64_t divmod_addback_count();
+
 /// (a + b) mod m; inputs must already be reduced mod m.
 Bignum mod_add(const Bignum& a, const Bignum& b, const Bignum& m);
 /// (a - b) mod m; inputs must already be reduced mod m.

@@ -20,6 +20,8 @@ constexpr const char* kModp1024Hex =
 constexpr const char* kModp512Hex =
     "d913181945b49c2e8d4725e4b422863c39fd01d935b85ab232f8f154a41ce59f"
     "b2c7a43244e93dc007682dc753322e5e8584717d08f07ae4390732da5fc68d2f";
+
+constexpr std::size_t kMaxCachedBases = 8;
 }  // namespace
 
 ModGroup::ModGroup(Bignum p, Bignum q, Bignum g)
@@ -27,7 +29,16 @@ ModGroup::ModGroup(Bignum p, Bignum q, Bignum g)
   if ((q_ << 1) + Bignum(1) != p_) {
     throw std::invalid_argument("ModGroup: p must equal 2q + 1");
   }
+  mont_ = std::make_shared<Montgomery>(p_);
+  if (q_.is_odd() && q_ > Bignum(1)) {
+    mont_q_ = std::make_shared<Montgomery>(q_);
+  }
   gbar_ = hash_to_element(to_bytes("scab.modgroup.gbar.v1"));
+  g_table_ = std::make_shared<const Montgomery::Table>(
+      mont_->make_table(mont_->to_mont(g_)));
+  gbar_table_ = std::make_shared<const Montgomery::Table>(
+      mont_->make_table(mont_->to_mont(gbar_)));
+  extra_tables_ = std::make_shared<std::vector<FixedBase>>();
 }
 
 ModGroup ModGroup::modp_1024() {
@@ -58,19 +69,71 @@ ModGroup ModGroup::generate(std::size_t bits, Drbg& rng) {
   return ModGroup(std::move(p), std::move(q), std::move(g));
 }
 
+const Montgomery& ModGroup::require_mont() const {
+  if (!mont_) throw std::domain_error("ModGroup: empty group");
+  return *mont_;
+}
+
+const Montgomery& ModGroup::mont() const { return require_mont(); }
+
+const Montgomery::Table* ModGroup::find_table(const Bignum& base) const {
+  if (base == g_) return g_table_.get();
+  if (base == gbar_) return gbar_table_.get();
+  if (extra_tables_) {
+    for (const auto& fb : *extra_tables_) {
+      if (fb.base == base) return fb.table.get();
+    }
+  }
+  return nullptr;
+}
+
+void ModGroup::cache_fixed_base(const Bignum& base) {
+  const Montgomery& m = require_mont();
+  if (find_table(base) != nullptr) return;
+  auto& cache = *extra_tables_;
+  if (cache.size() >= kMaxCachedBases) cache.erase(cache.begin());
+  cache.push_back(FixedBase{
+      base, std::make_shared<const Montgomery::Table>(
+                m.make_table(m.to_mont(base)))});
+}
+
 Bignum ModGroup::exp(const Bignum& base, const Bignum& e) const {
-  return mod_exp(base, e, p_);
+  const Montgomery& m = require_mont();
+  if (const Montgomery::Table* t = find_table(base)) {
+    return m.from_mont(m.exp(*t, e));
+  }
+  return m.from_mont(m.exp(m.to_mont(base), e));
 }
 
 Bignum ModGroup::mul(const Bignum& a, const Bignum& b) const {
-  return mod_mul(a, b, p_);
+  const Montgomery& m = require_mont();
+  return m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)));
 }
 
-Bignum ModGroup::inv(const Bignum& a) const { return mod_inv_prime(a, p_); }
+Bignum ModGroup::inv(const Bignum& a) const {
+  const Montgomery& m = require_mont();
+  const Bignum r = a % p_;
+  if (r.is_zero()) throw std::domain_error("ModGroup::inv: zero");
+  // Fermat: a^(p-2) mod p.
+  return m.from_mont(m.exp(m.to_mont(r), p_ - Bignum(2)));
+}
+
+Bignum ModGroup::multi_exp(const Bignum& a, const Bignum& x, const Bignum& b,
+                           const Bignum& y) const {
+  const Montgomery& m = require_mont();
+  return m.from_mont(m.multi_exp(m.to_mont(a), x, m.to_mont(b), y));
+}
+
+Bignum ModGroup::exp_ratio(const Bignum& a, const Bignum& x, const Bignum& b,
+                           const Bignum& y) const {
+  // b has order q, so b^{-y} = b^{q-y}; no Fermat inversion needed.
+  return multi_exp(a, x, b, y.is_zero() ? Bignum(0) : q_ - y);
+}
 
 bool ModGroup::is_element(const Bignum& x) const {
   if (x.is_zero() || x >= p_) return false;
-  return exp(x, q_) == Bignum(1);
+  const Montgomery& m = require_mont();
+  return m.from_mont(m.exp(m.to_mont(x), q_)) == Bignum(1);
 }
 
 Bignum ModGroup::hash_to_element(BytesView seed) const {
@@ -113,6 +176,13 @@ Bignum ModGroup::hash_to_exponent(BytesView data) const {
 
 Bignum ModGroup::random_exponent(Drbg& rng) const {
   return random_below(q_, rng);
+}
+
+Bignum ModGroup::inv_mod_q(const Bignum& a) const {
+  const Bignum r = a % q_;
+  if (r.is_zero()) throw std::domain_error("ModGroup::inv_mod_q: zero");
+  if (!mont_q_) return mod_inv_prime(r, q_);  // tiny test groups with even q
+  return mont_q_->from_mont(mont_q_->exp(mont_q_->to_mont(r), q_ - Bignum(2)));
 }
 
 }  // namespace scab::crypto

@@ -1,0 +1,216 @@
+#include "crypto/montgomery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scab::crypto {
+
+namespace {
+using u128 = unsigned __int128;
+
+// -n^{-1} mod 2^64 by Newton iteration: for odd n, x = n is an inverse mod
+// 2^3, and each step doubles the number of correct low bits (3 -> 6 -> 12 ->
+// 24 -> 48 -> 96 >= 64).
+uint64_t neg_inv64(uint64_t n) {
+  uint64_t inv = n;
+  for (int i = 0; i < 5; ++i) inv *= 2 - n * inv;
+  return ~inv + 1;
+}
+}  // namespace
+
+Montgomery::Montgomery(const Bignum& modulus) : n_(modulus) {
+  if (!n_.is_odd() || n_ <= Bignum(1)) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and > 1");
+  }
+  n_limbs_ = n_.limbs();
+  k_ = n_limbs_.size();
+  n0_ = neg_inv64(n_limbs_[0]);
+
+  // R = 2^{64k}; both residues reduced with the existing (slow, setup-only)
+  // Bignum division.
+  const Bignum r_mod = (Bignum(1) << (64 * k_)) % n_;
+  const Bignum r2_mod = (Bignum(1) << (128 * k_)) % n_;
+  r1_ = r_mod.limbs();
+  r1_.resize(k_, 0);
+  r2_ = r2_mod.limbs();
+  r2_.resize(k_, 0);
+}
+
+void Montgomery::mont_mul(const uint64_t* a, const uint64_t* b,
+                          uint64_t* out) const {
+  // CIOS (coarsely integrated operand scanning), Koc–Acar–Kaliski.
+  constexpr std::size_t kStackLimbs = 34;  // up to 2176-bit moduli, no heap
+  uint64_t stack[kStackLimbs + 2];
+  std::vector<uint64_t> heap;
+  uint64_t* t = stack;
+  if (k_ > kStackLimbs) {
+    heap.resize(k_ + 2);
+    t = heap.data();
+  }
+  std::fill(t, t + k_ + 2, 0);
+
+  for (std::size_t i = 0; i < k_; ++i) {
+    const uint64_t bi = b[i];
+    u128 carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 cs = static_cast<u128>(t[j]) + static_cast<u128>(a[j]) * bi +
+                      carry;
+      t[j] = static_cast<uint64_t>(cs);
+      carry = cs >> 64;
+    }
+    u128 cs = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<uint64_t>(cs);
+    t[k_ + 1] = static_cast<uint64_t>(cs >> 64);
+
+    const uint64_t m = t[0] * n0_;
+    cs = static_cast<u128>(t[0]) + static_cast<u128>(m) * n_limbs_[0];
+    carry = cs >> 64;  // low word is zero by construction of m
+    for (std::size_t j = 1; j < k_; ++j) {
+      cs = static_cast<u128>(t[j]) + static_cast<u128>(m) * n_limbs_[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cs);
+      carry = cs >> 64;
+    }
+    cs = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<uint64_t>(cs);
+    t[k_] = t[k_ + 1] + static_cast<uint64_t>(cs >> 64);
+  }
+
+  // Result is t[0..k] < 2n; one conditional subtraction normalizes.
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (t[i] != n_limbs_[i]) {
+        ge = t[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u128 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 diff = static_cast<u128>(t[i]) - n_limbs_[i] - borrow;
+      out[i] = static_cast<uint64_t>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + k_, out);
+  }
+}
+
+void Montgomery::mont_sqr_inplace(Limbs& a) const {
+  Limbs tmp(k_);
+  mont_mul(a.data(), a.data(), tmp.data());
+  a.swap(tmp);
+}
+
+Montgomery::Limbs Montgomery::to_mont(const Bignum& x) const {
+  Limbs in = (x % n_).limbs();
+  in.resize(k_, 0);
+  Limbs out(k_);
+  mont_mul(in.data(), r2_.data(), out.data());
+  return out;
+}
+
+Bignum Montgomery::from_mont(const Limbs& a) const {
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs out(k_);
+  mont_mul(a.data(), one.data(), out.data());
+  // Rebuild a normalized Bignum from the fixed-width limbs.
+  Bytes be(out.size() * 8);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      be[be.size() - 1 - 8 * i - static_cast<std::size_t>(b)] =
+          static_cast<uint8_t>(out[i] >> (8 * b));
+    }
+  }
+  return Bignum::from_bytes_be(be);
+}
+
+Montgomery::Limbs Montgomery::mul(const Limbs& a, const Limbs& b) const {
+  Limbs out(k_);
+  mont_mul(a.data(), b.data(), out.data());
+  return out;
+}
+
+Montgomery::Table Montgomery::make_table(const Limbs& base) const {
+  Table t;
+  t.pow[0] = r1_;
+  t.pow[1] = base;
+  for (std::size_t i = 2; i < 16; ++i) t.pow[i] = mul(t.pow[i - 1], base);
+  return t;
+}
+
+Montgomery::Limbs Montgomery::exp(const Limbs& base, const Bignum& e) const {
+  if (e.is_zero()) return r1_;
+  return exp(make_table(base), e);
+}
+
+Montgomery::Limbs Montgomery::exp(const Table& base, const Bignum& e) const {
+  if (e.is_zero()) return r1_;
+  const std::size_t windows = (e.bit_length() + 3) / 4;
+  auto digit_at = [&e](std::size_t w) {
+    unsigned d = 0;
+    for (int i = 3; i >= 0; --i) {
+      d = (d << 1) | (e.bit(4 * w + static_cast<std::size_t>(i)) ? 1u : 0u);
+    }
+    return d;
+  };
+
+  Limbs acc = base.pow[digit_at(windows - 1)];
+  Limbs tmp(k_);
+  for (std::size_t w = windows - 1; w-- > 0;) {
+    for (int i = 0; i < 4; ++i) {
+      mont_mul(acc.data(), acc.data(), tmp.data());
+      acc.swap(tmp);
+    }
+    const unsigned d = digit_at(w);
+    if (d != 0) {
+      mont_mul(acc.data(), base.pow[d].data(), tmp.data());
+      acc.swap(tmp);
+    }
+  }
+  return acc;
+}
+
+Montgomery::Limbs Montgomery::multi_exp(const Limbs& a, const Bignum& x,
+                                        const Limbs& b, const Bignum& y) const {
+  const std::size_t bits = std::max(x.bit_length(), y.bit_length());
+  if (bits == 0) return r1_;
+
+  // joint[4i + j] = a^i * b^j for i, j in 0..3: one shared squaring chain
+  // over 2-bit digit pairs instead of two independent chains.
+  std::array<Limbs, 16> joint;
+  joint[0] = r1_;
+  joint[1] = b;
+  joint[2] = mul(b, b);
+  joint[3] = mul(joint[2], b);
+  joint[4] = a;
+  joint[8] = mul(a, a);
+  joint[12] = mul(joint[8], a);
+  for (std::size_t i = 4; i < 16; i += 4) {
+    for (std::size_t j = 1; j < 4; ++j) joint[i + j] = mul(joint[i], joint[j]);
+  }
+
+  auto digit_at = [](const Bignum& e, std::size_t w) {
+    return (e.bit(2 * w + 1) ? 2u : 0u) | (e.bit(2 * w) ? 1u : 0u);
+  };
+  const std::size_t windows = (bits + 1) / 2;
+  Limbs acc = joint[4 * digit_at(x, windows - 1) + digit_at(y, windows - 1)];
+  Limbs tmp(k_);
+  for (std::size_t w = windows - 1; w-- > 0;) {
+    mont_mul(acc.data(), acc.data(), tmp.data());
+    acc.swap(tmp);
+    mont_mul(acc.data(), acc.data(), tmp.data());
+    acc.swap(tmp);
+    const unsigned d = 4 * digit_at(x, w) + digit_at(y, w);
+    if (d != 0) {
+      mont_mul(acc.data(), joint[d].data(), tmp.data());
+      acc.swap(tmp);
+    }
+  }
+  return acc;
+}
+
+}  // namespace scab::crypto

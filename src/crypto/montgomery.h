@@ -1,0 +1,79 @@
+// Montgomery-form modular arithmetic for a fixed odd modulus.
+//
+// This is the fast substrate under ModGroup: every Bignum mod_mul costs a
+// schoolbook multiply plus a full Knuth division, while a Montgomery CIOS
+// multiply is one fused k×k limb pass with no division at all.  A context
+// precomputes n' = -n^{-1} mod 2^64 and R^2 mod n once per modulus (R =
+// 2^{64k}); after converting operands into Montgomery form, multiplication,
+// windowed exponentiation, fixed-base table exponentiation and simultaneous
+// double exponentiation (Shamir's trick) all stay inside the form, paying
+// only the cheap CIOS reduction per step.
+//
+// Values in Montgomery form are fixed-width little-endian limb vectors of
+// exactly width() limbs (x·R mod n).  The context is immutable after
+// construction and safe to share between threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bignum.h"
+
+namespace scab::crypto {
+
+class Montgomery {
+ public:
+  /// A value in Montgomery form: exactly width() limbs, little-endian,
+  /// already reduced below the modulus.
+  using Limbs = std::vector<uint64_t>;
+
+  /// Fixed-base window table: pow[i] = base^i (Montgomery form), i in 0..15.
+  struct Table {
+    std::array<Limbs, 16> pow;
+  };
+
+  /// Modulus must be odd and > 1 (any Schnorr-group prime qualifies).
+  explicit Montgomery(const Bignum& modulus);
+
+  const Bignum& modulus() const { return n_; }
+  /// Limb width k of every Montgomery-form value (R = 2^{64k}).
+  std::size_t width() const { return k_; }
+
+  /// x·R mod n.  x need not be reduced.
+  Limbs to_mont(const Bignum& x) const;
+  /// a·R^{-1} mod n, back to a plain Bignum.
+  Bignum from_mont(const Limbs& a) const;
+  /// The multiplicative identity 1·R mod n.
+  const Limbs& one() const { return r1_; }
+
+  /// a·b·R^{-1} mod n (CIOS).
+  Limbs mul(const Limbs& a, const Limbs& b) const;
+  /// base^e mod n (4-bit window); returns one() for e = 0.
+  Limbs exp(const Limbs& base, const Bignum& e) const;
+
+  /// Precomputes base^0..base^15 so repeated exponentiations of the same
+  /// base skip the per-call table build.
+  Table make_table(const Limbs& base) const;
+  Limbs exp(const Table& base, const Bignum& e) const;
+
+  /// a^x · b^y mod n via a shared 2-bit joint window (Shamir's trick):
+  /// one squaring chain for both exponents instead of two.
+  Limbs multi_exp(const Limbs& a, const Bignum& x, const Limbs& b,
+                  const Bignum& y) const;
+
+ private:
+  // out = a·b·R^{-1} mod n; a, b, out are k_-limb buffers (out may not
+  // alias a or b).
+  void mont_mul(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
+  void mont_sqr_inplace(Limbs& a) const;
+
+  Bignum n_;
+  std::vector<uint64_t> n_limbs_;  // modulus, padded to k_ limbs
+  std::size_t k_ = 0;
+  uint64_t n0_ = 0;  // -n^{-1} mod 2^64
+  Limbs r1_;         // R mod n   (Montgomery form of 1)
+  Limbs r2_;         // R^2 mod n (to_mont multiplier)
+};
+
+}  // namespace scab::crypto

@@ -80,6 +80,7 @@ void Sha256::process_block(const uint8_t* block) {
 }
 
 Sha256& Sha256::update(BytesView data) {
+  if (data.empty()) return *this;  // also keeps memcpy off a null data()
   total_len_ += data.size();
   std::size_t off = 0;
   if (buffer_len_ > 0) {

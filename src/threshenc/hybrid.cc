@@ -27,6 +27,9 @@ std::optional<HybridCiphertext> HybridCiphertext::parse(
   HybridCiphertext out;
   out.box = r.bytes();
   if (!r.done()) return std::nullopt;
+  // Parse-time bound: a box shorter than the AEAD tag+nonce can never open;
+  // reject before the KEM fields reach any group operation.
+  if (out.box.size() < crypto::kAeadOverhead) return std::nullopt;
   auto kem = Tdh2Ciphertext::parse(group, kem_wire);
   if (!kem) return std::nullopt;
   out.kem = std::move(*kem);

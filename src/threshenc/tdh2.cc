@@ -44,19 +44,45 @@ Bignum hash_share_challenge(const ModGroup& group, uint32_t index,
   return group.hash_to_exponent(data);
 }
 
-// Lagrange coefficient lambda_j at 0 for the index set `indices`, mod q.
-Bignum lagrange_at_zero(const ModGroup& group, uint32_t j,
-                        std::span<const uint32_t> indices) {
+// Lagrange coefficients lambda_j at 0 for every j in `indices`, mod q.
+// Numerators and denominators are products of small index differences
+// (sign tracked separately so the operands stay one limb), and all
+// denominators share ONE modular inversion via Montgomery's batch-inversion
+// trick — per-coefficient Fermat inversions used to dominate combination.
+std::vector<Bignum> lagrange_at_zero_all(const ModGroup& group,
+                                         std::span<const uint32_t> indices) {
   const Bignum& q = group.q();
-  Bignum num(1), den(1);
-  const Bignum bj(j);
-  for (uint32_t k : indices) {
-    if (k == j) continue;
-    const Bignum bk(k);
-    num = crypto::mod_mul(num, bk, q);
-    den = crypto::mod_mul(den, crypto::mod_sub(bk, bj, q), q);
+  const std::size_t t = indices.size();
+  std::vector<Bignum> num(t), den(t);
+  std::vector<bool> negative(t, false);
+  for (std::size_t i = 0; i < t; ++i) {
+    const uint32_t j = indices[i];
+    num[i] = Bignum(1);
+    den[i] = Bignum(1);
+    for (uint32_t k : indices) {
+      if (k == j) continue;
+      num[i] = crypto::mod_mul(num[i], Bignum(k), q);
+      const uint32_t diff = k > j ? k - j : j - k;
+      den[i] = crypto::mod_mul(den[i], Bignum(diff), q);
+      if (k < j) negative[i] = !negative[i];
+    }
   }
-  return crypto::mod_mul(num, crypto::mod_inv_prime(den, q), q);
+  // prefix[i] = den[0]·...·den[i-1]; invert only the full product.
+  std::vector<Bignum> prefix(t + 1);
+  prefix[0] = Bignum(1);
+  for (std::size_t i = 0; i < t; ++i) {
+    prefix[i + 1] = crypto::mod_mul(prefix[i], den[i], q);
+  }
+  Bignum inv_suffix = group.inv_mod_q(prefix[t]);
+  std::vector<Bignum> out(t);
+  for (std::size_t i = t; i-- > 0;) {
+    const Bignum inv_i = crypto::mod_mul(inv_suffix, prefix[i], q);
+    inv_suffix = crypto::mod_mul(inv_suffix, den[i], q);
+    Bignum lambda = crypto::mod_mul(num[i], inv_i, q);
+    if (negative[i] && !lambda.is_zero()) lambda = q - lambda;
+    out[i] = std::move(lambda);
+  }
+  return out;
 }
 
 }  // namespace
@@ -85,6 +111,13 @@ std::optional<Tdh2Ciphertext> Tdh2Ciphertext::parse(const ModGroup& group,
   ct.e = Bignum::from_bytes_be(r.raw(xb));
   ct.f = Bignum::from_bytes_be(r.raw(xb));
   if (!r.done()) return std::nullopt;
+  // Parse-time bounds: a truncated or out-of-range wire must never reach
+  // the group operations (the proof check would reject it anyway, but only
+  // after paying several exponentiations).
+  if (ct.c.size() != kTdh2MessageSize) return std::nullopt;
+  if (ct.u.is_zero() || ct.u >= group.p()) return std::nullopt;
+  if (ct.ubar.is_zero() || ct.ubar >= group.p()) return std::nullopt;
+  if (ct.e >= group.q() || ct.f >= group.q()) return std::nullopt;
   return ct;
 }
 
@@ -106,6 +139,10 @@ std::optional<Tdh2DecryptionShare> Tdh2DecryptionShare::parse(
   s.e_i = Bignum::from_bytes_be(r.raw(group.exponent_bytes()));
   s.f_i = Bignum::from_bytes_be(r.raw(group.exponent_bytes()));
   if (!r.done()) return std::nullopt;
+  // Same parse-time bounds as Tdh2Ciphertext::parse.
+  if (s.index == 0) return std::nullopt;
+  if (s.u_i.is_zero() || s.u_i >= group.p()) return std::nullopt;
+  if (s.e_i >= group.q() || s.f_i >= group.q()) return std::nullopt;
   return s;
 }
 
@@ -133,6 +170,9 @@ Tdh2KeyMaterial tdh2_keygen(const ModGroup& group, uint32_t threshold,
   Tdh2KeyMaterial out;
   out.pk.group = group;
   out.pk.h = group.exp(group.g(), x);
+  // h is the third hot base (every encryption computes h^r): give it a
+  // cached fixed-base table alongside g and gbar.
+  out.pk.group.cache_fixed_base(out.pk.h);
   out.pk.threshold = threshold;
   out.pk.servers = servers;
   out.pk.verification_keys.reserve(servers);
@@ -172,11 +212,10 @@ bool tdh2_verify_ciphertext(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
   if (ct.c.size() != kTdh2MessageSize) return false;
   if (!grp.is_element(ct.u) || !grp.is_element(ct.ubar)) return false;
   if (ct.e >= grp.q() || ct.f >= grp.q()) return false;
-  // w = g^f / u^e ; wbar = gbar^f / ubar^e
-  const Bignum w =
-      grp.mul(grp.exp(grp.g(), ct.f), grp.inv(grp.exp(ct.u, ct.e)));
-  const Bignum wbar =
-      grp.mul(grp.exp(grp.gbar(), ct.f), grp.inv(grp.exp(ct.ubar, ct.e)));
+  // w = g^f / u^e ; wbar = gbar^f / ubar^e — each a single joint-window
+  // multi-exponentiation (u, ubar are order-q elements, checked above).
+  const Bignum w = grp.exp_ratio(grp.g(), ct.f, ct.u, ct.e);
+  const Bignum wbar = grp.exp_ratio(grp.gbar(), ct.f, ct.ubar, ct.e);
   return hash_challenge(grp, ct.c, label, ct.u, w, ct.ubar, wbar) == ct.e;
 }
 
@@ -184,14 +223,25 @@ std::optional<Tdh2DecryptionShare> tdh2_share_decrypt(
     const Tdh2PublicKey& pk, const Tdh2KeyShare& key, const Tdh2Ciphertext& ct,
     BytesView label, Drbg& rng) {
   if (!tdh2_verify_ciphertext(pk, ct, label)) return std::nullopt;
+  return tdh2_share_decrypt_preverified(pk, key, ct, rng);
+}
+
+Tdh2DecryptionShare tdh2_share_decrypt_preverified(const Tdh2PublicKey& pk,
+                                                   const Tdh2KeyShare& key,
+                                                   const Tdh2Ciphertext& ct,
+                                                   Drbg& rng) {
   const ModGroup& grp = pk.group;
+  const crypto::Montgomery& mont = grp.mont();
 
   Tdh2DecryptionShare share;
   share.index = key.index;
-  share.u_i = grp.exp(ct.u, key.x);
+  // Both u^{x_i} and the proof commitment u^{s_i} share one window table
+  // for the (per-ciphertext) base u.
+  const crypto::Montgomery::Table u_table = mont.make_table(mont.to_mont(ct.u));
+  share.u_i = mont.from_mont(mont.exp(u_table, key.x));
   // NIZK proof of log_u(u_i) == log_g(h_i):
   const Bignum s_i = grp.random_exponent(rng);
-  const Bignum u_hat = grp.exp(ct.u, s_i);
+  const Bignum u_hat = mont.from_mont(mont.exp(u_table, s_i));
   const Bignum h_hat = grp.exp(grp.g(), s_i);
   share.e_i = hash_share_challenge(grp, key.index, ct.u, share.u_i, u_hat, h_hat);
   share.f_i = crypto::mod_add(s_i, crypto::mod_mul(key.x, share.e_i, grp.q()),
@@ -206,11 +256,11 @@ bool tdh2_verify_share(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
   if (share.index == 0 || share.index > pk.servers) return false;
   if (!grp.is_element(share.u_i)) return false;
   if (share.e_i >= grp.q() || share.f_i >= grp.q()) return false;
-  // u_hat = u^{f_i} / u_i^{e_i} ; h_hat = g^{f_i} / h_i^{e_i}
-  const Bignum u_hat =
-      grp.mul(grp.exp(ct.u, share.f_i), grp.inv(grp.exp(share.u_i, share.e_i)));
-  const Bignum h_hat = grp.mul(grp.exp(grp.g(), share.f_i),
-                               grp.inv(grp.exp(pk.vk(share.index), share.e_i)));
+  // u_hat = u^{f_i} / u_i^{e_i} ; h_hat = g^{f_i} / h_i^{e_i} — joint-window
+  // multi-exponentiations (u_i is checked above; vk_i comes from keygen).
+  const Bignum u_hat = grp.exp_ratio(ct.u, share.f_i, share.u_i, share.e_i);
+  const Bignum h_hat =
+      grp.exp_ratio(grp.g(), share.f_i, pk.vk(share.index), share.e_i);
   return hash_share_challenge(grp, share.index, ct.u, share.u_i, u_hat,
                               h_hat) == share.e_i;
 }
@@ -219,6 +269,12 @@ std::optional<Bytes> tdh2_combine(const Tdh2PublicKey& pk,
                                   const Tdh2Ciphertext& ct, BytesView label,
                                   std::span<const Tdh2DecryptionShare> shares) {
   if (!tdh2_verify_ciphertext(pk, ct, label)) return std::nullopt;
+  return tdh2_combine_preverified(pk, ct, shares);
+}
+
+std::optional<Bytes> tdh2_combine_preverified(
+    const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
+    std::span<const Tdh2DecryptionShare> shares) {
   const ModGroup& grp = pk.group;
 
   // Pick the first `threshold` shares with distinct indices.
@@ -234,11 +290,17 @@ std::optional<Bytes> tdh2_combine(const Tdh2PublicKey& pk,
   }
   if (chosen.size() < pk.threshold) return std::nullopt;
 
-  // h^r = prod u_j^{lambda_j}
+  // h^r = prod u_j^{lambda_j}, pairing shares up so each pair costs one
+  // joint-window multi-exponentiation instead of two exponentiations.
+  const std::vector<Bignum> lambda = lagrange_at_zero_all(grp, indices);
   Bignum hr(1);
-  for (const auto* s : chosen) {
-    const Bignum lambda = lagrange_at_zero(grp, s->index, indices);
-    hr = grp.mul(hr, grp.exp(s->u_i, lambda));
+  std::size_t i = 0;
+  for (; i + 1 < chosen.size(); i += 2) {
+    hr = grp.mul(hr, grp.multi_exp(chosen[i]->u_i, lambda[i],
+                                   chosen[i + 1]->u_i, lambda[i + 1]));
+  }
+  if (i < chosen.size()) {
+    hr = grp.mul(hr, grp.exp(chosen[i]->u_i, lambda[i]));
   }
   Bytes m = hash_pad(grp, hr);
   xor_inplace(m, ct.c);

@@ -107,6 +107,17 @@ std::optional<Tdh2DecryptionShare> tdh2_share_decrypt(
     const Tdh2PublicKey& pk, const Tdh2KeyShare& key, const Tdh2Ciphertext& ct,
     BytesView label, crypto::Drbg& rng);
 
+/// ShareDec for a ciphertext the caller ALREADY verified with
+/// tdh2_verify_ciphertext.  CP0 verifies every ciphertext once at request
+/// admission, so its reveal step uses this entry point instead of paying the
+/// Fiat–Shamir proof check a second (and, at combine, third) time.  Calling
+/// it on an unverified ciphertext produces a well-formed share for garbage —
+/// never call it with untrusted input.
+Tdh2DecryptionShare tdh2_share_decrypt_preverified(const Tdh2PublicKey& pk,
+                                                   const Tdh2KeyShare& key,
+                                                   const Tdh2Ciphertext& ct,
+                                                   crypto::Drbg& rng);
+
 /// Vrf: checks one decryption share against the ciphertext.
 bool tdh2_verify_share(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
                        BytesView label, const Tdh2DecryptionShare& share);
@@ -119,5 +130,12 @@ bool tdh2_verify_share(const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
 std::optional<Bytes> tdh2_combine(const Tdh2PublicKey& pk,
                                   const Tdh2Ciphertext& ct, BytesView label,
                                   std::span<const Tdh2DecryptionShare> shares);
+
+/// Comb for a ciphertext the caller ALREADY verified (see
+/// tdh2_share_decrypt_preverified); still returns nullopt when fewer than
+/// `threshold` distinct-index shares are supplied.
+std::optional<Bytes> tdh2_combine_preverified(
+    const Tdh2PublicKey& pk, const Tdh2Ciphertext& ct,
+    std::span<const Tdh2DecryptionShare> shares);
 
 }  // namespace scab::threshenc

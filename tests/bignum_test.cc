@@ -199,6 +199,74 @@ TEST_P(BignumPropertyTest, ModAddSubInverse) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BignumPropertyTest, ::testing::Range(0, 6));
 
 // ---------------------------------------------------------------------------
+// Knuth Algorithm D add-back branch.  The two-limb qhat refinement makes
+// the trial digit exact for 2-limb divisors; with >= 3 limbs it can still
+// overshoot by one, with probability ~2/2^64 on random inputs — uniform
+// sweeps never reach the correction.  These pairs are crafted to force it
+// (divisor top limb exactly b/2, a tiny low limb, and a dividend sitting
+// at quotient digit b-1 with a maximal remainder), and the instrumentation
+// counter (divmod_addback_count) proves the branch actually ran.
+
+// Little-endian 64-bit limbs -> Bignum.
+Bignum from_limbs(const std::vector<uint64_t>& limbs) {
+  Bignum v;
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    v = (v << 64) + Bignum(limbs[i]);
+  }
+  return v;
+}
+
+TEST(BignumDivMod, AddBackBranchFiresOnCraftedPairs) {
+  const uint64_t kHalf = uint64_t{1} << 63;
+  const uint64_t kMax = ~uint64_t{0};
+  // Each case: divisor limbs (LE), quotient digit, remainder offset; the
+  // dividend is q*v + (v - offset).
+  struct Case {
+    std::vector<uint64_t> v_limbs;
+    uint64_t q, offset;
+  };
+  const std::vector<Case> cases = {
+      {{1, 0, kHalf}, kMax, 1},
+      {{1, 0, kHalf}, kMax - 3, 2},
+      {{2, 0, kHalf}, kMax - 1, 1},
+  };
+  for (const auto& c : cases) {
+    const Bignum v = from_limbs(c.v_limbs);
+    const Bignum u = v * Bignum(c.q) + (v - Bignum(c.offset));
+    const uint64_t before = divmod_addback_count();
+    const auto [q, r] = divmod(u, v);
+    EXPECT_GT(divmod_addback_count(), before)
+        << "pair no longer reaches the add-back correction";
+    EXPECT_EQ(q, Bignum(c.q));
+    EXPECT_EQ(r, v - Bignum(c.offset));
+    EXPECT_EQ(q * v + r, u);
+  }
+}
+
+TEST(BignumDivMod, AddBackPreservesDivModIdentityUnderSweep) {
+  // Sweep the neighbourhood of the triggering family: whether or not each
+  // individual pair fires the correction, the division identity must hold.
+  const uint64_t kHalf = uint64_t{1} << 63;
+  const uint64_t kMax = ~uint64_t{0};
+  uint64_t fired = 0;
+  for (uint64_t lo = 0; lo < 4; ++lo) {
+    for (uint64_t dq = 0; dq < 4; ++dq) {
+      const Bignum v = from_limbs({lo, 0, kHalf});
+      for (const Bignum& u :
+           {v * Bignum(kMax - dq) + (v - Bignum(1)),
+            v * Bignum(kMax - dq) + (v - Bignum(2)), v * Bignum(kMax - dq)}) {
+        const uint64_t before = divmod_addback_count();
+        const auto [q, r] = divmod(u, v);
+        fired += divmod_addback_count() - before;
+        EXPECT_LT(r, v);
+        EXPECT_EQ(q * v + r, u);
+      }
+    }
+  }
+  EXPECT_GT(fired, 0u);
+}
+
+// ---------------------------------------------------------------------------
 
 TEST(BignumPrimality, KnownSmallPrimes) {
   Drbg rng(to_bytes("prime"));

@@ -211,5 +211,72 @@ TEST(Byzantine, Cp1ForgedOpeningRejected) {
   }
 }
 
+// CP0 under a share-flooding adversary: a Byzantine replica broadcasts
+// decryption shares for RequestIds that never existed.  Regression for the
+// unbounded-pending bug, where every such message created a PendingReveal
+// entry keyed by the attacker-chosen id — state that was never reclaimed.
+// Now pre-delivery shares live in a bounded per-sender stash.
+TEST(Byzantine, Cp0BogusShareFloodCannotGrowState) {
+  auto opts = byz_options();
+  opts.protocol = Protocol::kCp0;
+  Cluster cluster(opts);
+
+  const NodeId attacker = 3;
+  const int kFlood = 500;
+  for (int i = 0; i < kFlood; ++i) {
+    Writer w;
+    RequestId{Cluster::client_id(7), static_cast<uint64_t>(1000 + i)}.write(w);
+    w.bytes(to_bytes("not-a-share-" + std::to_string(i)));
+    const Bytes body = std::move(w).take();
+    for (NodeId r = 0; r < cluster.n(); ++r) {
+      if (r == attacker) continue;
+      cluster.net().send(attacker, r,
+                         bft::seal_envelope(cluster.keys(), bft::Channel::kCausal,
+                                            attacker, r, body));
+    }
+  }
+  cluster.sim().run_until(cluster.sim().now() + 100 * kMillisecond);
+
+  for (uint32_t i = 0; i < cluster.n(); ++i) {
+    if (i == attacker) continue;
+    auto& app = dynamic_cast<Cp0ReplicaApp&>(cluster.replica_app(i));
+    // No reveal state was created for undelivered ids, and the stash is
+    // capped per sender regardless of flood volume.
+    EXPECT_EQ(app.pending_count(), 0u) << "replica " << i;
+    EXPECT_LE(app.early_share_count(), Cp0ReplicaApp::kMaxEarlySharesPerSender)
+        << "replica " << i;
+  }
+
+  // Liveness is unaffected: an honest request still round-trips.
+  auto r = cluster.run_one(0, apps::KvStore::put("k", to_bytes("v")));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, to_bytes("ok"));
+}
+
+// Genuinely-early shares from correct peers still count once the request
+// is delivered: the stash is adopted, not dropped.
+TEST(Byzantine, Cp0EarlyShareStashStillServesCorrectPeers) {
+  auto opts = byz_options();
+  opts.protocol = Protocol::kCp0;
+  Cluster cluster(opts);
+
+  // Normal operation exercises the stash whenever one replica's delivery
+  // races another's reveal broadcast; just confirm end-to-end liveness and
+  // that no stash entries leak after the run.
+  auto& client = cluster.client(0);
+  client.run_closed_loop(
+      [](uint64_t i) { return apps::KvStore::put("k" + std::to_string(i), to_bytes("v")); },
+      6);
+  const bool done =
+      cluster.sim().run_while([&] { return client.completed_ops() >= 6; });
+  ASSERT_TRUE(done);
+  cluster.sim().run_until(cluster.sim().now() + 100 * kMillisecond);
+  for (uint32_t i = 0; i < cluster.n(); ++i) {
+    auto& app = dynamic_cast<Cp0ReplicaApp&>(cluster.replica_app(i));
+    EXPECT_EQ(app.early_share_count(), 0u) << "replica " << i;
+    EXPECT_EQ(app.pending_count(), 0u) << "replica " << i;
+  }
+}
+
 }  // namespace
 }  // namespace scab::causal

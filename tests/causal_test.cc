@@ -123,6 +123,37 @@ TEST(Cp0, ModeledBackendMatchesRealBehaviour) {
   }
 }
 
+TEST(Cp0, ModeledBackendRejectsOutOfRangeShareIndices) {
+  // Regression: the modeled oracle accepted any index with a valid tag, so
+  // one sender could fabricate shares at indices n+1, n+2, ... and reach
+  // the combine threshold alone.  Valid indices are 1..n.
+  crypto::Drbg rng(to_bytes("modeled-idx"));
+  ModeledThresholdBackend backend(/*threshold=*/2, /*servers=*/4);
+  const Bytes label = to_bytes("L");
+  const Bytes ct = backend.encrypt(to_bytes("msg"), label, rng);
+
+  for (uint32_t index : {1u, 2u, 3u, 4u}) {
+    const auto share = backend.decryption_share(index, ct, label, rng);
+    ASSERT_TRUE(share.has_value());
+    EXPECT_TRUE(backend.verify_share(ct, label, *share)) << index;
+  }
+  for (uint32_t index : {0u, 5u, 6u, 1000u}) {
+    const auto share = backend.decryption_share(index, ct, label, rng);
+    ASSERT_TRUE(share.has_value());
+    EXPECT_FALSE(backend.verify_share(ct, label, *share)) << index;
+  }
+
+  // Above-n shares do not count toward the threshold.
+  std::vector<Bytes> forged;
+  for (uint32_t index : {5u, 6u, 7u}) {
+    forged.push_back(*backend.decryption_share(index, ct, label, rng));
+  }
+  EXPECT_FALSE(backend.combine(ct, label, forged).has_value());
+  forged.push_back(*backend.decryption_share(1, ct, label, rng));
+  forged.push_back(*backend.decryption_share(2, ct, label, rng));
+  EXPECT_TRUE(backend.combine(ct, label, forged).has_value());
+}
+
 TEST(Cp0, RequestContentHiddenUntilScheduled) {
   // The BFT payload is a ciphertext: no replica (or observer) sees the
   // plaintext before the reveal phase.  We check the wire: the secret never

@@ -6,6 +6,7 @@
 #include "bft/envelope.h"
 #include "bft/types.h"
 #include "causal/id.h"
+#include "crypto/aead.h"
 #include "crypto/modgroup.h"
 #include "secretshare/arss.h"
 #include "threshenc/hybrid.h"
@@ -99,6 +100,126 @@ TEST_P(ParserFuzzTest, TruncationsOfValidMessagesAreRejected) {
   for (std::size_t len = 0; len < vcw.size(); ++len) {
     EXPECT_FALSE(bft::ViewChange::parse(BytesView(vcw.data(), len)).has_value());
   }
+}
+
+TEST_P(ParserFuzzTest, Tdh2WireTruncationsAreRejectedAtEveryLength) {
+  // Truncated TDH2 / hybrid wires must be rejected at parse time, before
+  // any group operation sees the (attacker-controlled) field values.
+  crypto::Drbg grng(to_bytes("tdh2-trunc-group"));
+  const crypto::ModGroup group = crypto::ModGroup::generate(48, grng);
+  crypto::Drbg rng(to_bytes("tdh2-trunc-" + std::to_string(GetParam())));
+  const auto keys = threshenc::tdh2_keygen(group, 2, 4, rng);
+  const Bytes label = to_bytes("L");
+
+  const auto ct = threshenc::tdh2_encrypt(
+      keys.pk, rng.generate(threshenc::kTdh2MessageSize), label, rng);
+  const Bytes ctw = ct.serialize(group);
+  for (std::size_t len = 0; len < ctw.size(); ++len) {
+    EXPECT_FALSE(threshenc::Tdh2Ciphertext::parse(
+                     group, BytesView(ctw.data(), len))
+                     .has_value())
+        << "ciphertext len=" << len;
+  }
+
+  const auto share =
+      *threshenc::tdh2_share_decrypt(keys.pk, keys.shares[0], ct, label, rng);
+  const Bytes shw = share.serialize(group);
+  for (std::size_t len = 0; len < shw.size(); ++len) {
+    EXPECT_FALSE(threshenc::Tdh2DecryptionShare::parse(
+                     group, BytesView(shw.data(), len))
+                     .has_value())
+        << "share len=" << len;
+  }
+
+  const auto hy =
+      threshenc::hybrid_encrypt(keys.pk, rng.generate(100), label, rng);
+  const Bytes hyw = hy.serialize(group);
+  for (std::size_t len = 0; len < hyw.size(); ++len) {
+    EXPECT_FALSE(threshenc::HybridCiphertext::parse(
+                     group, BytesView(hyw.data(), len))
+                     .has_value())
+        << "hybrid len=" << len;
+  }
+}
+
+TEST_P(ParserFuzzTest, Tdh2OutOfRangeFieldsAreRejectedAtParseTime) {
+  // Field values outside their domain (element >= p or zero, exponent >= q,
+  // index 0, undersized AEAD box) never survive parsing, so downstream
+  // verification code can assume range-reduced inputs.
+  crypto::Drbg grng(to_bytes("tdh2-range-group"));
+  const crypto::ModGroup group = crypto::ModGroup::generate(48, grng);
+  crypto::Drbg rng(to_bytes("tdh2-range-" + std::to_string(GetParam())));
+  const auto keys = threshenc::tdh2_keygen(group, 2, 4, rng);
+  const Bytes label = to_bytes("L");
+  const auto ct = threshenc::tdh2_encrypt(
+      keys.pk, rng.generate(threshenc::kTdh2MessageSize), label, rng);
+  ASSERT_TRUE(
+      threshenc::Tdh2Ciphertext::parse(group, ct.serialize(group)).has_value());
+
+  auto reject_ct = [&](threshenc::Tdh2Ciphertext bad) {
+    EXPECT_FALSE(threshenc::Tdh2Ciphertext::parse(group, bad.serialize(group))
+                     .has_value());
+  };
+  {
+    auto bad = ct;
+    bad.u = crypto::Bignum(0);
+    reject_ct(bad);
+    bad.u = group.p();  // == p after fixed-width round-trip: out of range
+    reject_ct(bad);
+  }
+  {
+    auto bad = ct;
+    bad.ubar = crypto::Bignum(0);
+    reject_ct(bad);
+  }
+  {
+    auto bad = ct;
+    bad.e = group.q();
+    reject_ct(bad);
+    bad = ct;
+    bad.f = group.q();
+    reject_ct(bad);
+  }
+  {
+    auto bad = ct;
+    bad.c.resize(threshenc::kTdh2MessageSize - 1);
+    reject_ct(bad);
+  }
+
+  const auto share =
+      *threshenc::tdh2_share_decrypt(keys.pk, keys.shares[0], ct, label, rng);
+  auto reject_share = [&](threshenc::Tdh2DecryptionShare bad) {
+    EXPECT_FALSE(
+        threshenc::Tdh2DecryptionShare::parse(group, bad.serialize(group))
+            .has_value());
+  };
+  {
+    auto bad = share;
+    bad.index = 0;
+    reject_share(bad);
+  }
+  {
+    auto bad = share;
+    bad.u_i = crypto::Bignum(0);
+    reject_share(bad);
+    bad.u_i = group.p();
+    reject_share(bad);
+  }
+  {
+    auto bad = share;
+    bad.e_i = group.q();
+    reject_share(bad);
+    bad = share;
+    bad.f_i = group.q();
+    reject_share(bad);
+  }
+
+  // A hybrid wire whose AEAD box is shorter than nonce+tag cannot contain
+  // a valid box; it is rejected before touching the KEM.
+  auto hy = threshenc::hybrid_encrypt(keys.pk, rng.generate(64), label, rng);
+  hy.box.resize(crypto::kAeadOverhead - 1);
+  EXPECT_FALSE(threshenc::HybridCiphertext::parse(group, hy.serialize(group))
+                   .has_value());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 5));

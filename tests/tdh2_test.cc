@@ -197,6 +197,55 @@ TEST_P(Tdh2Test, SerializationRoundTrip) {
   EXPECT_FALSE(Tdh2DecryptionShare::parse(keys_.pk.group, Bytes{}).has_value());
 }
 
+TEST_P(Tdh2Test, PreverifiedShareDecryptAgreesWithChecked) {
+  // The preverified entry point (used by CP0's reveal pipeline after the
+  // admission-time proof check) must emit shares indistinguishable from the
+  // checked path: same verification outcome, interchangeable in combine.
+  const Bytes label = to_bytes("L");
+  const Bytes msg = fresh_message();
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+
+  std::vector<Tdh2DecryptionShare> pre;
+  for (uint32_t i = 0; i < t(); ++i) {
+    pre.push_back(tdh2_share_decrypt_preverified(keys_.pk, keys_.shares[i], ct, rng_));
+    EXPECT_EQ(pre.back().index, keys_.shares[i].index);
+    EXPECT_TRUE(tdh2_verify_share(keys_.pk, ct, label, pre.back()));
+  }
+  // The share value u_i = u^{x_i} is deterministic; only the proof nonce
+  // differs between calls.
+  const auto checked =
+      *tdh2_share_decrypt(keys_.pk, keys_.shares[0], ct, label, rng_);
+  EXPECT_EQ(pre[0].u_i, checked.u_i);
+
+  // Mixed provenance combines to the plaintext.
+  std::vector<Tdh2DecryptionShare> mixed;
+  mixed.push_back(checked);
+  for (uint32_t i = 1; i < t(); ++i) mixed.push_back(pre[i]);
+  EXPECT_EQ(tdh2_combine(keys_.pk, ct, label, mixed), msg);
+}
+
+TEST_P(Tdh2Test, PreverifiedCombineAgreesWithChecked) {
+  const Bytes label = to_bytes("L");
+  const Bytes msg = fresh_message();
+  const auto ct = tdh2_encrypt(keys_.pk, msg, label, rng_);
+  const auto shares = make_shares(ct, label, t());
+
+  // On valid input the two entry points agree (the checked one just pays
+  // the ciphertext + share proofs again).
+  EXPECT_EQ(tdh2_combine_preverified(keys_.pk, ct, shares), msg);
+  EXPECT_EQ(tdh2_combine_preverified(keys_.pk, ct, shares),
+            tdh2_combine(keys_.pk, ct, label, shares));
+
+  // Threshold and distinctness are structural properties, still enforced
+  // by the preverified path.
+  if (t() > 1) {
+    std::vector<Tdh2DecryptionShare> few(shares.begin(), shares.end() - 1);
+    EXPECT_FALSE(tdh2_combine_preverified(keys_.pk, ct, few).has_value());
+    std::vector<Tdh2DecryptionShare> dup(t(), shares[0]);
+    EXPECT_FALSE(tdh2_combine_preverified(keys_.pk, ct, dup).has_value());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(FaultLevels, Tdh2Test, ::testing::Values(1u, 2u, 3u),
                          [](const auto& info) {
                            return "f" + std::to_string(info.param);
