@@ -1,10 +1,12 @@
 // Fig. 4 — throughput vs number of clients, f = 1, LAN setting.
 #include "bench/throughput_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scab;
   bench::run_throughput_figure("Fig 4 — throughput vs clients (LAN, f=1)",
+                               "fig4_throughput_lan",
                                sim::NetworkProfile::lan(), 1,
-                               {1, 5, 10, 20, 40, 60, 80, 100});
+                               {1, 5, 10, 20, 40, 60, 80, 100},
+                               bench::parse_json_flag(argc, argv));
   return 0;
 }

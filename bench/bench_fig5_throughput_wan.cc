@@ -1,10 +1,12 @@
 // Fig. 5 — throughput vs number of clients, f = 1, WAN setting.
 #include "bench/throughput_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scab;
   bench::run_throughput_figure("Fig 5 — throughput vs clients (WAN, f=1)",
+                               "fig5_throughput_wan",
                                sim::NetworkProfile::wan(), 1,
-                               {1, 5, 10, 20, 40, 60, 80, 100});
+                               {1, 5, 10, 20, 40, 60, 80, 100},
+                               bench::parse_json_flag(argc, argv));
   return 0;
 }

@@ -2,14 +2,17 @@
 // per protocol and report the maximum observed.
 #include "bench/throughput_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scab;
   using namespace scab::bench;
   using causal::Protocol;
 
-  print_header("Fig 6 — peak throughput (requests/s), LAN",
-               "max over client counts {10, 40, 80, 120}");
-  print_row({"protocol", "f=1", "f=2", "f=3"});
+  const bool json = parse_json_flag(argc, argv);
+  if (!json) {
+    print_header("Fig 6 — peak throughput (requests/s), LAN",
+                 "max over client counts {10, 40, 80, 120}");
+    print_row({"protocol", "f=1", "f=2", "f=3"});
+  }
 
   for (auto p : {Protocol::kPbft, Protocol::kCp0, Protocol::kCp1,
                  Protocol::kCp2, Protocol::kCp3}) {
@@ -19,14 +22,22 @@ int main() {
           calibrate_costs(crypto::ModGroup::modp_1024(), f);
       double peak = 0;
       for (uint32_t clients : {10u, 40u, 80u, 120u}) {
-        peak = std::max(
-            peak,
-            sweep_point(p, f, sim::NetworkProfile::lan(), costs, clients)
-                .ops_per_sec);
+        if (json) {
+          // JSON mode emits every sweep point (the peak is derivable).
+          std::string obs;
+          const ThroughputResult r = sweep_point(
+              p, f, sim::NetworkProfile::lan(), costs, clients, &obs);
+          print_sweep_point_json("fig6_peak_throughput", p, f, clients, r, obs);
+        } else {
+          peak = std::max(
+              peak,
+              sweep_point(p, f, sim::NetworkProfile::lan(), costs, clients)
+                  .ops_per_sec);
+        }
       }
       row.push_back(fmt_tput(peak));
     }
-    print_row(row);
+    if (!json) print_row(row);
   }
   return 0;
 }

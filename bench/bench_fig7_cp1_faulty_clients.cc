@@ -8,6 +8,8 @@
 // series of executed requests per second, for 5 and for 10 clients; the
 // cleanup cycle scales with the client count, so the dead period is longer
 // with 10 clients, exactly as in the paper.
+#include <cstdio>
+
 #include "bench/bench_util.h"
 
 namespace {
@@ -17,7 +19,7 @@ using namespace scab::bench;
 using sim::kMillisecond;
 using sim::kSecond;
 
-void run_timeline(uint32_t clients) {
+void run_timeline(uint32_t clients, bool json) {
   const sim::CostModel costs = calibrate_costs(crypto::ModGroup::modp_1024(), 1);
   causal::ClusterOptions opts;
   opts.protocol = causal::Protocol::kCp1;
@@ -52,13 +54,16 @@ void run_timeline(uint32_t clients) {
   const sim::SimTime t_recover = 800 * kMillisecond;  // transient failure
   const sim::SimTime t_end = 1500 * kMillisecond;
 
-  print_header(("Fig 7 — CP1 throughput timeline, " + std::to_string(clients) +
-                " clients (LAN, f=1)")
-                   .c_str(),
-               "clients turn faulty (schedule without reveal) at t=300 ms; "
-               "recovery when the cleanup completes");
-  print_row({"t_ms", "executed/s", "tentative", "cleaned"});
+  if (!json) {
+    print_header(("Fig 7 — CP1 throughput timeline, " +
+                  std::to_string(clients) + " clients (LAN, f=1)")
+                     .c_str(),
+                 "clients turn faulty (schedule without reveal) at t=300 ms; "
+                 "recovery when the cleanup completes");
+    print_row({"t_ms", "executed/s", "tentative", "cleaned"});
+  }
 
+  std::string timeline;  // JSON array members, built as the run progresses
   bool failed = false;
   bool recovered = false;
   uint64_t prev_exec = 0;
@@ -77,16 +82,39 @@ void run_timeline(uint32_t clients) {
     const double tput = static_cast<double>(now_exec - prev_exec) * kSecond /
                         static_cast<double>(bucket);
     prev_exec = now_exec;
-    print_row({std::to_string(t / kMillisecond), fmt_tput(tput),
-               std::to_string(app.tentative_count()),
-               std::to_string(app.cleaned_count())});
+    if (json) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"t_ms\":%llu,\"executed_per_s\":%.1f,"
+                    "\"tentative\":%llu,\"cleaned\":%llu}",
+                    timeline.empty() ? "" : ",",
+                    static_cast<unsigned long long>(t / kMillisecond), tput,
+                    static_cast<unsigned long long>(app.tentative_count()),
+                    static_cast<unsigned long long>(app.cleaned_count()));
+      timeline += buf;
+    } else {
+      print_row({std::to_string(t / kMillisecond), fmt_tput(tput),
+                 std::to_string(app.tentative_count()),
+                 std::to_string(app.cleaned_count())});
+    }
+  }
+  if (json) {
+    std::printf(
+        "{\"figure\":\"fig7_cp1_faulty_clients\",\"clients\":%u,"
+        "\"timeline\":[%s],%s}\n",
+        clients, timeline.c_str(), obs_json_fields(cluster).c_str());
+    std::fflush(stdout);
   }
 }
 
 }  // namespace
 
-int main() {
-  run_timeline(5);
-  run_timeline(10);
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json = true;
+  }
+  run_timeline(5, json);
+  run_timeline(10, json);
   return 0;
 }

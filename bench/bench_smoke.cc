@@ -1,0 +1,109 @@
+// CI smoke check for the observability pipeline: run a tiny LAN
+// throughput configuration, emit one bench JSON record, then validate it
+// with the in-tree JSON reader:
+//   1. every path listed in bench/metrics_schema.json "required" exists;
+//   2. the tracer's per-phase means sum to the end-to-end mean within 5%
+//      (the figure benches' acceptance bound; the tracer guarantees exact
+//      telescoping, so a violation means a serialisation regression);
+//   3. the run made progress (completed spans, measured operations).
+// Usage: bench_smoke <path/to/metrics_schema.json>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/throughput_common.h"
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  using namespace scab;
+  using namespace scab::bench;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <metrics_schema.json>\n", argv[0]);
+    return 2;
+  }
+
+  causal::ClusterOptions opts;
+  opts.protocol = causal::Protocol::kCp0;
+  opts.cp0_modeled = true;  // oracle backend: no real exponentiations
+  opts.bft = bft::BftConfig::for_f(1);
+  opts.profile = sim::NetworkProfile::lan();
+  opts.costs = sim::CostModel::zero();  // virtual time from the network only
+  opts.seed = 7;
+
+  std::string obs;
+  const ThroughputResult r =
+      run_throughput(opts, /*clients=*/2, /*request_bytes=*/256,
+                     /*warmup_ops=*/20, /*measure_ops=*/60, 60 * sim::kSecond,
+                     &obs);
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"figure\":\"bench_smoke\",\"protocol\":\"CP0\","
+                "\"clients\":2,\"ops_per_sec\":%.3f,\"mean_latency_ms\":%.4f,"
+                "\"measured_ops\":%llu,",
+                r.ops_per_sec, r.mean_latency_ms,
+                static_cast<unsigned long long>(r.measured_ops));
+  const std::string line = std::string(head) + obs + "}";
+  std::printf("%s\n", line.c_str());
+
+  int failures = 0;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "bench_smoke: FAIL: %s\n", what.c_str());
+    ++failures;
+  };
+
+  const auto doc = obs::json::parse(line);
+  if (!doc) {
+    fail("emitted JSON does not parse");
+    return 1;
+  }
+
+  std::ifstream schema_file(argv[1]);
+  if (!schema_file) {
+    fail(std::string("cannot open schema ") + argv[1]);
+    return 1;
+  }
+  std::stringstream ss;
+  ss << schema_file.rdbuf();
+  const auto schema = obs::json::parse(ss.str());
+  if (!schema || !schema->get("required") ||
+      !schema->get("required")->is_array()) {
+    fail("schema does not parse or has no \"required\" array");
+    return 1;
+  }
+  for (const auto& p : schema->get("required")->as_array()) {
+    if (!p.is_string()) continue;
+    if (!obs::json::find_path(*doc, p.as_string())) {
+      fail("missing required path: " + p.as_string());
+    }
+  }
+
+  // Phase means must telescope to the end-to-end mean (5% bound).
+  const auto* e2e = obs::json::find_path(*doc, "trace/end_to_end_ms");
+  const auto* phases = obs::json::find_path(*doc, "trace/phases");
+  const auto* completed = obs::json::find_path(*doc, "trace/completed");
+  if (!e2e || !phases || !phases->is_array() || !completed) {
+    fail("trace breakdown missing");
+  } else {
+    double sum = 0;
+    for (const auto& ph : phases->as_array()) {
+      const auto* mean = ph.get("mean_ms");
+      if (mean) sum += mean->as_number();
+    }
+    const double ref = e2e->as_number();
+    if (ref <= 0 || completed->as_number() <= 0) {
+      fail("no completed spans traced");
+    } else if (std::fabs(sum - ref) > 0.05 * ref) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "phase means sum %.4f ms vs end-to-end %.4f ms (>5%%)",
+                    sum, ref);
+      fail(buf);
+    }
+  }
+
+  if (r.measured_ops == 0) fail("no operations measured");
+
+  if (failures == 0) std::fprintf(stderr, "bench_smoke: PASS\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -201,8 +201,14 @@ CostModel calibrate_costs(const crypto::ModGroup& group, uint32_t f) {
   return m;
 }
 
+std::string obs_json_fields(Cluster& cluster) {
+  return "\"trace\":" + cluster.tracer().to_json() +
+         ",\"metrics\":" + cluster.merged_metrics().to_json();
+}
+
 double run_latency_ms(ClusterOptions opts, std::size_t request_bytes,
-                      uint64_t requests, SimTime deadline) {
+                      uint64_t requests, SimTime deadline,
+                      std::string* obs_fields) {
   opts.num_clients = 1;
   Cluster cluster(std::move(opts));
   auto& client = cluster.client(0);
@@ -216,6 +222,7 @@ double run_latency_ms(ClusterOptions opts, std::size_t request_bytes,
   cluster.sim().run_while([&] {
     return client.completed_ops() >= requests || cluster.sim().now() > deadline;
   });
+  if (obs_fields) *obs_fields = obs_json_fields(cluster);
   if (client.completed_ops() < requests) return -1.0;
   return static_cast<double>(client.total_latency()) / requests /
          sim::kMillisecond;
@@ -223,7 +230,8 @@ double run_latency_ms(ClusterOptions opts, std::size_t request_bytes,
 
 ThroughputResult run_throughput(ClusterOptions opts, uint32_t clients,
                                 std::size_t request_bytes, uint64_t warmup_ops,
-                                uint64_t measure_ops, SimTime deadline) {
+                                uint64_t measure_ops, SimTime deadline,
+                                std::string* obs_fields) {
   opts.num_clients = clients;
   Cluster cluster(std::move(opts));
 
@@ -261,6 +269,8 @@ ThroughputResult run_throughput(ClusterOptions opts, uint32_t clients,
   const uint64_t ops1 = total_completed();
   const SimTime t1 = cluster.sim().now();
   const SimTime lat1 = total_latency();
+
+  if (obs_fields) *obs_fields = obs_json_fields(cluster);
 
   ThroughputResult out;
   out.measured_ops = ops1 - ops0;

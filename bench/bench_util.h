@@ -41,9 +41,17 @@ ThreshEncProfile profile_threshenc(const crypto::ModGroup& group, uint32_t f,
 /// `request_bytes` each and returns the mean latency in milliseconds
 /// (the paper's "latency under no contention").  Returns a negative value
 /// if the run did not finish within the virtual deadline.
+///
+/// If `obs_fields` is non-null it receives the run's observability export:
+/// two already-serialised JSON members, `"trace":{...},"metrics":{...}`
+/// (no surrounding braces), ready to splice into a caller-assembled
+/// object.  The trace member is the tracer's per-phase breakdown, whose
+/// segment means telescope to the end-to-end mean (obs/trace.h); the
+/// metrics member is the cluster-wide merged registry.
 double run_latency_ms(causal::ClusterOptions opts, std::size_t request_bytes,
                       uint64_t requests,
-                      sim::SimTime deadline = 600 * sim::kSecond);
+                      sim::SimTime deadline = 600 * sim::kSecond,
+                      std::string* obs_fields = nullptr);
 
 struct ThroughputResult {
   double ops_per_sec = 0;
@@ -54,10 +62,16 @@ struct ThroughputResult {
 /// Runs `clients` closed-loop clients under contention and measures
 /// steady-state throughput: a warmup of `warmup_ops` completions, then
 /// `measure_ops` completions (both totals across clients).
+/// `obs_fields`: as in run_latency_ms.
 ThroughputResult run_throughput(causal::ClusterOptions opts, uint32_t clients,
                                 std::size_t request_bytes, uint64_t warmup_ops,
                                 uint64_t measure_ops,
-                                sim::SimTime deadline = 3600 * sim::kSecond);
+                                sim::SimTime deadline = 3600 * sim::kSecond,
+                                std::string* obs_fields = nullptr);
+
+/// The observability members for a finished cluster (used by the helpers
+/// above and directly by benches that drive their own run loop).
+std::string obs_json_fields(causal::Cluster& cluster);
 
 /// Fixed-width table printing.
 void print_header(const std::string& title, const std::string& note);

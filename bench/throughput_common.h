@@ -5,6 +5,10 @@
 // exponentiations.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
 #include "bench/bench_util.h"
 
 namespace scab::bench {
@@ -31,7 +35,8 @@ inline causal::ClusterOptions throughput_options(causal::Protocol protocol,
 inline ThroughputResult sweep_point(causal::Protocol protocol, uint32_t f,
                                     sim::NetworkProfile profile,
                                     const sim::CostModel& costs,
-                                    uint32_t clients) {
+                                    uint32_t clients,
+                                    std::string* obs_fields = nullptr) {
   auto opts = throughput_options(protocol, f, profile, costs);
   // Scale the sample with the client count, bounded to keep the suite fast.
   const uint64_t warmup = std::min<uint64_t>(10ull * clients, 200);
@@ -39,22 +44,42 @@ inline ThroughputResult sweep_point(causal::Protocol protocol, uint32_t f,
   if (protocol == causal::Protocol::kCp0) {
     measure = std::min<uint64_t>(measure, 400);  // CP0 is ~100x slower
   }
-  return run_throughput(opts, clients, 4096, warmup, measure);
+  return run_throughput(opts, clients, 4096, warmup, measure,
+                        3600 * sim::kSecond, obs_fields);
 }
 
-inline void run_throughput_figure(const char* title,
+/// One sweep point as a JSON-lines record: headline numbers plus the
+/// observability export ("trace" per-phase breakdown + merged "metrics").
+inline void print_sweep_point_json(const char* figure, causal::Protocol p,
+                                   uint32_t f, uint32_t clients,
+                                   const ThroughputResult& r,
+                                   const std::string& obs_fields) {
+  std::printf(
+      "{\"figure\":\"%s\",\"protocol\":\"%s\",\"f\":%u,\"clients\":%u,"
+      "\"ops_per_sec\":%.3f,\"mean_latency_ms\":%.4f,\"measured_ops\":%llu,"
+      "%s}\n",
+      figure, causal::protocol_name(p), f, clients, r.ops_per_sec,
+      r.mean_latency_ms, static_cast<unsigned long long>(r.measured_ops),
+      obs_fields.c_str());
+  std::fflush(stdout);
+}
+
+inline void run_throughput_figure(const char* title, const char* figure_id,
                                   sim::NetworkProfile profile, uint32_t f,
-                                  const std::vector<uint32_t>& client_counts) {
-  print_header(title,
-               "4/0 microbenchmark, closed-loop clients, requests/s; CP0 "
-               "uses the calibrated-cost threshold oracle");
-  std::vector<std::string> head{"clients"};
-  for (auto p :
-       {causal::Protocol::kPbft, causal::Protocol::kCp0, causal::Protocol::kCp1,
-        causal::Protocol::kCp2, causal::Protocol::kCp3}) {
-    head.push_back(causal::protocol_name(p));
+                                  const std::vector<uint32_t>& client_counts,
+                                  bool json = false) {
+  if (!json) {
+    print_header(title,
+                 "4/0 microbenchmark, closed-loop clients, requests/s; CP0 "
+                 "uses the calibrated-cost threshold oracle");
+    std::vector<std::string> head{"clients"};
+    for (auto p : {causal::Protocol::kPbft, causal::Protocol::kCp0,
+                   causal::Protocol::kCp1, causal::Protocol::kCp2,
+                   causal::Protocol::kCp3}) {
+      head.push_back(causal::protocol_name(p));
+    }
+    print_row(head);
   }
-  print_row(head);
 
   const sim::CostModel costs =
       calibrate_costs(crypto::ModGroup::modp_1024(), f);
@@ -63,10 +88,26 @@ inline void run_throughput_figure(const char* title,
     for (auto p : {causal::Protocol::kPbft, causal::Protocol::kCp0,
                    causal::Protocol::kCp1, causal::Protocol::kCp2,
                    causal::Protocol::kCp3}) {
-      row.push_back(fmt_tput(sweep_point(p, f, profile, costs, clients).ops_per_sec));
+      if (json) {
+        std::string obs;
+        const ThroughputResult r =
+            sweep_point(p, f, profile, costs, clients, &obs);
+        print_sweep_point_json(figure_id, p, f, clients, r, obs);
+      } else {
+        row.push_back(
+            fmt_tput(sweep_point(p, f, profile, costs, clients).ops_per_sec));
+      }
     }
-    print_row(row);
+    if (!json) print_row(row);
   }
+}
+
+/// Shared `--json` flag handling for the figure benches.
+inline bool parse_json_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return true;
+  }
+  return false;
 }
 
 }  // namespace scab::bench

@@ -51,5 +51,26 @@ int main() {
   std::printf("\n--- drill 3: service keeps running ---\n");
   auto final = cluster.run_one(1, to_bytes("business as usual"));
   std::printf("post-drill request: %s\n", final ? "completed" : "FAILED");
+
+  std::printf("\n--- what the observability layer saw ---\n");
+  std::printf("crash-attributed drops: %llu   (drill 1's dead primary)\n",
+              static_cast<unsigned long long>(
+                  cluster.net_metrics().counter_value("net.drops.crash")));
+  std::printf("view changes started on replica 1: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.replica_metrics(1).counter_value(
+                      "bft.view_changes_started")));
+  std::printf("cp1 requests cleaned (cluster-wide): %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.merged_metrics().counter_value("cp1.cleaned")));
+  const auto breakdown = cluster.tracer().breakdown();
+  std::printf("traced requests: %llu completed, %.3f ms mean end-to-end\n",
+              static_cast<unsigned long long>(breakdown.completed),
+              breakdown.end_to_end_ms);
+  for (const auto& ph : breakdown.phases) {
+    if (ph.mean_ms > 0) {
+      std::printf("  %-8s %.3f ms\n", ph.name, ph.mean_ms);
+    }
+  }
   return final ? 0 : 1;
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full CI pipeline: default build + test suite, the bench_smoke metrics
+# check, then the whole suite again under ASan + UBSan (the `sanitize`
+# CMake preset).  Run from anywhere; ~a few minutes on a laptop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== default build ==="
+cmake --preset default
+cmake --build --preset default -j"$JOBS"
+
+echo "=== test suite ==="
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "=== bench smoke (metrics JSON vs schema) ==="
+./build/bench/bench_smoke bench/metrics_schema.json
+
+echo "=== sanitizer build (ASan + UBSan) ==="
+cmake --preset sanitize
+cmake --build --preset sanitize -j"$JOBS"
+
+echo "=== test suite under sanitizers ==="
+ctest --preset sanitize
+
+echo "=== CI OK ==="

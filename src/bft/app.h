@@ -12,6 +12,8 @@
 #include "bft/keyring.h"
 #include "bft/types.h"
 #include "crypto/drbg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/network.h"
 
@@ -58,6 +60,14 @@ class ReplicaContext {
   virtual void charge(sim::Op op, std::size_t bytes) = 0;
   virtual crypto::Drbg& rng() = 0;
   virtual const KeyRing& keys() const = 0;
+
+  /// This replica's metrics registry; apps publish "cp0."/"cp1."/... metrics
+  /// here.  Defaults to the inert sink so contexts without instrumentation
+  /// (and tests that don't care) need no changes.
+  virtual obs::MetricsRegistry& metrics() { return obs::MetricsRegistry::inert(); }
+  /// Cluster-wide request tracer (shared across replicas so phase events
+  /// merge into one span per request).
+  virtual obs::Tracer& tracer() { return obs::Tracer::inert(); }
 };
 
 class ReplicaApp {

@@ -20,14 +20,22 @@ bool ReplyQuorum::add(NodeId replica, const ReplyMsg& reply) {
 
 Client::Client(sim::Network& net, NodeId id, BftConfig config,
                const KeyRing& keys, const sim::CostModel& costs,
-               ClientProtocol* protocol, crypto::Drbg rng)
+               ClientProtocol* protocol, crypto::Drbg rng,
+               obs::MetricsRegistry* metrics, obs::Tracer* tracer)
     : sim::Node(net.sim(), id),
       net_(net),
       config_(config),
       keys_(keys),
       costs_(costs),
       protocol_(protocol),
-      rng_(std::move(rng)) {}
+      rng_(std::move(rng)),
+      metrics_(metrics ? *metrics : obs::MetricsRegistry::inert()),
+      tracer_(tracer ? *tracer : obs::Tracer::inert()) {
+  m_.submitted = &metrics_.counter("client.submitted");
+  m_.completed = &metrics_.counter("client.completed");
+  m_.retries = &metrics_.counter("client.retries");
+  m_.latency_ns = &metrics_.histogram("client.latency_ns");
+}
 
 void Client::run_closed_loop(OpGenerator gen, uint64_t max_ops,
                              CompletionHook hook) {
@@ -47,6 +55,8 @@ void Client::submit(Bytes op, CompletionHook hook) {
   inflight_seq_ = next_seq();
   inflight_op_ = std::move(op);
   inflight_start_ = now();
+  m_.submitted->inc();
+  tracer_.record(id(), inflight_seq_, obs::Phase::kSubmit, now());
   protocol_->start(inflight_seq_, inflight_op_, *this);
   arm_retry();
 }
@@ -60,6 +70,8 @@ void Client::begin_next() {
   ++issued_;
   inflight_seq_ = next_seq();
   inflight_start_ = now();
+  m_.submitted->inc();
+  tracer_.record(id(), inflight_seq_, obs::Phase::kSubmit, now());
   protocol_->start(inflight_seq_, inflight_op_, *this);
   arm_retry();
 }
@@ -68,6 +80,7 @@ void Client::arm_retry() {
   const uint64_t epoch = ++retry_epoch_;
   sim().schedule_after(retry_timeout_, [this, epoch] {
     if (!in_flight_ || epoch != retry_epoch_) return;
+    m_.retries->inc();
     protocol_->on_retransmit(*this);
     arm_retry();
   });
@@ -110,6 +123,9 @@ void Client::complete(Bytes result) {
   ++completed_;
   last_result_ = std::move(result);
   total_latency_ += now() - inflight_start_;
+  m_.completed->inc();
+  m_.latency_ns->record(now() - inflight_start_);
+  tracer_.record(id(), inflight_seq_, obs::Phase::kCompleted, now());
   if (hook_) hook_(inflight_index_, inflight_start_, now());
   begin_next();
 }

@@ -14,6 +14,8 @@
 
 #include "bft/config.h"
 #include "bft/envelope.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 
 namespace scab::bft {
@@ -95,9 +97,13 @@ class ReplyQuorum {
 
 class Client : public sim::Node, public ClientContext {
  public:
+  /// `metrics` receives "client."-prefixed counters/histograms; `tracer` is
+  /// the cluster-wide request tracer (kSubmit/kCompleted endpoints).  Both
+  /// optional — null binds to the inert sinks.
   Client(sim::Network& net, NodeId id, BftConfig config, const KeyRing& keys,
          const sim::CostModel& costs, ClientProtocol* protocol,
-         crypto::Drbg rng);
+         crypto::Drbg rng, obs::MetricsRegistry* metrics = nullptr,
+         obs::Tracer* tracer = nullptr);
 
   /// Generates the application body of operation #index.
   using OpGenerator = std::function<Bytes(uint64_t index)>;
@@ -169,6 +175,15 @@ class Client : public sim::Node, public ClientContext {
 
   Bytes last_result_;
   sim::SimTime total_latency_ = 0;
+
+  obs::MetricsRegistry& metrics_;
+  obs::Tracer& tracer_;
+  struct {
+    obs::Counter* submitted;
+    obs::Counter* completed;
+    obs::Counter* retries;
+    obs::Histogram* latency_ns;
+  } m_;
 };
 
 }  // namespace scab::bft

@@ -10,7 +10,8 @@ using sim::Op;
 
 Replica::Replica(sim::Network& net, NodeId id, BftConfig config,
                  const KeyRing& keys, const sim::CostModel& costs,
-                 ReplicaApp* app, crypto::Drbg rng)
+                 ReplicaApp* app, crypto::Drbg rng,
+                 obs::MetricsRegistry* metrics, obs::Tracer* tracer)
     : sim::Node(net.sim(), id),
       net_(net),
       config_(config),
@@ -18,7 +19,38 @@ Replica::Replica(sim::Network& net, NodeId id, BftConfig config,
       costs_(costs),
       app_(app),
       rng_(std::move(rng)),
-      exec_chain_digest_(32, 0) {}
+      exec_chain_digest_(32, 0),
+      metrics_(metrics ? *metrics : obs::MetricsRegistry::inert()),
+      tracer_(tracer ? *tracer : obs::Tracer::inert()) {
+  m_.batches_proposed = &metrics_.counter("bft.batches_proposed");
+  m_.pre_prepares_accepted = &metrics_.counter("bft.pre_prepares_accepted");
+  m_.requests_executed = &metrics_.counter("bft.requests_executed");
+  m_.checkpoints_emitted = &metrics_.counter("bft.checkpoints_emitted");
+  m_.view_changes_started = &metrics_.counter("bft.view_changes_started");
+  m_.view_changes_completed = &metrics_.counter("bft.view_changes_completed");
+  m_.replays_suppressed = &metrics_.counter("bft.replays_suppressed");
+  m_.batch_size = &metrics_.histogram("bft.batch_size");
+  m_.inflight_batches = &metrics_.histogram("bft.inflight_batches");
+  m_.pending_requests = &metrics_.gauge("bft.pending_requests");
+  m_.checkpoint_votes_tracked = &metrics_.gauge("bft.checkpoint_votes_tracked");
+  m_.view_change_votes_tracked = &metrics_.gauge("bft.view_change_votes_tracked");
+  m_.slots_tracked = &metrics_.gauge("bft.slots_tracked");
+  m_.checkpoint_lag = &metrics_.gauge("bft.checkpoint_lag");
+}
+
+void Replica::update_state_gauges() {
+  m_.pending_requests->set(static_cast<int64_t>(pending_requests_.size()));
+  m_.slots_tracked->set(static_cast<int64_t>(slots_.size()));
+  std::size_t cp_votes = 0;
+  for (const auto& [_, votes] : checkpoint_votes_) cp_votes += votes.size();
+  m_.checkpoint_votes_tracked->set(static_cast<int64_t>(cp_votes));
+  std::size_t vc_votes = 0;
+  for (const auto& [_, votes] : view_change_votes_) vc_votes += votes.size();
+  m_.view_change_votes_tracked->set(static_cast<int64_t>(vc_votes));
+  // How far execution trails the last stable checkpoint's window.
+  m_.checkpoint_lag->set(static_cast<int64_t>(next_exec_ - 1) -
+                         static_cast<int64_t>(low_watermark_));
+}
 
 void Replica::start() {
   if (started_) return;
@@ -189,6 +221,8 @@ void Replica::admit_request(NodeId client, ClientRequestMsg msg,
   pending.payload = req.payload;
   pending.first_seen = now();
   pending_requests_.emplace(key, std::move(pending));
+  tracer_.record(client, req.client_seq, obs::Phase::kAdmit, now());
+  m_.pending_requests->set(static_cast<int64_t>(pending_requests_.size()));
 
   if (is_primary()) {
     pending_batch_.push_back(std::move(req));
@@ -233,6 +267,9 @@ void Replica::flush_batch() {
     pp.batch.assign(std::make_move_iterator(pending_batch_.begin()),
                     std::make_move_iterator(pending_batch_.begin() + take));
     pending_batch_.erase(pending_batch_.begin(), pending_batch_.begin() + take);
+    m_.batches_proposed->inc();
+    m_.batch_size->record(take);
+    m_.inflight_batches->record(next_seq_ - next_exec_);
 
     const Bytes wire = pp.serialize();
     charge(Op::kHash, wire.size());
@@ -265,6 +302,13 @@ void Replica::accept_pre_prepare(PrePrepare pp) {
   s.view = s.pre_prepare->view;
   s.sent_prepare = s.sent_commit = false;
   if (s.pre_prepare->seq < next_exec_) s.executed = true;
+  m_.pre_prepares_accepted->inc();
+  m_.slots_tracked->set(static_cast<int64_t>(slots_.size()));
+  for (const auto& r : s.pre_prepare->batch) {
+    if (!r.is_null()) {
+      tracer_.record(r.client, r.client_seq, obs::Phase::kPrePrepare, now());
+    }
+  }
 
   // Every replica broadcasts PREPARE and counts its own vote (the primary's
   // pre-prepare doubles as its prepare).
@@ -304,6 +348,11 @@ void Replica::check_prepared(uint64_t seq) {
     if (vd.first == s.view && vd.second == s.digest) ++matching;
   }
   if (matching < config_.quorum()) return;
+  for (const auto& r : s.pre_prepare->batch) {
+    if (!r.is_null()) {
+      tracer_.record(r.client, r.client_seq, obs::Phase::kPrepared, now());
+    }
+  }
 
   PhaseVote vote;
   vote.type = BftMsgType::kCommit;
@@ -354,13 +403,25 @@ void Replica::try_execute() {
 void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
   for (const auto& req : pp.batch) {
     if (req.is_null()) continue;
-    auto& last = last_executed_client_seq_[req.client];
-    if (req.client_seq <= last && last != 0) continue;  // replayed across views
-    last = req.client_seq;
+    // Replay dedup: map PRESENCE means "this client has executed at least
+    // one request", so a replayed client_seq == 0 is caught too (a plain
+    // `<= last` with a zero-initialized default entry would re-execute it
+    // on every view-change re-proposal).
+    auto last = last_executed_client_seq_.find(req.client);
+    if (last != last_executed_client_seq_.end() &&
+        req.client_seq <= last->second) {
+      m_.replays_suppressed->inc();
+      continue;  // replayed across views
+    }
+    last_executed_client_seq_[req.client] = req.client_seq;
+    tracer_.record(req.client, req.client_seq, obs::Phase::kCommitted, now());
     pending_requests_.erase(hex_encode(req.digest()));
     ++executed_requests_;
+    m_.requests_executed->inc();
     app_->on_deliver(seq, req, *this);
+    tracer_.record(req.client, req.client_seq, obs::Phase::kExecuted, now());
   }
+  m_.pending_requests->set(static_cast<int64_t>(pending_requests_.size()));
 
   // Chain digest for checkpoints, plus batch history for catch-up fetches.
   exec_chain_digest_ =
@@ -375,9 +436,11 @@ void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
     cp.replica = id();
     own_checkpoints_[seq] = cp.state_digest;
     checkpoint_votes_[seq][id()] = cp.state_digest;
+    m_.checkpoints_emitted->inc();
     broadcast_bft(BftMsgType::kCheckpoint, cp.serialize());
     maybe_stabilize(seq);
   }
+  update_state_gauges();
 }
 
 void Replica::try_fetch_execute() {
@@ -417,7 +480,14 @@ void Replica::handle_checkpoint(NodeId from, BytesView body) {
   auto cp = Checkpoint::parse(body);
   if (!cp || cp->replica != from) return;
   if (cp->seq <= low_watermark_) return;
+  // Bound the vote map: a correct replica can legitimately be ahead of us,
+  // but never by more than one full watermark window past our own (it would
+  // need a stable checkpoint — 2f+1 votes — beyond that, which includes a
+  // correct replica we would have heard from).  Seqs further out are a
+  // Byzantine flood; accepting them would grow the map without limit.
+  if (cp->seq > low_watermark_ + 2 * config_.watermark_window) return;
   checkpoint_votes_[cp->seq][from] = cp->state_digest;
+  update_state_gauges();
   maybe_stabilize(cp->seq);
 }
 
@@ -454,6 +524,7 @@ void Replica::garbage_collect(uint64_t stable_seq) {
                           checkpoint_votes_.upper_bound(stable_seq));
   own_checkpoints_.erase(own_checkpoints_.begin(),
                          own_checkpoints_.upper_bound(stable_seq));
+  update_state_gauges();
   if (is_primary()) flush_batch();  // watermark window moved: drain queue
 }
 
@@ -506,9 +577,35 @@ void Replica::start_view_change(uint64_t target_view, const char* /*reason*/) {
   charge(Op::kMac, 64);
   vc.signature = keys_.sign(id(), vc.signed_body());
 
-  view_change_votes_[target_view][id()] = vc;
+  m_.view_changes_started->inc();
   broadcast_bft(BftMsgType::kViewChange, vc.serialize());
+  insert_view_change_vote(id(), std::move(vc));
   maybe_assemble_new_view(target_view);
+}
+
+void Replica::insert_view_change_vote(NodeId from, ViewChange vc) {
+  // One vote per sender — the highest view it has asked for.  A VIEW-CHANGE
+  // for a lower view than the sender's latest is stale (a correct replica
+  // only moves forward); without this rule one Byzantine replica flooding
+  // distinct future view numbers grows the map without limit AND counts
+  // once per view toward the f+1 join threshold below.
+  auto latest = latest_vc_view_.find(from);
+  if (latest != latest_vc_view_.end()) {
+    if (vc.new_view <= latest->second) {
+      if (vc.new_view == latest->second) {
+        view_change_votes_[vc.new_view][from] = std::move(vc);  // refresh
+      }
+      return;
+    }
+    auto old = view_change_votes_.find(latest->second);
+    if (old != view_change_votes_.end()) {
+      old->second.erase(from);
+      if (old->second.empty()) view_change_votes_.erase(old);
+    }
+  }
+  latest_vc_view_[from] = vc.new_view;
+  view_change_votes_[vc.new_view][from] = std::move(vc);
+  update_state_gauges();
 }
 
 void Replica::handle_view_change(NodeId from, BytesView body) {
@@ -518,7 +615,7 @@ void Replica::handle_view_change(NodeId from, BytesView body) {
   charge(Op::kMac, 64);
   if (!keys_.verify(from, vc->signed_body(), vc->signature)) return;
 
-  view_change_votes_[vc->new_view][from] = *vc;
+  insert_view_change_vote(from, *vc);
 
   // Liveness rule: if f+1 replicas want a view above ours, join the lowest
   // such view even if our own timer has not fired.
@@ -634,8 +731,10 @@ void Replica::enter_view(uint64_t target_view, std::vector<PrePrepare> reproposa
   view_ = target_view;
   view_change_active_ = false;
   ++view_changes_completed_;
+  m_.view_changes_completed->inc();
   view_change_votes_.erase(view_change_votes_.begin(),
                            view_change_votes_.upper_bound(target_view));
+  update_state_gauges();
 
   uint64_t max_s = low_watermark_;
   for (auto& pp : reproposals) max_s = std::max(max_s, pp.seq);

@@ -27,8 +27,13 @@ namespace scab::bft {
 
 class Replica : public sim::Node, public ReplicaContext {
  public:
+  /// `metrics` receives this replica's "bft."-prefixed instruments (plus
+  /// whatever the app publishes); `tracer` is the cluster-wide request
+  /// tracer.  Both optional — null binds to the inert sinks.
   Replica(sim::Network& net, NodeId id, BftConfig config, const KeyRing& keys,
-          const sim::CostModel& costs, ReplicaApp* app, crypto::Drbg rng);
+          const sim::CostModel& costs, ReplicaApp* app, crypto::Drbg rng,
+          obs::MetricsRegistry* metrics = nullptr,
+          obs::Tracer* tracer = nullptr);
 
   /// Arms the watchdog; call once after construction.
   void start();
@@ -59,6 +64,8 @@ class Replica : public sim::Node, public ReplicaContext {
   }
   crypto::Drbg& rng() override { return rng_; }
   const KeyRing& keys() const override { return keys_; }
+  obs::MetricsRegistry& metrics() override { return metrics_; }
+  obs::Tracer& tracer() override { return tracer_; }
 
   // --- introspection for tests and benches ---
   uint64_t executed_requests() const { return executed_requests_; }
@@ -160,16 +167,43 @@ class Replica : public sim::Node, public ReplicaContext {
   // Catch-up fetch: seq -> responder -> serialized batch.
   std::map<uint64_t, std::map<NodeId, Bytes>> fetch_votes_;
 
-  // View change.
+  // View change.  view_change_votes_ holds at most one vote per sender (the
+  // one for the highest view that sender has asked for, tracked in
+  // latest_vc_view_), so its total size is bounded by n regardless of how
+  // many distinct future views a Byzantine replica floods.
   sim::SimTime view_change_started_ = 0;
   bool view_change_active_ = false;
   uint64_t view_change_target_ = 0;
   std::map<uint64_t, std::map<NodeId, ViewChange>> view_change_votes_;
+  std::map<NodeId, uint64_t> latest_vc_view_;
   std::set<uint64_t> new_view_sent_;
   uint64_t view_changes_completed_ = 0;
 
   uint64_t executed_requests_ = 0;
   bool started_ = false;
+
+  // Observability.  Handles resolved once in the constructor; gauges mirror
+  // the sizes of the Byzantine-facing maps so tests can assert bounds.
+  obs::MetricsRegistry& metrics_;
+  obs::Tracer& tracer_;
+  struct {
+    obs::Counter* batches_proposed;
+    obs::Counter* pre_prepares_accepted;
+    obs::Counter* requests_executed;
+    obs::Counter* checkpoints_emitted;
+    obs::Counter* view_changes_started;
+    obs::Counter* view_changes_completed;
+    obs::Counter* replays_suppressed;
+    obs::Histogram* batch_size;
+    obs::Histogram* inflight_batches;
+    obs::Gauge* pending_requests;
+    obs::Gauge* checkpoint_votes_tracked;
+    obs::Gauge* view_change_votes_tracked;
+    obs::Gauge* slots_tracked;
+    obs::Gauge* checkpoint_lag;
+  } m_;
+  void insert_view_change_vote(NodeId from, ViewChange vc);
+  void update_state_gauges();
 };
 
 }  // namespace scab::bft

@@ -160,16 +160,36 @@ Bytes encode_share_msg(const RequestId& id, BytesView share) {
 }
 }  // namespace
 
+void Cp0ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
+  if (m_.ct_verified != nullptr) return;
+  obs::MetricsRegistry& reg = ctx.metrics();
+  m_.ct_verified = &reg.counter("cp0.ct_verified");
+  m_.ct_rejected = &reg.counter("cp0.ct_rejected");
+  m_.shares_verified = &reg.counter("cp0.shares_verified");
+  m_.shares_rejected = &reg.counter("cp0.shares_rejected");
+  m_.combines = &reg.counter("cp0.combines");
+  m_.early_stashed = &reg.counter("cp0.early_stashed");
+  m_.reveal_ns = &reg.histogram("cp0.reveal_ns");
+  m_.pending = &reg.gauge("cp0.pending");
+  m_.early_shares = &reg.gauge("cp0.early_shares");
+  tracer_ = &ctx.tracer();
+}
+
 bool Cp0ReplicaApp::validate_request(NodeId client,
                                      const bft::ClientRequestMsg& msg,
                                      bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   // "Each replica should verify that the label in the ciphertext indeed
   // contains the identity of the sender" — the label IS (client, seq), so
   // verifying the ciphertext against the label derived from the
   // authenticated sender enforces exactly that.
   const RequestId id{client, msg.client_seq};
   ctx.charge(Op::kTdh2VerifyCt, msg.payload.size());
-  if (!backend_->verify_ciphertext(msg.payload, id.encode())) return false;
+  if (!backend_->verify_ciphertext(msg.payload, id.encode())) {
+    m_.ct_rejected->inc();
+    return false;
+  }
+  m_.ct_verified->inc();
   // Remember the verdict (keyed by payload digest) so the reveal step can
   // use the preverified backend paths when PBFT delivers the same bytes.
   if (validated_.size() >= kMaxValidatedCache) {
@@ -181,15 +201,18 @@ bool Cp0ReplicaApp::validate_request(NodeId client,
 
 void Cp0ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
                                bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   const RequestId id{req.client, req.client_seq};
   if (completed_.contains(id)) return;
   PendingReveal& p = pending_[id];
   if (p.delivered) return;
   p.delivered = true;
+  p.delivered_at = ctx.now();
   p.ciphertext = req.payload;
   p.client = req.client;
   p.client_seq = req.client_seq;
   exec_queue_.push_back(id);
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
 
   // Adopt any shares that raced ahead of delivery.
   for (auto& [sender, stash] : early_shares_) {
@@ -244,6 +267,7 @@ void Cp0ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
 
 void Cp0ReplicaApp::on_causal_message(NodeId from, BytesView body,
                                       bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   Reader r(body);
   const RequestId id = RequestId::read(r);
   const Bytes share = r.bytes();
@@ -261,6 +285,8 @@ void Cp0ReplicaApp::on_causal_message(NodeId from, BytesView body,
     }
     if (stash.size() >= kMaxEarlySharesPerSender) stash.pop_front();
     stash.emplace_back(id, share);
+    m_.early_stashed->inc();
+    m_.early_shares->set(static_cast<int64_t>(early_share_count()));
     return;
   }
   PendingReveal& p = it->second;
@@ -289,6 +315,9 @@ void Cp0ReplicaApp::try_reveal(const RequestId& id, bft::ReplicaContext& ctx) {
     if (backend_->verify_share(p.ciphertext, label, uit->second)) {
       p.valid_from.insert(uit->first);
       p.valid.push_back(uit->second);
+      m_.shares_verified->inc();
+    } else {
+      m_.shares_rejected->inc();
     }
     uit = p.unverified.erase(uit);
   }
@@ -301,6 +330,9 @@ void Cp0ReplicaApp::try_reveal(const RequestId& id, bft::ReplicaContext& ctx) {
   if (!plaintext) return;  // need more shares (shouldn't happen: verified)
   p.revealed = true;
   p.plaintext = std::move(*plaintext);
+  m_.combines->inc();
+  m_.reveal_ns->record(ctx.now() - p.delivered_at);
+  tracer_->record(p.client, p.client_seq, obs::Phase::kRevealed, ctx.now());
   drain_execution(ctx);
 }
 
@@ -321,6 +353,7 @@ void Cp0ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     pending_.erase(it);
     exec_queue_.pop_front();
   }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
 }
 
 // ---------------------------------------------------------------------------

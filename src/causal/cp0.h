@@ -168,11 +168,15 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     std::vector<Bytes> valid;
     bool delivered = false;
     bool revealed = false;
+    sim::SimTime delivered_at = 0;  // reveal-round duration measurement
     Bytes plaintext;
   };
 
   void try_reveal(const RequestId& id, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
+  // Resolves "cp0." instrument handles from the context's registry on first
+  // use (the app does not know its replica at construction time).
+  void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
   std::unique_ptr<Cp0Backend> backend_;
@@ -192,6 +196,19 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
   // sender (kMaxEarlySharesPerSender) so Byzantine peers cannot grow
   // protocol state with shares for requests that never existed.
   std::map<bft::NodeId, std::deque<std::pair<RequestId, Bytes>>> early_shares_;
+
+  struct {
+    obs::Counter* ct_verified = nullptr;
+    obs::Counter* ct_rejected = nullptr;
+    obs::Counter* shares_verified = nullptr;
+    obs::Counter* shares_rejected = nullptr;
+    obs::Counter* combines = nullptr;
+    obs::Counter* early_stashed = nullptr;
+    obs::Histogram* reveal_ns = nullptr;  // delivery -> plaintext recovered
+    obs::Gauge* pending = nullptr;
+    obs::Gauge* early_shares = nullptr;
+  } m_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class Cp0ClientProtocol : public bft::ClientProtocol {

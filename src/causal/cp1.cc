@@ -56,9 +56,22 @@ Bytes encode_witness(uint64_t reveal_seq, BytesView reveal_payload) {
 Bytes Cp1ReplicaApp::scheduled_marker() { return to_bytes("cp1:scheduled"); }
 Bytes Cp1ReplicaApp::aborted_marker() { return to_bytes("cp1:aborted"); }
 
+void Cp1ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
+  if (m_.scheduled != nullptr) return;
+  obs::MetricsRegistry& reg = ctx.metrics();
+  m_.scheduled = &reg.counter("cp1.scheduled");
+  m_.opened = &reg.counter("cp1.opened");
+  m_.cleaned = &reg.counter("cp1.cleaned");
+  m_.openings_rejected = &reg.counter("cp1.openings_rejected");
+  m_.amplifications = &reg.counter("cp1.amplifications");
+  m_.tentative = &reg.gauge("cp1.tentative");
+  tracer_ = &ctx.tracer();
+}
+
 bool Cp1ReplicaApp::validate_request(NodeId client,
                                      const bft::ClientRequestMsg& msg,
                                      bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   if (msg.payload.empty()) return false;
   const auto phase = static_cast<Cp1Phase>(msg.payload[0]);
   switch (phase) {
@@ -98,6 +111,7 @@ bool Cp1ReplicaApp::validate_request(NodeId client,
 
 void Cp1ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
                                bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   ++delivered_count_;
   if (req.payload.empty()) return;
   switch (static_cast<Cp1Phase>(req.payload[0])) {
@@ -131,6 +145,8 @@ void Cp1ReplicaApp::deliver_schedule(const bft::Request& req,
   t.scheduled_at_count = delivered_count_;
   tentative_.emplace(id, std::move(t));
   schedule_order_.emplace_back(id, delivered_count_);
+  m_.scheduled->inc();
+  m_.tentative->set(static_cast<int64_t>(tentative_.size()));
   ctx.send_reply(req.client, req.client_seq, scheduled_marker());
 }
 
@@ -149,11 +165,18 @@ void Cp1ReplicaApp::deliver_reveal(const bft::Request& req,
   ctx.charge(Op::kCommitOpen, body->message.size());
   if (!commitment_.open(body->id.encode(), tent->second.commitment,
                         body->message, body->opening)) {
+    m_.openings_rejected->inc();
     return;  // forged opening
   }
 
   opened_.insert(body->id);
   tentative_.erase(tent);
+  m_.opened->inc();
+  m_.tentative->set(static_cast<int64_t>(tentative_.size()));
+  // The span key is the SCHEDULE round's (client, seq) — body->id — which
+  // is what the client's submit/complete endpoints recorded under.
+  tracer_->record(body->id.client, body->id.seq, obs::Phase::kRevealed,
+                  ctx.now());
   ctx.charge(Op::kExecute, body->message.size());
   Bytes result = service_->execute(body->id.client, body->message);
   // The reply goes to whoever submitted the reveal request (normally the
@@ -191,7 +214,9 @@ void Cp1ReplicaApp::deliver_cleanup(const bft::Request& req,
     tentative_.erase(tent);
     aborted_.insert(id);
     ++cleaned_count_;
+    m_.cleaned->inc();
   }
+  m_.tentative->set(static_cast<int64_t>(tentative_.size()));
 }
 
 void Cp1ReplicaApp::maybe_propose_cleanup(bft::ReplicaContext& ctx) {
@@ -233,6 +258,7 @@ void Cp1ReplicaApp::arm_amplification(const RequestId& id, uint64_t reveal_seq,
     if (opened_.contains(id) || aborted_.contains(id)) return;
     // The reveal has not been ordered yet: forward the witness.  It needs
     // no client authentication — the opening is the proof.
+    m_.amplifications->inc();
     ctx.broadcast_causal(witness);
   });
 }
@@ -240,6 +266,7 @@ void Cp1ReplicaApp::arm_amplification(const RequestId& id, uint64_t reveal_seq,
 void Cp1ReplicaApp::on_causal_message(NodeId from, BytesView body,
                                       bft::ReplicaContext& ctx) {
   (void)from;
+  bind_metrics(ctx);
   Reader r(body);
   const uint64_t reveal_seq = r.u64();
   const Bytes payload = r.bytes();

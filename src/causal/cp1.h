@@ -88,6 +88,7 @@ class Cp1ReplicaApp : public bft::ReplicaApp {
   void maybe_propose_cleanup(bft::ReplicaContext& ctx);
   void arm_amplification(const RequestId& id, uint64_t reveal_seq,
                          const Bytes& reveal_payload, bft::ReplicaContext& ctx);
+  void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
   crypto::NmCadCommitment commitment_;
@@ -101,6 +102,16 @@ class Cp1ReplicaApp : public bft::ReplicaApp {
   std::unordered_set<RequestId> cleanup_inflight_;
   uint64_t delivered_count_ = 0;              // requests delivered in order
   uint64_t cleaned_count_ = 0;
+
+  struct {
+    obs::Counter* scheduled = nullptr;
+    obs::Counter* opened = nullptr;
+    obs::Counter* cleaned = nullptr;
+    obs::Counter* openings_rejected = nullptr;
+    obs::Counter* amplifications = nullptr;
+    obs::Gauge* tentative = nullptr;
+  } m_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class Cp1ClientProtocol : public bft::ClientProtocol {

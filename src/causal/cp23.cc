@@ -57,8 +57,18 @@ bool Cp2ReplicaApp::validate_request(NodeId /*client*/,
   return r.done() && !c.empty();
 }
 
+void Cp2ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
+  if (m_.reconstructions != nullptr) return;
+  obs::MetricsRegistry& reg = ctx.metrics();
+  m_.reconstructions = &reg.counter("cp2.reconstructions");
+  m_.recovery_attempts = &reg.counter("cp2.recovery_attempts");
+  m_.pending = &reg.gauge("cp2.pending");
+  tracer_ = &ctx.tracer();
+}
+
 void Cp2ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
                                bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   const RequestId id{req.client, req.client_seq};
   if (completed_.contains(id)) return;
   Pending& p = pending_[id];
@@ -71,6 +81,7 @@ void Cp2ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
   p.client = req.client;
   p.client_seq = req.client_seq;
   exec_queue_.push_back(id);
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
   start_reveal(id, p, ctx);
 }
 
@@ -102,6 +113,7 @@ void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
 
 void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
                                       bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   ctx.charge(Op::kAeadOpen, body.size());
   auto opened = open_share(ctx.keys(), ctx.id(), from, body);
   if (!opened) return;
@@ -135,6 +147,7 @@ void Cp2ReplicaApp::feed_share(const RequestId& id, Pending& p,
   auto secret = p.reconstructor->add(share);
   const std::size_t attempts = p.reconstructor->attempts() - before;
   recovery_attempts_ += attempts;
+  m_.recovery_attempts->inc(attempts);
   for (std::size_t i = 0; i < attempts; ++i) {
     ctx.charge(Op::kShamirRec, share.inner.secret_len);
     ctx.charge(Op::kCommitOpen, share.inner.secret_len);
@@ -142,6 +155,8 @@ void Cp2ReplicaApp::feed_share(const RequestId& id, Pending& p,
   if (secret) {
     p.revealed = true;
     p.plaintext = std::move(*secret);
+    m_.reconstructions->inc();
+    tracer_->record(p.client, p.client_seq, obs::Phase::kRevealed, ctx.now());
     drain_execution(ctx);
   }
   (void)id;
@@ -164,6 +179,7 @@ void Cp2ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     pending_.erase(it);
     exec_queue_.pop_front();
   }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -220,8 +236,18 @@ bool Cp3ReplicaApp::validate_request(NodeId /*client*/,
   return msg.payload.empty();  // CP3 agrees on the ID alone
 }
 
+void Cp3ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
+  if (m_.reconstructions != nullptr) return;
+  obs::MetricsRegistry& reg = ctx.metrics();
+  m_.reconstructions = &reg.counter("cp3.reconstructions");
+  m_.recovery_attempts = &reg.counter("cp3.recovery_attempts");
+  m_.pending = &reg.gauge("cp3.pending");
+  tracer_ = &ctx.tracer();
+}
+
 void Cp3ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
                                bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   const RequestId id{req.client, req.client_seq};
   if (completed_.contains(id)) return;
   Pending& p = pending_[id];
@@ -230,6 +256,7 @@ void Cp3ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
   p.client = req.client;
   p.client_seq = req.client_seq;
   exec_queue_.push_back(id);
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
   start_reveal(id, p, ctx);
 }
 
@@ -257,6 +284,7 @@ void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
 
 void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,
                                       bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
   ctx.charge(Op::kAeadOpen, body.size());
   auto opened = open_share(ctx.keys(), ctx.id(), from, body);
   if (!opened) return;
@@ -289,12 +317,15 @@ void Cp3ReplicaApp::feed_share(const RequestId& id, Pending& p,
   auto secret = p.reconstructor->add(share);
   const std::size_t attempts = p.reconstructor->attempts() - before;
   recovery_attempts_ += attempts;
+  m_.recovery_attempts->inc(attempts);
   for (std::size_t i = 0; i < attempts; ++i) {
     ctx.charge(Op::kShamirRec, share.secret_len);
   }
   if (secret) {
     p.revealed = true;
     p.plaintext = std::move(*secret);
+    m_.reconstructions->inc();
+    tracer_->record(p.client, p.client_seq, obs::Phase::kRevealed, ctx.now());
     drain_execution(ctx);
   }
   (void)id;
@@ -317,6 +348,7 @@ void Cp3ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     pending_.erase(it);
     exec_queue_.pop_front();
   }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
 }
 
 // ---------------------------------------------------------------------------

@@ -72,6 +72,7 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
                   bft::ReplicaContext& ctx);
   void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
+  void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
   crypto::Commitment commitment_;
@@ -81,6 +82,13 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
   std::unordered_set<RequestId> completed_;
   std::deque<RequestId> exec_queue_;
   uint64_t recovery_attempts_ = 0;
+
+  struct {
+    obs::Counter* reconstructions = nullptr;
+    obs::Counter* recovery_attempts = nullptr;
+    obs::Gauge* pending = nullptr;
+  } m_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class Cp2ClientProtocol : public bft::ClientProtocol {
@@ -143,6 +151,7 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
                   bft::ReplicaContext& ctx);
   void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
+  void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
   secretshare::Arss2Mode mode_;
@@ -152,6 +161,13 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
   std::unordered_set<RequestId> completed_;
   std::deque<RequestId> exec_queue_;
   uint64_t recovery_attempts_ = 0;
+
+  struct {
+    obs::Counter* reconstructions = nullptr;
+    obs::Counter* recovery_attempts = nullptr;
+    obs::Gauge* pending = nullptr;
+  } m_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class Cp3ClientProtocol : public bft::ClientProtocol {

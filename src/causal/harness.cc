@@ -29,13 +29,15 @@ Bytes seed_bytes(uint64_t seed, std::string_view label) {
 
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)),
+      tracer_(options_.trace_capacity),
       master_rng_(seed_bytes(options_.seed, "cluster-master")) {
   const auto& cfg = options_.bft;
   if (!options_.service_factory) {
     options_.service_factory = [] { return std::make_unique<EchoService>(0); };
   }
 
-  net_ = std::make_unique<sim::Network>(sim_, options_.profile, options_.seed);
+  net_ = std::make_unique<sim::Network>(sim_, options_.profile, options_.seed,
+                                        &net_metrics_);
 
   std::vector<bft::NodeId> node_ids;
   for (uint32_t i = 0; i < cfg.n; ++i) node_ids.push_back(i);
@@ -111,10 +113,12 @@ Cluster::Cluster(ClusterOptions options)
     }
     replica_apps_.push_back(std::move(app));
 
+    replica_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
     if (options_.engine == Engine::kPbftEngine) {
       auto replica = std::make_unique<bft::Replica>(
           *net_, i, cfg, *keys_, options_.costs, replica_apps_.back().get(),
-          master_rng_.fork(seed_bytes(i, "replica")));
+          master_rng_.fork(seed_bytes(i, "replica")),
+          replica_metrics_.back().get(), &tracer_);
       net_->attach(replica.get());
       replica->start();
       replicas_.push_back(std::move(replica));
@@ -153,16 +157,26 @@ Cluster::Cluster(ClusterOptions options)
     }
     client_protocols_.push_back(std::move(protocol));
 
+    client_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
     auto client = std::make_unique<bft::Client>(
         *net_, client_id(i), cfg, *keys_, options_.costs,
         client_protocols_.back().get(),
-        master_rng_.fork(seed_bytes(i, "client")));
+        master_rng_.fork(seed_bytes(i, "client")),
+        client_metrics_.back().get(), &tracer_);
     net_->attach(client.get());
     clients_.push_back(std::move(client));
   }
 }
 
 Cluster::~Cluster() = default;
+
+obs::MetricsRegistry Cluster::merged_metrics() const {
+  obs::MetricsRegistry merged;
+  merged.merge_from(net_metrics_);
+  for (const auto& r : replica_metrics_) merged.merge_from(*r);
+  for (const auto& c : client_metrics_) merged.merge_from(*c);
+  return merged;
+}
 
 std::unique_ptr<Cp0Backend> Cluster::make_cp0_backend(
     std::optional<uint32_t> replica_index) const {

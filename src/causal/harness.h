@@ -17,6 +17,8 @@
 #include "causal/plain.h"
 #include "causal/service.h"
 #include "crypto/modgroup.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "threshenc/tdh2.h"
 
 namespace scab::causal {
@@ -60,6 +62,10 @@ struct ClusterOptions {
   /// group in tests; benches install modp_512 to price the coin honestly).
   std::optional<crypto::ModGroup> coin_group;
   std::size_t coin_group_bits = 64;
+
+  /// Request-tracer capacity (distinct requests tracked); 0 disables
+  /// tracing.  The default covers every bench and test workload.
+  std::size_t trace_capacity = 1 << 16;
 };
 
 class Cluster {
@@ -107,12 +113,32 @@ class Cluster {
   /// CP0 key material (empty unless protocol == kCp0).
   const threshenc::Tdh2KeyMaterial& tdh2_keys() const { return tdh2_; }
 
+  // --- observability ---
+  /// Network-layer metrics ("net.*": drops by fault, egress wait, bytes).
+  obs::MetricsRegistry& net_metrics() { return net_metrics_; }
+  /// Replica i's metrics ("bft.*" plus the protocol's "cpX.*").
+  obs::MetricsRegistry& replica_metrics(uint32_t i) {
+    return *replica_metrics_.at(i);
+  }
+  /// Client i's metrics ("client.*").
+  obs::MetricsRegistry& client_metrics(uint32_t i) {
+    return *client_metrics_.at(i);
+  }
+  /// Cluster-wide request tracer (one span per request across all nodes).
+  obs::Tracer& tracer() { return tracer_; }
+  /// Everything summed into one registry (benches' JSON export).
+  obs::MetricsRegistry merged_metrics() const;
+
  private:
   std::unique_ptr<Cp0Backend> make_cp0_backend(
       std::optional<uint32_t> replica_index) const;
 
   ClusterOptions options_;
   sim::Simulator sim_;
+  obs::MetricsRegistry net_metrics_;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> replica_metrics_;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> client_metrics_;
+  obs::Tracer tracer_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<bft::KeyRing> keys_;
   crypto::Drbg master_rng_;

@@ -1,0 +1,220 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace scab::obs::json {
+
+const Value* Value::get(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : *obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    if (depth_ > 64) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        return literal("true") ? std::optional<Value>(Value(true)) : std::nullopt;
+      case 'f':
+        return literal("false") ? std::optional<Value>(Value(false)) : std::nullopt;
+      case 'n':
+        return literal("null") ? std::optional<Value>(Value()) : std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    ++pos_;  // '{'
+    ++depth_;
+    Object obj;
+    skip_ws();
+    if (eat('}')) {
+      --depth_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key || !eat(':')) return std::nullopt;
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      obj.emplace_back(std::move(*key), std::move(*val));
+      if (eat(',')) continue;
+      if (eat('}')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return Value(std::move(obj));
+  }
+
+  std::optional<Value> parse_array() {
+    ++pos_;  // '['
+    ++depth_;
+    Array arr;
+    skip_ws();
+    if (eat(']')) {
+      --depth_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      arr.push_back(std::move(*val));
+      if (eat(',')) continue;
+      if (eat(']')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return Value(std::move(arr));
+  }
+
+  std::optional<std::string> parse_string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // ASCII-range escapes only (all our emitter produces).
+          if (code > 0x7f) return std::nullopt;
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+const Value* find_path(const Value& root, std::string_view path) {
+  const Value* cur = &root;
+  while (!path.empty()) {
+    const std::size_t slash = path.find('/');
+    const std::string_view step =
+        slash == std::string_view::npos ? path : path.substr(0, slash);
+    path = slash == std::string_view::npos ? std::string_view{}
+                                           : path.substr(slash + 1);
+    if (cur->is_array()) {
+      std::size_t idx = 0;
+      for (char c : step) {
+        if (c < '0' || c > '9') return nullptr;
+        idx = idx * 10 + static_cast<std::size_t>(c - '0');
+      }
+      if (step.empty() || idx >= cur->as_array().size()) return nullptr;
+      cur = &cur->as_array()[idx];
+    } else {
+      cur = cur->get(step);
+      if (cur == nullptr) return nullptr;
+    }
+  }
+  return cur;
+}
+
+}  // namespace scab::obs::json

@@ -1,0 +1,64 @@
+// Minimal JSON reader used by bench_smoke to validate emitted metrics
+// against a checked-in schema, and by tests that inspect bench output.
+// Supports the full JSON grammar except surrogate-pair \u escapes; objects
+// preserve insertion order.  This is a reader for our OWN well-formed
+// output — not a hardened parser for adversarial input.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scab::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o) : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return *arr_; }
+  const Object& as_object() const { return *obj_; }
+
+  /// Object member by key; nullptr if not an object or key absent.
+  const Value* get(std::string_view key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed); nullopt on error.
+std::optional<Value> parse(std::string_view text);
+
+/// Walks a '/'-separated path: object keys and numeric array indices, e.g.
+/// find_path(v, "points/0/trace/phases").  nullptr if any step is missing.
+const Value* find_path(const Value& root, std::string_view path);
+
+}  // namespace scab::obs::json

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace scab::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kSubmit:
+      return "submit";
+    case Phase::kAdmit:
+      return "admit";
+    case Phase::kPrePrepare:
+      return "propose";
+    case Phase::kPrepared:
+      return "prepare";
+    case Phase::kCommitted:
+      return "commit";
+    case Phase::kExecuted:
+      return "execute";
+    case Phase::kRevealed:
+      return "reveal";
+    case Phase::kCompleted:
+      return "deliver";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+void Tracer::record(uint32_t client, uint64_t client_seq, Phase phase,
+                    uint64_t now_ns) {
+  if (capacity_ == 0) return;
+  const Key key{client, client_seq};
+  auto it = spans_.find(key);
+  if (it == spans_.end()) {
+    if (spans_.size() >= capacity_) return;  // bounded: drop new requests
+    std::array<uint64_t, kPhaseCount> fresh;
+    fresh.fill(UINT64_MAX);
+    it = spans_.emplace(key, fresh).first;
+  }
+  uint64_t& slot = it->second[static_cast<std::size_t>(phase)];
+  if (now_ns < slot) slot = now_ns;
+}
+
+Tracer::Breakdown Tracer::breakdown() const {
+  Breakdown out;
+  out.tracked = spans_.size();
+  out.phases.resize(kPhaseCount - 1);
+  for (std::size_t i = 1; i < kPhaseCount; ++i) {
+    out.phases[i - 1].name = phase_name(static_cast<Phase>(i));
+  }
+  std::array<uint64_t, kPhaseCount - 1> segment_sums{};
+  uint64_t e2e_sum = 0;
+  for (const auto& [key, times] : spans_) {
+    const uint64_t submit = times[static_cast<std::size_t>(Phase::kSubmit)];
+    const uint64_t done = times[static_cast<std::size_t>(Phase::kCompleted)];
+    if (submit == UINT64_MAX || done == UINT64_MAX) continue;
+    ++out.completed;
+    e2e_sum += done - submit;
+    // Walk the phases in order; a phase that is missing or earlier than its
+    // predecessor is clamped to the predecessor's time, so it contributes a
+    // zero-length segment and the deltas telescope to (done - submit).
+    uint64_t prev = submit;
+    for (std::size_t i = 1; i < kPhaseCount; ++i) {
+      uint64_t t = times[i];
+      if (i == kPhaseCount - 1) t = done;  // final segment ends at kCompleted
+      if (t == UINT64_MAX || t < prev) t = prev;
+      if (t > done) t = done;
+      segment_sums[i - 1] += t - prev;
+      if (times[i] != UINT64_MAX) ++out.phases[i - 1].observed;
+      prev = t;
+    }
+  }
+  if (out.completed > 0) {
+    const double n = static_cast<double>(out.completed);
+    out.end_to_end_ms = static_cast<double>(e2e_sum) / n / 1e6;
+    for (std::size_t i = 0; i + 1 < kPhaseCount; ++i) {
+      out.phases[i].mean_ms = static_cast<double>(segment_sums[i]) / n / 1e6;
+    }
+  }
+  return out;
+}
+
+uint64_t Tracer::first_at(uint32_t client, uint64_t client_seq,
+                          Phase phase) const {
+  auto it = spans_.find(Key{client, client_seq});
+  if (it == spans_.end()) return UINT64_MAX;
+  return it->second[static_cast<std::size_t>(phase)];
+}
+
+std::string Tracer::to_json() const {
+  const Breakdown b = breakdown();
+  char buf[64];
+  std::string out = "{\"completed\":" + std::to_string(b.completed) +
+                    ",\"tracked\":" + std::to_string(b.tracked) +
+                    ",\"end_to_end_ms\":";
+  std::snprintf(buf, sizeof(buf), "%.6f", b.end_to_end_ms);
+  out += buf;
+  out += ",\"phases\":[";
+  for (std::size_t i = 0; i < b.phases.size(); ++i) {
+    if (i) out.push_back(',');
+    std::snprintf(buf, sizeof(buf), "%.6f", b.phases[i].mean_ms);
+    out += "{\"name\":\"";
+    out += b.phases[i].name;
+    out += "\",\"mean_ms\":";
+    out += buf;
+    out += ",\"observed\":" + std::to_string(b.phases[i].observed) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Tracer& Tracer::inert() {
+  static Tracer sink(0);
+  return sink;
+}
+
+}  // namespace scab::obs

@@ -1,0 +1,112 @@
+// Request-lifecycle tracing: one span per client request, one typed event
+// per protocol phase, and a per-phase latency breakdown over all completed
+// requests.
+//
+// The phases mirror the paper's structure (§V): a request is submitted by
+// the client, admitted by the replicas, ordered by the three PBFT phases
+// (pre-prepare / prepared / committed), executed, then — for the causal
+// protocols — recovered in the reveal/share phase, and finally delivered
+// back to the client.  Each event is recorded at its FIRST occurrence
+// across the cluster (the earliest replica to reach the phase), which keeps
+// the sequence monotone, so the per-phase deltas telescope: their sum
+// equals the client-observed end-to-end latency exactly.
+//
+// Phases a protocol does not have (plain PBFT has no reveal) are backfilled
+// to the previous phase's timestamp and contribute a zero-length segment,
+// preserving the telescoping property.
+//
+// Cost: one hash-map probe + compare per (request, phase, node) event.  The
+// tracer is bounded: once `capacity` distinct requests are tracked, events
+// for new requests are dropped (existing spans still update).  A capacity
+// of zero makes the tracer inert — that is what Tracer::inert() hands to
+// components constructed without one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace scab::obs {
+
+/// Lifecycle phases of one request, in protocol order.
+enum class Phase : uint8_t {
+  kSubmit = 0,   // client: operation issued
+  kAdmit,        // replica: request entered the pending set
+  kPrePrepare,   // replica: request accepted in a PRE-PREPARE batch
+  kPrepared,     // replica: prepared quorum (2f+1 matching PREPAREs)
+  kCommitted,    // replica: committed quorum, execution unblocked
+  kExecuted,     // replica: request executed (schedule step done)
+  kRevealed,     // replica: causal reveal recovered the plaintext
+  kCompleted,    // client: f+1 matching replies
+  kCount,
+};
+
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+const char* phase_name(Phase p);
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records that request (client, client_seq) reached `phase` at virtual
+  /// time `now_ns`; keeps the earliest time per phase.
+  void record(uint32_t client, uint64_t client_seq, Phase phase,
+              uint64_t now_ns);
+
+  /// Segment between two consecutive recorded phases, averaged over every
+  /// completed request.
+  struct PhaseStat {
+    const char* name = "";   // name of the phase the segment ENDS at
+    double mean_ms = 0;      // mean segment duration
+    uint64_t observed = 0;   // requests that recorded this phase themselves
+  };
+
+  struct Breakdown {
+    std::vector<PhaseStat> phases;  // kAdmit..kCompleted, in order
+    double end_to_end_ms = 0;       // mean kSubmit -> kCompleted
+    uint64_t completed = 0;         // requests with both endpoints recorded
+    uint64_t tracked = 0;           // all spans, complete or not
+  };
+
+  /// Aggregates every span with both kSubmit and kCompleted.  The per-phase
+  /// means telescope: sum(phases[i].mean_ms) == end_to_end_ms.
+  Breakdown breakdown() const;
+
+  /// First-occurrence time of `phase` for one request; UINT64_MAX if never
+  /// recorded (test introspection).
+  uint64_t first_at(uint32_t client, uint64_t client_seq, Phase phase) const;
+
+  std::size_t tracked() const { return spans_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// {"completed":N,"end_to_end_ms":X,"phases":[{"name":...,"mean_ms":...,
+  ///   "observed":...},...]}
+  std::string to_json() const;
+
+  /// Shared zero-capacity tracer for components constructed without one.
+  static Tracer& inert();
+
+ private:
+  struct Key {
+    uint32_t client;
+    uint64_t seq;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<uint64_t>{}((static_cast<uint64_t>(k.client) << 32) ^
+                                   (k.seq * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<Key, std::array<uint64_t, kPhaseCount>, KeyHash> spans_;
+};
+
+}  // namespace scab::obs

@@ -30,16 +30,50 @@ NetworkProfile NetworkProfile::ideal() {
   return p;
 }
 
-std::optional<Bytes> FaultPlan::apply(NodeId from, NodeId to,
-                                      BytesView msg) const {
-  if (crashed_.contains(from) || crashed_.contains(to)) return std::nullopt;
-  if (cut_.contains(key(from, to))) return std::nullopt;
-  if (tamper_) return tamper_(from, to, msg);
+std::optional<Bytes> FaultPlan::apply(NodeId from, NodeId to, BytesView msg,
+                                      DropReason* reason) const {
+  if (reason) *reason = DropReason::kNone;
+  if (crashed_.contains(from) || crashed_.contains(to)) {
+    if (reason) *reason = DropReason::kCrash;
+    return std::nullopt;
+  }
+  if (cut_.contains(key(from, to))) {
+    if (reason) *reason = DropReason::kCut;
+    return std::nullopt;
+  }
+  if (tamper_) {
+    auto out = tamper_(from, to, msg);
+    if (!out && reason) *reason = DropReason::kTamper;
+    return out;
+  }
   return Bytes(msg.begin(), msg.end());
 }
 
-Network::Network(Simulator& sim, NetworkProfile profile, uint64_t jitter_seed)
-    : sim_(sim), profile_(profile), jitter_state_((jitter_seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL) | 1) {}
+Network::Network(Simulator& sim, NetworkProfile profile, uint64_t jitter_seed,
+                 obs::MetricsRegistry* metrics)
+    : sim_(sim),
+      profile_(profile),
+      jitter_state_((jitter_seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL) | 1),
+      metrics_(metrics ? *metrics : obs::MetricsRegistry::inert()) {
+  m_.sent = &metrics_.counter("net.messages_sent");
+  m_.bytes = &metrics_.counter("net.bytes_sent");
+  m_.delivered = &metrics_.counter("net.messages_delivered");
+  m_.drops_crash = &metrics_.counter("net.drops.crash");
+  m_.drops_cut = &metrics_.counter("net.drops.cut");
+  m_.drops_tamper = &metrics_.counter("net.drops.tamper");
+  m_.egress_wait_ns = &metrics_.histogram("net.egress.wait_ns");
+}
+
+obs::Counter& Network::egress_bytes_counter(NodeId from) {
+  auto it = egress_bytes_.find(from);
+  if (it == egress_bytes_.end()) {
+    it = egress_bytes_
+             .emplace(from, &metrics_.counter("net.egress.bytes." +
+                                              std::to_string(from)))
+             .first;
+  }
+  return *it->second;
+}
 
 void Network::attach(Node* node) { nodes_[node->id()] = node; }
 
@@ -48,13 +82,32 @@ void Network::detach(NodeId id) { nodes_.erase(id); }
 void Network::send(NodeId from, NodeId to, Bytes msg) {
   ++messages_sent_;
   bytes_sent_ += msg.size();
+  m_.sent->inc();
+  m_.bytes->inc(msg.size());
+  egress_bytes_counter(from).inc(msg.size());
 
   auto it = nodes_.find(to);
   if (it == nodes_.end()) return;
   Node* dst = it->second;
 
-  auto shaped = faults_.apply(from, to, msg);
-  if (!shaped) return;
+  DropReason reason = DropReason::kNone;
+  auto shaped = faults_.apply(from, to, msg, &reason);
+  if (!shaped) {
+    switch (reason) {
+      case DropReason::kCrash:
+        m_.drops_crash->inc();
+        break;
+      case DropReason::kCut:
+        m_.drops_cut->inc();
+        break;
+      case DropReason::kTamper:
+        m_.drops_tamper->inc();
+        break;
+      case DropReason::kNone:
+        break;
+    }
+    return;
+  }
 
   // Departure: after the sender finishes the CPU work charged so far.
   SimTime depart = sim_.now();
@@ -71,6 +124,7 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
   }
   SimTime& free_at = egress_free_at_[from];
   const SimTime start_tx = std::max(depart, free_at);
+  m_.egress_wait_ns->record(start_tx - depart);
   free_at = start_tx + tx;
 
   // Deterministic jitter (xorshift; independent of protocol randomness).
@@ -102,7 +156,10 @@ void Network::broadcast(NodeId from, const Bytes& msg,
 
 void Network::deliver(NodeId from, Node* to, Bytes msg, SimTime arrival) {
   sim_.schedule_at(arrival, [this, from, to, msg = std::move(msg)]() mutable {
-    if (faults_.is_crashed(to->id())) return;  // crashed while in flight
+    if (faults_.is_crashed(to->id())) {  // crashed while in flight
+      m_.drops_crash->inc();
+      return;
+    }
     // The receiver is a sequential processor: if it is still busy with
     // earlier work, requeue this delivery for when it frees up.  busy_until
     // only ever advances, so this converges.
@@ -112,6 +169,7 @@ void Network::deliver(NodeId from, Node* to, Bytes msg, SimTime arrival) {
       return;
     }
     ++messages_delivered_;
+    m_.delivered->inc();
     to->on_message(from, msg);
   });
 }

@@ -21,6 +21,7 @@
 #include <unordered_set>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 #include "sim/cost_model.h"
 #include "sim/simulator.h"
 
@@ -85,6 +86,15 @@ struct NetworkProfile {
   static NetworkProfile ideal();
 };
 
+/// Why FaultPlan::apply dropped a message — attributed to metrics so tests
+/// can assert "the partition dropped exactly these, nothing else did".
+enum class DropReason : uint8_t {
+  kNone = 0,   // delivered (possibly tampered in place)
+  kCrash,      // sender or receiver crashed
+  kCut,        // directed link cut
+  kTamper,     // tamper hook returned nullopt
+};
+
 /// Declarative fault injection, applied on send.
 class FaultPlan {
  public:
@@ -105,8 +115,10 @@ class FaultPlan {
   void set_tamper(Tamper t) { tamper_ = std::move(t); }
   void clear_tamper() { tamper_ = nullptr; }
 
-  /// Applies the plan; nullopt means "drop".
-  std::optional<Bytes> apply(NodeId from, NodeId to, BytesView msg) const;
+  /// Applies the plan; nullopt means "drop".  When `reason` is non-null it
+  /// receives what dropped the message (kNone on delivery).
+  std::optional<Bytes> apply(NodeId from, NodeId to, BytesView msg,
+                             DropReason* reason = nullptr) const;
 
  private:
   static uint64_t key(NodeId a, NodeId b) {
@@ -119,7 +131,10 @@ class FaultPlan {
 
 class Network {
  public:
-  Network(Simulator& sim, NetworkProfile profile, uint64_t jitter_seed = 0);
+  /// `metrics` (optional) receives "net.*" counters and the egress-wait
+  /// histogram; pass the cluster-wide registry to see drop attribution.
+  Network(Simulator& sim, NetworkProfile profile, uint64_t jitter_seed = 0,
+          obs::MetricsRegistry* metrics = nullptr);
 
   void attach(Node* node);
   void detach(NodeId id);
@@ -145,6 +160,7 @@ class Network {
 
  private:
   void deliver(NodeId from, Node* to, Bytes msg, SimTime arrival);
+  obs::Counter& egress_bytes_counter(NodeId from);
 
   Simulator& sim_;
   NetworkProfile profile_;
@@ -155,6 +171,20 @@ class Network {
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_delivered_ = 0;
+
+  obs::MetricsRegistry& metrics_;
+  struct {
+    obs::Counter* sent;
+    obs::Counter* bytes;
+    obs::Counter* delivered;
+    obs::Counter* drops_crash;
+    obs::Counter* drops_cut;
+    obs::Counter* drops_tamper;
+    obs::Histogram* egress_wait_ns;  // start_tx - depart: NIC queueing delay
+  } m_;
+  // Per-sender egress byte counters ("net.egress.bytes.<id>"), resolved
+  // lazily on first send so only attached-and-active nodes appear.
+  std::unordered_map<NodeId, obs::Counter*> egress_bytes_;
 };
 
 }  // namespace scab::sim

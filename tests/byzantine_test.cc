@@ -278,5 +278,147 @@ TEST(Byzantine, Cp0EarlyShareStashStillServesCorrectPeers) {
   }
 }
 
+// A Byzantine replica floods CHECKPOINT votes with distinct far-future
+// sequence numbers.  Regression for the unbounded checkpoint_votes_ map:
+// every vote used to create an entry keyed by the attacker-chosen seq.  Now
+// seqs beyond low_watermark + 2 * watermark_window are rejected, and the
+// bft.checkpoint_votes_tracked gauge's high-water mark proves the map never
+// grew.
+TEST(Byzantine, CheckpointFloodCannotGrowVoteMap) {
+  auto opts = byz_options();
+  Cluster cluster(opts);
+
+  const NodeId attacker = 3;
+  const int kFlood = 500;
+  for (int i = 0; i < kFlood; ++i) {
+    bft::Checkpoint cp;
+    cp.seq = 1'000'000 + static_cast<uint64_t>(i) *
+                             opts.bft.checkpoint_interval;  // all distinct
+    cp.state_digest = Bytes(32, 0xab);
+    cp.replica = attacker;
+    const Bytes body =
+        bft::tag_bft(bft::BftMsgType::kCheckpoint, cp.serialize());
+    for (NodeId r = 0; r < cluster.n(); ++r) {
+      if (r == attacker) continue;
+      cluster.net().send(attacker, r,
+                         bft::seal_envelope(cluster.keys(), bft::Channel::kBft,
+                                            attacker, r, body));
+    }
+  }
+  cluster.sim().run_until(cluster.sim().now() + 100 * kMillisecond);
+
+  for (uint32_t i = 0; i < cluster.n(); ++i) {
+    if (i == attacker) continue;
+    // Every flooded seq is beyond the watermark bound, so not one vote was
+    // stored (the gauge tracks the lifetime maximum of the map size).
+    EXPECT_EQ(
+        cluster.replica_metrics(i).gauge_max("bft.checkpoint_votes_tracked"),
+        0)
+        << "replica " << i;
+  }
+
+  // Liveness is unaffected.
+  const auto r = cluster.run_one(0, apps::KvStore::put("k", to_bytes("v")));
+  ASSERT_TRUE(r.has_value());
+}
+
+// A Byzantine replica floods properly signed VIEW-CHANGEs for hundreds of
+// distinct future views.  Regression for two bugs at once: the
+// view_change_votes_ map grew by one entry per flooded view, and the f+1
+// join rule counted the same sender once per view — so a single Byzantine
+// replica could both exhaust memory and force correct replicas into a
+// spurious view change.  Now only the sender's highest view is kept.
+TEST(Byzantine, ViewChangeFloodKeepsOneVotePerSender) {
+  auto opts = byz_options();
+  Cluster cluster(opts);
+
+  const NodeId attacker = 3;
+  for (uint64_t v = 2; v < 300; ++v) {
+    bft::ViewChange vc;
+    vc.new_view = v;
+    vc.stable_seq = 0;
+    vc.replica = attacker;
+    vc.signature = cluster.keys().sign(attacker, vc.signed_body());
+    const Bytes body =
+        bft::tag_bft(bft::BftMsgType::kViewChange, vc.serialize());
+    for (NodeId r = 0; r < cluster.n(); ++r) {
+      if (r == attacker) continue;
+      cluster.net().send(attacker, r,
+                         bft::seal_envelope(cluster.keys(), bft::Channel::kBft,
+                                            attacker, r, body));
+    }
+  }
+  cluster.sim().run_until(cluster.sim().now() + 100 * kMillisecond);
+
+  for (uint32_t i = 0; i < cluster.n(); ++i) {
+    if (i == attacker) continue;
+    // One vote per sender: the map never held more than n entries (here,
+    // exactly the attacker's single refreshed vote).
+    EXPECT_LE(
+        cluster.replica_metrics(i).gauge_max("bft.view_change_votes_tracked"),
+        static_cast<int64_t>(cluster.n()))
+        << "replica " << i;
+    // The lone Byzantine sender counts once toward the f+1 join rule, so no
+    // correct replica joined a view change.
+    EXPECT_EQ(
+        cluster.replica_metrics(i).counter_value("bft.view_changes_started"),
+        0u)
+        << "replica " << i;
+    EXPECT_EQ(cluster.replica(i).view_changes_completed(), 0u)
+        << "replica " << i;
+  }
+
+  const auto r = cluster.run_one(0, apps::KvStore::put("k", to_bytes("v")));
+  ASSERT_TRUE(r.has_value());
+}
+
+// A Byzantine primary orders the SAME request with client_seq == 0 at two
+// sequence numbers.  Regression for the replay bypass: the dedup map was
+// consulted with a zero-initialized default entry, so `client_seq <= last`
+// never held for seq 0 and the request executed twice.  Presence in the map
+// now means "has executed", which catches seq 0.
+TEST(Byzantine, ClientSeqZeroReplayExecutesOnce) {
+  auto opts = byz_options();
+  opts.service_factory = [] { return std::make_unique<EchoService>(0); };
+  Cluster cluster(opts);
+
+  bft::Request req;
+  req.client = Cluster::client_id(0);
+  req.client_seq = 0;
+  req.payload = to_bytes("op-zero");
+
+  // The Byzantine primary (replica 0) proposes the identical request at
+  // seq 1 and seq 2, to the three backups only; the backups are a 2f+1
+  // quorum and commit both slots among themselves.
+  for (uint64_t seq : {1ull, 2ull}) {
+    bft::PrePrepare pp;
+    pp.view = 0;
+    pp.seq = seq;
+    pp.batch = {req};
+    const Bytes body =
+        bft::tag_bft(bft::BftMsgType::kPrePrepare, pp.serialize());
+    for (NodeId r = 1; r < cluster.n(); ++r) {
+      cluster.net().send(0, r,
+                         bft::seal_envelope(cluster.keys(), bft::Channel::kBft,
+                                            0, r, body));
+    }
+  }
+  cluster.sim().run_until(cluster.sim().now() + 200 * kMillisecond);
+
+  for (uint32_t i = 1; i < cluster.n(); ++i) {
+    // Both slots committed...
+    EXPECT_GE(cluster.replica(i).executed_requests(), 1u) << "replica " << i;
+    // ...but the request body ran exactly once; the replay was suppressed.
+    EXPECT_EQ(dynamic_cast<EchoService&>(cluster.service(i)).executed(), 1u)
+        << "replica " << i;
+    EXPECT_EQ(
+        cluster.replica_metrics(i).counter_value("bft.requests_executed"), 1u)
+        << "replica " << i;
+    EXPECT_EQ(
+        cluster.replica_metrics(i).counter_value("bft.replays_suppressed"), 1u)
+        << "replica " << i;
+  }
+}
+
 }  // namespace
 }  // namespace scab::causal
