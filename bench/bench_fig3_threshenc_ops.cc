@@ -87,6 +87,22 @@ void BM_VerifyShare(benchmark::State& state) {
   }
 }
 
+// Randomized batch verification of 16 shares (shares cycled when n < 16):
+// one merged equation whose per-share cost is ~the total / 16.  Compare
+// against BM_VerifyShare to read off the amortization factor.
+void BM_BatchVerifyShare16(benchmark::State& state) {
+  Fixture& fx = fixture_for(static_cast<uint32_t>(state.range(0)));
+  std::vector<Tdh2DecryptionShare> batch;
+  for (std::size_t i = 0; i < 16; ++i)
+    batch.push_back(fx.shares[i % fx.shares.size()]);
+  crypto::Drbg rng(to_bytes("fig3-batch"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tdh2_batch_verify_shares(fx.keys.pk, fx.ct, fx.label, batch, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+
 void BM_Combine(benchmark::State& state) {
   Fixture& fx = fixture_for(static_cast<uint32_t>(state.range(0)));
   for (auto _ : state) {
@@ -111,6 +127,7 @@ BENCHMARK(BM_VerifyCiphertext) FIG3_ARGS;
 BENCHMARK(BM_ShareDecrypt) FIG3_ARGS;
 BENCHMARK(BM_ShareDecryptChecked) FIG3_ARGS;
 BENCHMARK(BM_VerifyShare) FIG3_ARGS;
+BENCHMARK(BM_BatchVerifyShare16) FIG3_ARGS;
 BENCHMARK(BM_Combine) FIG3_ARGS;
 BENCHMARK(BM_CombineChecked) FIG3_ARGS;
 

@@ -1,0 +1,126 @@
+// Microbenchmark for the TDH2 batch-verification hot path, CI-facing.
+//
+// Emits one JSON object on stdout (scripts/ci.sh redirects it to
+// BENCH_crypto.json and bench_smoke validates the shape):
+//
+//   {
+//     "group_bits": 1024, "n": 16, "t": 6,
+//     "single_verify_share_ns": ...,
+//     "batch": [ {"k":4,"total_ns":...,"per_share_ns":...,"speedup":...},
+//                {"k":16,...}, {"k":64,...} ],
+//     "byzantine_detection": {"k":32,"bad_index":...,"detected":true,
+//                             "attributed":true,"bisection_splits":...},
+//     "pass": true
+//   }
+//
+// The binary exits non-zero if the amortized per-share cost at k=16 is not
+// at least 4x cheaper than the single-share path (the PR's acceptance
+// floor), so CI catches a regression in the batch path, not just a crash.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "crypto/modgroup.h"
+#include "threshenc/tdh2.h"
+
+namespace {
+
+using namespace scab;
+
+/// Minimum wall-clock ns of fn() over `batches` batches of `reps` runs.
+template <typename Fn>
+double measure_ns(int reps, Fn&& fn, int batches = 3) {
+  fn();  // untimed warmup
+  double best = 1e18;
+  for (int b = 0; b < batches; ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) fn();
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::nano>(end - start).count() / reps);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const crypto::ModGroup group = crypto::ModGroup::modp_1024();
+  crypto::Drbg rng(to_bytes("micro-crypto"));
+  const uint32_t n = 16, t = 6;
+  const auto keys = threshenc::tdh2_keygen(group, t, n, rng);
+  const Bytes label = to_bytes("micro-label");
+  const Bytes msg = rng.generate(threshenc::kTdh2MessageSize);
+  const auto ct = threshenc::tdh2_encrypt(keys.pk, msg, label, rng);
+
+  std::vector<threshenc::Tdh2DecryptionShare> shares;
+  for (uint32_t i = 0; i < n; ++i) {
+    shares.push_back(
+        *threshenc::tdh2_share_decrypt(keys.pk, keys.shares[i], ct, label, rng));
+  }
+
+  const double single_ns = measure_ns(20, [&] {
+    (void)threshenc::tdh2_verify_share(keys.pk, ct, label, shares[0]);
+  });
+
+  auto batch_of = [&](std::size_t k) {
+    std::vector<threshenc::Tdh2DecryptionShare> b;
+    for (std::size_t i = 0; i < k; ++i) b.push_back(shares[i % n]);
+    return b;
+  };
+
+  std::printf("{\n  \"group_bits\": 1024, \"n\": %u, \"t\": %u,\n", n, t);
+  std::printf("  \"single_verify_share_ns\": %.0f,\n", single_ns);
+  std::printf("  \"batch\": [\n");
+  double per_share16 = single_ns;
+  const std::size_t ks[] = {4, 16, 64};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t k = ks[i];
+    const auto batch = batch_of(k);
+    crypto::Drbg brng(to_bytes("micro-batch"));
+    const double total_ns = measure_ns(k >= 64 ? 5 : 10, [&] {
+      (void)threshenc::tdh2_batch_verify_shares(keys.pk, ct, label, batch,
+                                                brng);
+    });
+    const double per_share = total_ns / static_cast<double>(k);
+    if (k == 16) per_share16 = per_share;
+    std::printf(
+        "    {\"k\": %zu, \"total_ns\": %.0f, \"per_share_ns\": %.0f, "
+        "\"speedup\": %.2f}%s\n",
+        k, total_ns, per_share, single_ns / per_share, i + 1 < 3 ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  // Byzantine detection: one corrupted share hidden in a batch of 32 must be
+  // rejected, attributed to exactly its slot, and reached via bisection.
+  auto bad_batch = batch_of(32);
+  const std::size_t bad_index = 13;
+  bad_batch[bad_index].f_i =
+      (bad_batch[bad_index].f_i + crypto::Bignum(1)) % group.q();
+  crypto::Drbg drng(to_bytes("micro-detect"));
+  const auto verdict = threshenc::tdh2_batch_verify_shares(keys.pk, ct, label,
+                                                           bad_batch, drng);
+  bool attributed = !verdict.valid[bad_index];
+  for (std::size_t i = 0; i < verdict.valid.size(); ++i) {
+    if (i != bad_index && !verdict.valid[i]) attributed = false;
+  }
+  const bool detected = !verdict.all_valid();
+  std::printf(
+      "  \"byzantine_detection\": {\"k\": 32, \"bad_index\": %zu, "
+      "\"detected\": %s, \"attributed\": %s, \"bisection_splits\": %u},\n",
+      bad_index, detected ? "true" : "false", attributed ? "true" : "false",
+      verdict.bisection_splits);
+
+  const bool pass = per_share16 * 4.0 <= single_ns && detected && attributed;
+  std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: per_share(k=16)=%.0fns single=%.0fns (need >=4x), "
+                 "detected=%d attributed=%d\n",
+                 per_share16, single_ns, detected, attributed);
+    return 1;
+  }
+  return 0;
+}

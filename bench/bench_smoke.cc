@@ -5,8 +5,11 @@
 //   2. the tracer's per-phase means sum to the end-to-end mean within 5%
 //      (the figure benches' acceptance bound; the tracer guarantees exact
 //      telescoping, so a violation means a serialisation regression);
-//   3. the run made progress (completed spans, measured operations).
-// Usage: bench_smoke <path/to/metrics_schema.json>
+//   3. the run made progress (completed spans, measured operations);
+//   4. (optional second argument) a BENCH_crypto.json produced by
+//      bench_micro_crypto parses and carries the expected keys, so the CI
+//      artifact is known-good before it is archived.
+// Usage: bench_smoke <path/to/metrics_schema.json> [BENCH_crypto.json]
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -103,6 +106,30 @@ int main(int argc, char** argv) {
   }
 
   if (r.measured_ops == 0) fail("no operations measured");
+
+  if (argc >= 3) {
+    std::ifstream crypto_file(argv[2]);
+    if (!crypto_file) {
+      fail(std::string("cannot open crypto bench output ") + argv[2]);
+    } else {
+      std::stringstream cs;
+      cs << crypto_file.rdbuf();
+      const auto cdoc = obs::json::parse(cs.str());
+      if (!cdoc) {
+        fail("crypto bench output does not parse as JSON");
+      } else {
+        for (const char* path :
+             {"single_verify_share_ns", "batch/0/k", "batch/0/per_share_ns",
+              "batch/1/speedup", "batch/2/total_ns",
+              "byzantine_detection/detected", "byzantine_detection/attributed",
+              "byzantine_detection/bisection_splits", "pass"}) {
+          if (!obs::json::find_path(*cdoc, path)) {
+            fail(std::string("crypto bench output missing path: ") + path);
+          }
+        }
+      }
+    }
+  }
 
   if (failures == 0) std::fprintf(stderr, "bench_smoke: PASS\n");
   return failures == 0 ? 0 : 1;

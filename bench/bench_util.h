@@ -32,6 +32,11 @@ struct ThreshEncProfile {
   double verify_ciphertext_ms = 0;
   double share_decrypt_ms = 0;
   double verify_share_ms = 0;
+  // Randomized batch verification (DESIGN.md §4.3) at two batch sizes;
+  // calibrate_costs fits kTdh2BatchVerifyShare's (fixed, per-share) price
+  // from the k=4 and k=16 points.
+  double batch_verify4_ms = 0;
+  double batch_verify16_ms = 0;
   double combine_ms = 0;
 };
 ThreshEncProfile profile_threshenc(const crypto::ModGroup& group, uint32_t f,

@@ -14,8 +14,14 @@ cmake --build --preset default -j"$JOBS"
 echo "=== test suite ==="
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "=== bench smoke (metrics JSON vs schema) ==="
-./build/bench/bench_smoke bench/metrics_schema.json
+echo "=== crypto microbench (batch-verification amortization) ==="
+# Optimized build only: emits per-op ns for single vs batch verification at
+# k in {4,16,64} and exits non-zero if batch at k=16 is not >=4x cheaper.
+./build/bench/bench_micro_crypto > BENCH_crypto.json
+cat BENCH_crypto.json
+
+echo "=== bench smoke (metrics JSON vs schema + crypto bench artifact) ==="
+./build/bench/bench_smoke bench/metrics_schema.json BENCH_crypto.json
 
 echo "=== sanitizer build (ASan + UBSan) ==="
 cmake --preset sanitize

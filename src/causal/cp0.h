@@ -49,6 +49,15 @@ class Cp0Backend {
                                                 crypto::Drbg& rng) = 0;
   /// Anyone: verify one decryption share.
   virtual bool verify_share(BytesView ct, BytesView label, BytesView share) = 0;
+  /// Verify a batch of decryption shares for ONE ciphertext; returns one
+  /// verdict per share (1 = valid), in order.  If `fallback_splits` is
+  /// non-null it receives how many bisection splits the batch needed
+  /// (0 = the whole batch passed a single merged equation).  The default
+  /// loops verify_share — semantically identical, no amortization; the real
+  /// backend overrides it with randomized batch verification.
+  virtual std::vector<uint8_t> batch_verify_shares(
+      BytesView ct, BytesView label, const std::vector<Bytes>& shares,
+      crypto::Drbg& rng, uint32_t* fallback_splits = nullptr);
   /// Combine >= threshold valid shares into the plaintext.
   virtual std::optional<Bytes> combine(BytesView ct, BytesView label,
                                        const std::vector<Bytes>& shares) = 0;
@@ -68,6 +77,10 @@ class Cp0Backend {
       BytesView ct, BytesView label, const std::vector<Bytes>& shares) {
     return combine(ct, label, shares);
   }
+
+  /// Lets the backend register its own instruments (cache hit rates etc.)
+  /// next to the protocol's cp0.* metrics.  Default: none.
+  virtual void bind_metrics(obs::MetricsRegistry& /*registry*/) {}
 };
 
 /// The real thing: hybrid TDH2 (see threshenc/).
@@ -83,6 +96,9 @@ class RealTdh2Backend : public Cp0Backend {
                                         BytesView label,
                                         crypto::Drbg& rng) override;
   bool verify_share(BytesView ct, BytesView label, BytesView share) override;
+  std::vector<uint8_t> batch_verify_shares(
+      BytesView ct, BytesView label, const std::vector<Bytes>& shares,
+      crypto::Drbg& rng, uint32_t* fallback_splits = nullptr) override;
   std::optional<Bytes> combine(BytesView ct, BytesView label,
                                const std::vector<Bytes>& shares) override;
   std::optional<Bytes> decryption_share_preverified(uint32_t index,
@@ -92,10 +108,31 @@ class RealTdh2Backend : public Cp0Backend {
   std::optional<Bytes> combine_preverified(
       BytesView ct, BytesView label, const std::vector<Bytes>& shares) override;
   uint32_t threshold() const override { return pk_.threshold; }
+  void bind_metrics(obs::MetricsRegistry& registry) override;
+
+  /// Parsed-ciphertext LRU capacity.  CP0 parses the SAME wire ciphertext
+  /// in verify_ciphertext, share_decrypt, every share verification, and
+  /// combine; a handful of in-flight requests per replica makes a small
+  /// cache effectively always hit after admission.
+  static constexpr std::size_t kCtCacheEntries = 16;
 
  private:
+  /// Digest-keyed LRU lookup of the parsed hybrid ciphertext; parses (and
+  /// caches) on miss, returns nullptr for malformed wires (not cached).
+  const threshenc::HybridCiphertext* parsed_ct(BytesView ct);
+
   threshenc::Tdh2PublicKey pk_;
   std::optional<threshenc::Tdh2KeyShare> my_key_;
+
+  struct CtCacheEntry {
+    Bytes digest;  // sha256 of the wire
+    threshenc::HybridCiphertext parsed;
+  };
+  std::vector<CtCacheEntry> ct_cache_;  // front = most recently used
+  obs::Counter* ct_cache_hits_ = nullptr;
+  obs::Counter* ct_cache_misses_ = nullptr;
+  obs::Gauge* lagrange_hits_ = nullptr;
+  obs::Gauge* lagrange_misses_ = nullptr;
 };
 
 /// Calibrated-cost oracle: structurally faithful (labels checked, share
@@ -118,6 +155,12 @@ class ModeledThresholdBackend : public Cp0Backend {
   bool verify_share(BytesView ct, BytesView label, BytesView share) override;
   std::optional<Bytes> combine(BytesView ct, BytesView label,
                                const std::vector<Bytes>& shares) override;
+  std::optional<Bytes> decryption_share_preverified(uint32_t index,
+                                                    BytesView ct,
+                                                    BytesView label,
+                                                    crypto::Drbg& rng) override;
+  std::optional<Bytes> combine_preverified(
+      BytesView ct, BytesView label, const std::vector<Bytes>& shares) override;
   uint32_t threshold() const override { return threshold_; }
 
  private:
@@ -204,6 +247,10 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     obs::Counter* shares_rejected = nullptr;
     obs::Counter* combines = nullptr;
     obs::Counter* early_stashed = nullptr;
+    // Batches that needed the fallback (a bisection split or a rejected
+    // share): a Byzantine share inside a batch always surfaces here.
+    obs::Counter* batch_fallbacks = nullptr;
+    obs::Histogram* batch_size = nullptr;  // shares per batch flush
     obs::Histogram* reveal_ns = nullptr;  // delivery -> plaintext recovered
     obs::Gauge* pending = nullptr;
     obs::Gauge* early_shares = nullptr;

@@ -321,6 +321,28 @@ Bignum mod_inv_prime(const Bignum& a, const Bignum& p) {
   return mod_exp(r, p - Bignum(2), p);
 }
 
+int jacobi(const Bignum& a_in, const Bignum& n_in) {
+  if (!n_in.is_odd()) throw std::domain_error("jacobi: n must be odd");
+  Bignum a = a_in % n_in;
+  Bignum n = n_in;
+  int result = 1;
+  while (!a.is_zero()) {
+    // Strip factors of two: (2/n) = -1 iff n = +-3 mod 8.
+    std::size_t twos = 0;
+    while (!a.bit(twos)) ++twos;
+    if (twos > 0) {
+      a = a >> twos;
+      const uint64_t n8 = n.low_u64() & 7;
+      if ((twos & 1) && (n8 == 3 || n8 == 5)) result = -result;
+    }
+    // Quadratic reciprocity: flip sign iff both a and n are 3 mod 4.
+    if ((a.low_u64() & 3) == 3 && (n.low_u64() & 3) == 3) result = -result;
+    std::swap(a, n);
+    a = a % n;
+  }
+  return n == Bignum(1) ? result : 0;
+}
+
 Bignum random_below(const Bignum& bound, Drbg& rng) {
   if (bound.is_zero()) throw std::domain_error("random_below: empty range");
   const std::size_t bits = bound.bit_length();

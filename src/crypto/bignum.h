@@ -92,6 +92,13 @@ Bignum mod_exp(const Bignum& base, const Bignum& exp, const Bignum& m);
 /// a^(-1) mod p for PRIME p (Fermat). a must be nonzero mod p.
 Bignum mod_inv_prime(const Bignum& a, const Bignum& p);
 
+/// Jacobi symbol (a/n) in {-1, 0, 1}; n must be odd and > 0.  Binary
+/// algorithm: O(bits^2) word operations, no division beyond the initial
+/// reduction — far cheaper than an exponentiation.  For prime n this is the
+/// Legendre symbol, i.e. Euler's criterion a^{(n-1)/2} mod n, which is what
+/// lets ModGroup test quadratic residuosity without a modexp.
+int jacobi(const Bignum& a, const Bignum& n);
+
 /// Uniform value in [0, bound) via rejection sampling; bound must be > 0.
 Bignum random_below(const Bignum& bound, Drbg& rng);
 /// Uniform value in [1, bound); bound must be > 1.

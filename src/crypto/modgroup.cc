@@ -124,6 +124,15 @@ Bignum ModGroup::multi_exp(const Bignum& a, const Bignum& x, const Bignum& b,
   return m.from_mont(m.multi_exp(m.to_mont(a), x, m.to_mont(b), y));
 }
 
+Bignum ModGroup::multi_exp(std::span<const Bignum> bases,
+                           std::span<const Bignum> exps) const {
+  const Montgomery& m = require_mont();
+  std::vector<Montgomery::Limbs> mb;
+  mb.reserve(bases.size());
+  for (const Bignum& b : bases) mb.push_back(m.to_mont(b));
+  return m.from_mont(m.multi_exp(mb, exps));
+}
+
 Bignum ModGroup::exp_ratio(const Bignum& a, const Bignum& x, const Bignum& b,
                            const Bignum& y) const {
   // b has order q, so b^{-y} = b^{q-y}; no Fermat inversion needed.
@@ -132,8 +141,10 @@ Bignum ModGroup::exp_ratio(const Bignum& a, const Bignum& x, const Bignum& b,
 
 bool ModGroup::is_element(const Bignum& x) const {
   if (x.is_zero() || x >= p_) return false;
-  const Montgomery& m = require_mont();
-  return m.from_mont(m.exp(m.to_mont(x), q_)) == Bignum(1);
+  if (!mont_) throw std::domain_error("ModGroup: empty group");
+  // p is a safe prime and q = (p-1)/2, so Euler's criterion gives
+  // x^q mod p == (x/p): the QR subgroup test is exactly Jacobi == 1.
+  return jacobi(x, p_) == 1;
 }
 
 Bignum ModGroup::hash_to_element(BytesView seed) const {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,12 @@ class ModGroup {
   Bignum multi_exp(const Bignum& a, const Bignum& x, const Bignum& b,
                    const Bignum& y) const;
 
+  /// Π bases[i]^{exps[i]} for many terms (Straus/Pippenger, see
+  /// Montgomery::multi_exp).  The one-equation form of randomized batch
+  /// verification: k proofs collapse into a single multi-exponentiation.
+  Bignum multi_exp(std::span<const Bignum> bases,
+                   std::span<const Bignum> exps) const;
+
   /// a^x · b^{-y} for a base b of the ORDER-q SUBGROUP (b^{-y} = b^{q-y}),
   /// the shape of every Fiat–Shamir verification equation in TDH2.  Replaces
   /// two exponentiations plus a Fermat inversion (itself a third
@@ -84,7 +91,10 @@ class ModGroup {
   void cache_fixed_base(const Bignum& base);
 
   /// True iff x is a valid element of the order-q subgroup (1 <= x < p and
-  /// x^q = 1 mod p).  Used to validate all untrusted wire inputs.
+  /// x^q = 1 mod p).  Used to validate all untrusted wire inputs.  By
+  /// Euler's criterion x^q mod p equals the Jacobi symbol (x/p), so this is
+  /// a GCD-speed bit-twiddling test, not an exponentiation — which is what
+  /// makes per-item membership prechecks affordable in batch verification.
   bool is_element(const Bignum& x) const;
 
   /// Deterministically maps arbitrary bytes into the subgroup (hash then

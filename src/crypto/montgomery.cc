@@ -174,6 +174,109 @@ Montgomery::Limbs Montgomery::exp(const Table& base, const Bignum& e) const {
   return acc;
 }
 
+Montgomery::Limbs Montgomery::multi_exp(std::span<const Limbs> bases,
+                                        std::span<const Bignum> exps) const {
+  if (bases.size() != exps.size()) {
+    throw std::invalid_argument("Montgomery::multi_exp: size mismatch");
+  }
+  const std::size_t n = bases.size();
+  if (n == 0) return r1_;
+  if (n == 1) return exp(bases[0], exps[0]);
+
+  std::size_t bits = 0;
+  for (const Bignum& e : exps) bits = std::max(bits, e.bit_length());
+  if (bits == 0) return r1_;
+
+  // c-bit digit of e at window w (bits [w*c, (w+1)*c)).
+  auto digit_at = [](const Bignum& e, std::size_t w, unsigned c) {
+    unsigned d = 0;
+    for (unsigned i = c; i-- > 0;) d = (d << 1) | (e.bit(w * c + i) ? 1u : 0u);
+    return d;
+  };
+
+  // Both plans share `bits` squarings; compare the remaining multiplies.
+  // Straus: 14 table-build muls per base plus one table lookup-mul per
+  // 4-bit window.  Pippenger with c-bit windows: per window one bucket mul
+  // per term plus ~2^{c+1} fold muls.
+  const std::size_t straus_cost = n * (14 + (bits + 3) / 4);
+  unsigned pip_c = 0;
+  std::size_t best_cost = straus_cost;
+  for (unsigned c = 2; c <= 14; ++c) {
+    const std::size_t cost =
+        ((bits + c - 1) / c) * (n + (std::size_t{2} << c));
+    if (cost < best_cost) {
+      best_cost = cost;
+      pip_c = c;
+    }
+  }
+
+  Limbs acc = r1_;
+  Limbs tmp(k_);
+  auto mul_into_acc = [&](const Limbs& v) {
+    mont_mul(acc.data(), v.data(), tmp.data());
+    acc.swap(tmp);
+  };
+
+  if (pip_c == 0) {
+    // Straus: per-base 4-bit tables, one shared squaring chain.
+    std::vector<Table> tables;
+    tables.reserve(n);
+    for (const Limbs& b : bases) tables.push_back(make_table(b));
+    const std::size_t windows = (bits + 3) / 4;
+    for (std::size_t w = windows; w-- > 0;) {
+      if (w != windows - 1) {
+        for (int i = 0; i < 4; ++i) mont_sqr_inplace(acc);
+      }
+      for (std::size_t t = 0; t < n; ++t) {
+        const unsigned d = digit_at(exps[t], w, 4);
+        if (d != 0) mul_into_acc(tables[t].pow[d]);
+      }
+    }
+    return acc;
+  }
+
+  // Pippenger: per window scatter every term into bucket[digit], then fold
+  // buckets with the suffix-product identity
+  //   Π_d bucket[d]^d = Π_{d = max..1} (running suffix product).
+  const unsigned c = pip_c;
+  const std::size_t windows = (bits + c - 1) / c;
+  const std::size_t nbuckets = std::size_t{1} << c;
+  std::vector<Limbs> bucket(nbuckets);
+  std::vector<char> used(nbuckets, 0);
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w != windows - 1) {
+      for (unsigned i = 0; i < c; ++i) mont_sqr_inplace(acc);
+    }
+    std::fill(used.begin(), used.end(), 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const unsigned d = digit_at(exps[t], w, c);
+      if (d == 0) continue;
+      if (!used[d]) {
+        bucket[d] = bases[t];
+        used[d] = 1;
+      } else {
+        mont_mul(bucket[d].data(), bases[t].data(), tmp.data());
+        bucket[d].swap(tmp);
+      }
+    }
+    Limbs running;
+    bool have_running = false;
+    for (std::size_t d = nbuckets; d-- > 1;) {
+      if (used[d]) {
+        if (!have_running) {
+          running = bucket[d];
+          have_running = true;
+        } else {
+          mont_mul(running.data(), bucket[d].data(), tmp.data());
+          running.swap(tmp);
+        }
+      }
+      if (have_running) mul_into_acc(running);
+    }
+  }
+  return acc;
+}
+
 Montgomery::Limbs Montgomery::multi_exp(const Limbs& a, const Bignum& x,
                                         const Limbs& b, const Bignum& y) const {
   const std::size_t bits = std::max(x.bit_length(), y.bit_length());

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "crypto/bignum.h"
@@ -61,6 +62,17 @@ class Montgomery {
   /// one squaring chain for both exponents instead of two.
   Limbs multi_exp(const Limbs& a, const Bignum& x, const Limbs& b,
                   const Bignum& y) const;
+
+  /// Π bases[i]^{exps[i]} mod n for many terms — the batch-verification
+  /// workhorse.  One shared squaring chain for every term; per window the
+  /// terms are either looked up in per-base 4-bit tables (Straus, small
+  /// batches) or accumulated into 2^c shared buckets and folded with the
+  /// suffix-product trick (Pippenger, large batches).  The crossover is
+  /// chosen from an explicit multiply-count model of both plans, so short
+  /// exponents (the 128/256-bit scalars of randomized batch verification)
+  /// automatically get narrow windows.  Returns one() for an empty input.
+  Limbs multi_exp(std::span<const Limbs> bases,
+                  std::span<const Bignum> exps) const;
 
  private:
   // out = a·b·R^{-1} mod n; a, b, out are k_-limb buffers (out may not

@@ -22,6 +22,10 @@ CostModel CostModel::default_symmetric_era() {
   m.set(Op::kTdh2VerifyCt, {3'100'000, 0});
   m.set(Op::kTdh2ShareDec, {2'400'000, 0});
   m.set(Op::kTdh2VerifyShare, {2'500'000, 0});
+  // Batch verification: bytes = k·1024 by convention (see cost_model.h), so
+  // per_byte is the amortized per-share price — roughly a fifth of the
+  // single-share path, after the fixed two full-width exponentiations.
+  m.set(Op::kTdh2BatchVerifyShare, {2'800'000, 550'000});
   m.set(Op::kTdh2Combine, {1'700'000, 0});
   // Application execution: cheap.
   m.set(Op::kExecute, {1'000, 500});

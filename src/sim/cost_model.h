@@ -29,7 +29,13 @@ enum class Op : uint8_t {
   kTdh2Encrypt,      // CP0 client encryption (hybrid)
   kTdh2VerifyCt,     // public ciphertext verification
   kTdh2ShareDec,     // decryption-share generation
-  kTdh2VerifyShare,  // decryption-share verification
+  kTdh2VerifyShare,  // decryption-share verification (single)
+  // Randomized batch verification of k shares (one random-linear-combination
+  // equation, DESIGN.md §4.3).  CONVENTION: charged with bytes = k·1024, so
+  // the per_byte slot prices the PER-SHARE amortized cost in ns and `fixed`
+  // is the batch's constant part (the two full-width exponentiations of the
+  // merged equation).
+  kTdh2BatchVerifyShare,
   kTdh2Combine,      // Lagrange-in-exponent combination
   kExecute,          // application execution of one request
   kMsgOverhead,      // per-message OS/network-stack cost (send or receive)

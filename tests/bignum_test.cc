@@ -322,6 +322,38 @@ TEST(BignumModular, FermatInverse) {
   EXPECT_THROW(mod_inv_prime(p, p), std::domain_error);
 }
 
+TEST(BignumModular, JacobiMatchesEulerCriterionOnPrimes) {
+  // For odd prime p the Jacobi symbol is the Legendre symbol, which Euler's
+  // criterion computes as a^((p-1)/2) mod p.  This is exactly the use in
+  // ModGroup::is_element, where Jacobi replaces the full modexp.
+  Drbg rng(to_bytes("jacobi"));
+  for (const std::size_t bits : {std::size_t{32}, std::size_t{128}}) {
+    const Bignum p = random_prime(bits, rng);
+    const Bignum half = (p - Bignum(1)) >> 1;
+    for (int i = 0; i < 20; ++i) {
+      const Bignum a = random_nonzero_below(p, rng);
+      const Bignum euler = mod_exp(a, half, p);
+      const int expected = euler == Bignum(1) ? 1 : -1;
+      EXPECT_EQ(jacobi(a, p), expected);
+      // Periodicity in the top argument.
+      EXPECT_EQ(jacobi(a + p, p), expected);
+    }
+    EXPECT_EQ(jacobi(Bignum(0), p), 0);
+    EXPECT_EQ(jacobi(p, p), 0);
+    EXPECT_EQ(jacobi(Bignum(1), p), 1);
+  }
+}
+
+TEST(BignumModular, JacobiKnownValuesAndCompositeModulus) {
+  // Known table values: (2/15) = 1, (7/15) = -1, (1001/9907) = -1 (classic
+  // textbook example), and gcd(a, n) > 1 gives 0.
+  EXPECT_EQ(jacobi(Bignum(2), Bignum(15)), 1);
+  EXPECT_EQ(jacobi(Bignum(7), Bignum(15)), -1);
+  EXPECT_EQ(jacobi(Bignum(1001), Bignum(9907)), -1);
+  EXPECT_EQ(jacobi(Bignum(5), Bignum(15)), 0);
+  EXPECT_THROW(jacobi(Bignum(3), Bignum(8)), std::domain_error);
+}
+
 TEST(BignumRandom, RandomBelowIsInRange) {
   Drbg rng(to_bytes("below"));
   const Bignum bound = Bignum::from_hex("10000000000000000000001");

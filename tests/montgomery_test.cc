@@ -144,6 +144,32 @@ TEST_P(MontgomeryCrossCheckTest, CachedFixedBaseMatchesUncached) {
   EXPECT_EQ(copy.exp(h, x), before);
 }
 
+TEST_P(MontgomeryCrossCheckTest, ManyTermMultiExpMatchesProductOfExps) {
+  // The many-term multi_exp picks Straus for small n and Pippenger buckets
+  // for large n; both regimes must agree with the product of individual
+  // exponentiations, across full-width and short (batch-style) exponents.
+  const ModGroup grp = ModGroup::modp_512();
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                              std::size_t{40}}) {
+    for (const std::size_t exp_bytes : {std::size_t{16}, std::size_t{64}}) {
+      std::vector<Bignum> bases, exps;
+      Bignum expect(1);
+      for (std::size_t i = 0; i < n; ++i) {
+        bases.push_back(random_nonzero_below(grp.p(), rng_));
+        exps.push_back(Bignum::from_bytes_be(rng_.generate(exp_bytes)));
+        expect = mod_mul(expect, mod_exp(bases[i], exps[i], grp.p()), grp.p());
+      }
+      EXPECT_EQ(grp.multi_exp(bases, exps), expect)
+          << "n=" << n << " exp_bytes=" << exp_bytes;
+    }
+  }
+  // Degenerate cases: empty product, and an all-zero exponent vector.
+  EXPECT_EQ(grp.multi_exp(std::vector<Bignum>{}, std::vector<Bignum>{}),
+            Bignum(1));
+  const std::vector<Bignum> b1{random_nonzero_below(grp.p(), rng_)};
+  EXPECT_EQ(grp.multi_exp(b1, std::vector<Bignum>{Bignum(0)}), Bignum(1));
+}
+
 TEST_P(MontgomeryCrossCheckTest, ZeroAndBoundaryExponents) {
   const ModGroup grp = ModGroup::modp_512();
   const Montgomery& m = grp.mont();

@@ -287,6 +287,9 @@ TEST(ObsIntegration, CorruptSharesMoveRejectionCounters) {
   EXPECT_GT(m0.counter_value("cp0.shares_rejected"), 0u);
   EXPECT_EQ(m0.counter_value("cp0.combines"), 0u);
   EXPECT_EQ(m0.counter_value("cp0.ct_rejected"), 0u);
+  // The rejection came out of the batch-verification path: the flush that
+  // met the corrupt share is counted as a fallback (batch not all-valid).
+  EXPECT_GT(m0.counter_value("cp0.batch_fallbacks"), 0u);
 
   // Replicas 1 and 2 had the honest shares and combined normally — the
   // corrupt replica cannot block recovery.

@@ -174,7 +174,10 @@ TEST_P(ParserFuzzTest, Tdh2OutOfRangeFieldsAreRejectedAtParseTime) {
   }
   {
     auto bad = ct;
-    bad.e = group.q();
+    bad.w = crypto::Bignum(0);
+    reject_ct(bad);
+    bad = ct;
+    bad.wbar = group.p();
     reject_ct(bad);
     bad = ct;
     bad.f = group.q();
@@ -207,7 +210,10 @@ TEST_P(ParserFuzzTest, Tdh2OutOfRangeFieldsAreRejectedAtParseTime) {
   }
   {
     auto bad = share;
-    bad.e_i = group.q();
+    bad.u_hat = crypto::Bignum(0);
+    reject_share(bad);
+    bad = share;
+    bad.h_hat = group.p();
     reject_share(bad);
     bad = share;
     bad.f_i = group.q();

@@ -1,0 +1,199 @@
+// Randomized batch verification (DESIGN.md §4.3): the merged-equation fast
+// path, the bisection fallback's exact attribution of Byzantine shares, and
+// the soundness properties that justify both — a batch of one is bit-for-bit
+// the single-share path, the same DRBG seed reproduces the same verdict, and
+// a forgery crafted to cancel under FIXED combination coefficients is caught
+// by the randomized ones.
+#include "threshenc/tdh2.h"
+
+#include <gtest/gtest.h>
+
+namespace scab::threshenc {
+namespace {
+
+using crypto::Bignum;
+using crypto::Drbg;
+using crypto::ModGroup;
+
+const ModGroup& test_group() {
+  static const ModGroup grp = [] {
+    Drbg rng(to_bytes("tdh2-batch-test-group"));
+    return ModGroup::generate(64, rng);
+  }();
+  return grp;
+}
+
+class Tdh2BatchTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kServers = 32;
+  static constexpr uint32_t kThreshold = 11;
+
+  Tdh2BatchTest() : rng_(to_bytes("tdh2-batch-test")) {
+    keys_ = tdh2_keygen(test_group(), kThreshold, kServers, rng_);
+    ct_ = tdh2_encrypt(keys_.pk, rng_.generate(kTdh2MessageSize), label_, rng_);
+  }
+
+  std::vector<Tdh2DecryptionShare> all_shares() {
+    std::vector<Tdh2DecryptionShare> out;
+    for (uint32_t i = 0; i < kServers; ++i) {
+      out.push_back(
+          *tdh2_share_decrypt(keys_.pk, keys_.shares[i], ct_, label_, rng_));
+    }
+    return out;
+  }
+
+  Drbg rng_;
+  Tdh2KeyMaterial keys_;
+  Bytes label_ = to_bytes("batch-label");
+  Tdh2Ciphertext ct_;
+};
+
+TEST_F(Tdh2BatchTest, AllValidBatchPassesWithoutBisection) {
+  const auto shares = all_shares();
+  Drbg vrng(to_bytes("verifier"));
+  const auto verdict =
+      tdh2_batch_verify_shares(keys_.pk, ct_, label_, shares, vrng);
+  ASSERT_EQ(verdict.valid.size(), shares.size());
+  EXPECT_TRUE(verdict.all_valid());
+  EXPECT_EQ(verdict.bisection_splits, 0u);
+}
+
+TEST_F(Tdh2BatchTest, OneBadShareAmongThirtyTwoIsFoundAndAttributed) {
+  auto shares = all_shares();
+  const std::size_t bad = 19;
+  shares[bad].f_i = (shares[bad].f_i + Bignum(1)) % test_group().q();
+
+  Drbg vrng(to_bytes("verifier"));
+  const auto verdict =
+      tdh2_batch_verify_shares(keys_.pk, ct_, label_, shares, vrng);
+  ASSERT_EQ(verdict.valid.size(), shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    EXPECT_EQ(verdict.valid[i] != 0, i != bad) << "share " << i;
+  }
+  // Exactly one bad leaf in a batch of 32: the bisection path to it splits
+  // at every level of the tree.
+  EXPECT_GT(verdict.bisection_splits, 0u);
+  // The verdict must agree with per-share verification.
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    EXPECT_EQ(verdict.valid[i] != 0,
+              tdh2_verify_share(keys_.pk, ct_, label_, shares[i]));
+  }
+}
+
+TEST_F(Tdh2BatchTest, BatchOfOneIsExactlyTheSinglePath) {
+  const auto shares = all_shares();
+  const std::span<const Tdh2DecryptionShare> one(&shares[3], 1);
+
+  // Same verdict as the single-share verifier...
+  Drbg vrng(to_bytes("verifier"));
+  const auto verdict = tdh2_batch_verify_shares(keys_.pk, ct_, label_, one, vrng);
+  ASSERT_EQ(verdict.valid.size(), 1u);
+  EXPECT_TRUE(verdict.valid[0]);
+  EXPECT_EQ(verdict.bisection_splits, 0u);
+  EXPECT_TRUE(tdh2_verify_share(keys_.pk, ct_, label_, shares[3]));
+
+  // ...and the DRBG is not consumed: no random coefficients are drawn for a
+  // batch of one, so the verifier stream is bit-for-bit untouched.
+  Drbg untouched(to_bytes("verifier"));
+  EXPECT_EQ(vrng.generate(32), untouched.generate(32));
+}
+
+TEST_F(Tdh2BatchTest, FixedCoefficientForgeryIsRejected) {
+  // Two shares tampered in opposite directions: f'_i = f_i + d and
+  // f'_j = f_j - d.  Under EQUAL combination coefficients the perturbations
+  // cancel in the merged exponent sums, so a fixed-coefficient batch
+  // verifier would accept both forgeries.  Random per-share coefficients
+  // cancel only with probability ~2^-128, so the batch must reject and
+  // attribute BOTH shares.
+  auto shares = all_shares();
+  const std::size_t i = 5, j = 24;
+  const Bignum d(123456789);
+  const Bignum& q = test_group().q();
+  shares[i].f_i = (shares[i].f_i + d) % q;
+  shares[j].f_i = (shares[j].f_i + (q - d)) % q;
+
+  Drbg vrng(to_bytes("verifier"));
+  const auto verdict =
+      tdh2_batch_verify_shares(keys_.pk, ct_, label_, shares, vrng);
+  ASSERT_EQ(verdict.valid.size(), shares.size());
+  for (std::size_t s = 0; s < shares.size(); ++s) {
+    EXPECT_EQ(verdict.valid[s] != 0, s != i && s != j) << "share " << s;
+  }
+  EXPECT_GT(verdict.bisection_splits, 0u);
+}
+
+TEST_F(Tdh2BatchTest, SameDrbgSeedGivesIdenticalVerdicts) {
+  auto shares = all_shares();
+  shares[7].u_i = test_group().mul(shares[7].u_i, shares[7].u_i);
+  shares[28].f_i = (shares[28].f_i + Bignum(9)) % test_group().q();
+
+  Drbg a(to_bytes("seed-x")), b(to_bytes("seed-x"));
+  const auto va = tdh2_batch_verify_shares(keys_.pk, ct_, label_, shares, a);
+  const auto vb = tdh2_batch_verify_shares(keys_.pk, ct_, label_, shares, b);
+  EXPECT_EQ(va.valid, vb.valid);
+  EXPECT_EQ(va.bisection_splits, vb.bisection_splits);
+}
+
+TEST_F(Tdh2BatchTest, StructurallyInvalidShareDoesNotPoisonTheBatch) {
+  // A share that fails the structural prechecks (index out of range) is
+  // rejected before the algebra, and the remaining shares still pass on the
+  // merged equation without bisection.
+  auto shares = all_shares();
+  shares[0].index = kServers + 7;
+
+  Drbg vrng(to_bytes("verifier"));
+  const auto verdict =
+      tdh2_batch_verify_shares(keys_.pk, ct_, label_, shares, vrng);
+  EXPECT_FALSE(verdict.valid[0]);
+  for (std::size_t s = 1; s < shares.size(); ++s) {
+    EXPECT_TRUE(verdict.valid[s]) << "share " << s;
+  }
+  EXPECT_EQ(verdict.bisection_splits, 0u);
+}
+
+TEST_F(Tdh2BatchTest, BatchCiphertextVerificationMatchesSinglePath) {
+  std::vector<Tdh2Ciphertext> cts;
+  std::vector<Bytes> labels;
+  for (int k = 0; k < 8; ++k) {
+    labels.push_back(to_bytes("ct-" + std::to_string(k)));
+    cts.push_back(tdh2_encrypt(keys_.pk, rng_.generate(kTdh2MessageSize),
+                               labels.back(), rng_));
+  }
+
+  Drbg vrng(to_bytes("verifier"));
+  const auto ok = tdh2_batch_verify_ciphertexts(keys_.pk, cts, labels, vrng);
+  EXPECT_TRUE(ok.all_valid());
+  EXPECT_EQ(ok.bisection_splits, 0u);
+
+  // Tamper one proof response and one pad; both must be attributed exactly.
+  cts[2].f = (cts[2].f + Bignum(1)) % test_group().q();
+  cts[6].c[0] ^= 1;
+  const auto bad = tdh2_batch_verify_ciphertexts(keys_.pk, cts, labels, vrng);
+  for (std::size_t k = 0; k < cts.size(); ++k) {
+    EXPECT_EQ(bad.valid[k] != 0, k != 2 && k != 6) << "ct " << k;
+    EXPECT_EQ(bad.valid[k] != 0,
+              tdh2_verify_ciphertext(keys_.pk, cts[k], labels[k]));
+  }
+  EXPECT_GT(bad.bisection_splits, 0u);
+}
+
+TEST_F(Tdh2BatchTest, SharesForADifferentCiphertextAreRejected) {
+  // A share's challenge hash binds the ciphertext's u, so shares decrypted
+  // for one ciphertext are useless against another — batch verification
+  // must agree with the single path and reject all of them.  (The label is
+  // deliberately NOT part of the share proof; label binding is the
+  // ciphertext proof's job.)
+  const auto shares = all_shares();
+  const auto other =
+      tdh2_encrypt(keys_.pk, rng_.generate(kTdh2MessageSize), label_, rng_);
+  Drbg vrng(to_bytes("verifier"));
+  const auto verdict =
+      tdh2_batch_verify_shares(keys_.pk, other, label_, shares, vrng);
+  for (std::size_t s = 0; s < shares.size(); ++s) {
+    EXPECT_FALSE(verdict.valid[s]) << "share " << s;
+    EXPECT_FALSE(tdh2_verify_share(keys_.pk, other, label_, shares[s]));
+  }
+}
+
+}  // namespace
+}  // namespace scab::threshenc
