@@ -12,6 +12,9 @@
 
 #include "bench/bench_util.h"
 
+#include "bft/client.h"
+#include "causal/cp1.h"
+
 namespace {
 
 using namespace scab;

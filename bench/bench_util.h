@@ -12,7 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "bft/client.h"
+#include "bft/replica.h"
 #include "causal/harness.h"
+#include "threshenc/tdh2.h"
 
 namespace scab::bench {
 

@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "apps/kvstore.h"
+#include "abft/replica.h"
+#include "bft/client.h"
 #include "causal/harness.h"
 
 namespace {

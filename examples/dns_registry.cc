@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "apps/dns.h"
+#include "bft/client.h"
+#include "bft/replica.h"
 #include "causal/harness.h"
 
 int main() {

@@ -3,6 +3,10 @@
 // client that crashes mid-protocol and has its tentative request cleaned.
 #include <cstdio>
 
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "causal/cp0.h"
+#include "causal/cp1.h"
 #include "causal/harness.h"
 
 int main() {

@@ -1,31 +1,56 @@
-// Quickstart: bring up a CP1 secure-causal cluster on the simulator,
-// replicate a key-value store, and issue a few requests.
+// Quickstart: bring up a CP1 secure-causal cluster, replicate a key-value
+// store, and issue a few requests.
 //
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart                    # discrete-event simulator
+//   ./build/examples/quickstart --runtime=threads  # real threads + loopback
 //
 // The same five lines of setup work for every protocol: change
-// `opts.protocol` to kPbft / kCp0 / kCp2 / kCp3 to swap the engine.
+// `opts.protocol` to kPbft / kCp0 / kCp2 / kCp3 to swap the engine.  The
+// runtime flag swaps the host (DESIGN.md §8): kSim runs the whole cluster
+// on one deterministic virtual-time event loop; kThreads gives every node a
+// real worker thread over an in-process loopback transport.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "apps/kvstore.h"
+#include "bft/client.h"
+#include "bft/replica.h"
 #include "causal/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scab;
 
-  // 1. Describe the deployment: protocol, fault threshold, network.
+  causal::RuntimeKind runtime = causal::RuntimeKind::kSim;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runtime=threads") == 0) {
+      runtime = causal::RuntimeKind::kThreads;
+    } else if (std::strcmp(argv[i], "--runtime=sim") == 0) {
+      runtime = causal::RuntimeKind::kSim;
+    } else {
+      std::fprintf(stderr, "usage: %s [--runtime=sim|--runtime=threads]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const bool threaded = runtime == causal::RuntimeKind::kThreads;
+
+  // 1. Describe the deployment: protocol, fault threshold, runtime.
   causal::ClusterOptions opts;
   opts.protocol = causal::Protocol::kCp1;       // fair BFT + NM-CAD commitments
+  opts.runtime = runtime;
   opts.bft = bft::BftConfig::for_f(1);          // n = 3f + 1 = 4 replicas
-  opts.profile = sim::NetworkProfile::lan();    // 100 MB/s, 0.1 ms
+  opts.profile = sim::NetworkProfile::lan();    // kSim only: 100 MB/s, 0.1 ms
   opts.num_clients = 1;
   opts.service_factory = [] { return std::make_unique<apps::KvStore>(); };
 
-  // 2. Build the cluster: simulator, network, keys, replicas, clients.
+  // 2. Build the cluster: host runtime, network, keys, replicas, clients.
   causal::Cluster cluster(opts);
-  std::printf("cluster up: %s, n=%u replicas, f=%u\n",
-              causal::protocol_name(opts.protocol), cluster.n(), cluster.f());
+  std::printf("cluster up: %s, n=%u replicas, f=%u, runtime=%s\n",
+              causal::protocol_name(opts.protocol), cluster.n(), cluster.f(),
+              threaded ? "threads" : "sim");
 
   // 3. Issue requests.  Each one travels as a commitment first (schedule),
   //    then as an opening (reveal) — no replica sees the operation before
@@ -36,14 +61,38 @@ int main() {
   auto get = cluster.run_one(0, apps::KvStore::get("greeting"));
   std::printf("get -> %s\n", get ? to_string(*get).c_str() : "(timeout)");
 
-  // 4. Inspect the replicated state: every replica executed both ops.
+  // 4. Inspect the replicated state.  The client completes on an f+1
+  //    quorum, so under kThreads the slowest replica may still be applying
+  //    the tail — give it a moment to converge, then shutdown() joins the
+  //    workers (no-op under kSim) so the reads below are stable.
+  if (threaded) {
+    auto converged = [&] {
+      const uint64_t e0 = cluster.replica_executed(0);
+      if (e0 == 0) return false;
+      for (uint32_t r = 1; r < cluster.n(); ++r) {
+        if (cluster.replica_executed(r) != e0) return false;
+      }
+      return true;
+    };
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (!converged() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  cluster.shutdown();
   for (uint32_t i = 0; i < cluster.n(); ++i) {
     std::printf("replica %u executed %lu requests, view %lu\n", i,
                 static_cast<unsigned long>(cluster.replica(i).executed_requests()),
                 static_cast<unsigned long>(cluster.replica(i).view()));
   }
 
-  std::printf("virtual time elapsed: %.2f ms\n",
-              static_cast<double>(cluster.sim().now()) / sim::kMillisecond);
+  if (threaded) {
+    std::printf("wall time elapsed: %.2f ms\n",
+                static_cast<double>(cluster.host().now()) / host::kMillisecond);
+  } else {
+    std::printf("virtual time elapsed: %.2f ms\n",
+                static_cast<double>(cluster.sim().now()) / sim::kMillisecond);
+  }
   return 0;
 }

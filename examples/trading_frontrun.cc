@@ -11,6 +11,8 @@
 #include <cstdio>
 
 #include "apps/trading.h"
+#include "bft/client.h"
+#include "bft/replica.h"
 #include "causal/harness.h"
 
 namespace {

@@ -30,4 +30,14 @@ cmake --build --preset sanitize -j"$JOBS"
 echo "=== test suite under sanitizers ==="
 ctest --preset sanitize
 
+echo "=== ThreadSanitizer build (rt::ThreadHost runtime) ==="
+cmake --preset tsan
+cmake --build --preset tsan -j"$JOBS"
+
+echo "=== threaded-runtime tests under TSan ==="
+# The tsan test preset filters to the runtime-equivalence and backoff
+# suites: the crypto-heavy remainder is single-threaded and already
+# covered by the ASan pass above.
+ctest --preset tsan
+
 echo "=== CI OK ==="

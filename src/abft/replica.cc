@@ -4,18 +4,16 @@
 
 namespace scab::abft {
 
-using sim::Op;
+using host::Op;
 
-AsyncReplica::AsyncReplica(sim::Network& net, NodeId id, bft::BftConfig config,
+AsyncReplica::AsyncReplica(host::Host& host, NodeId id, bft::BftConfig config,
                            const bft::KeyRing& keys,
-                           const sim::CostModel& costs,
+                           const host::CostModel& costs,
                            const CoinPublicKey& coin_pk, CoinKeyShare coin_share,
                            bft::ReplicaApp* app, crypto::Drbg rng)
-    : sim::Node(net.sim(), id),
-      net_(net),
+    : HostBound(host, id, costs),
       config_(config),
       keys_(keys),
-      costs_(costs),
       coin_pk_(coin_pk),
       coin_key_(std::move(coin_share)),
       app_(app),
@@ -27,8 +25,7 @@ AsyncReplica::AsyncReplica(sim::Network& net, NodeId id, bft::BftConfig config,
 void AsyncReplica::send_abft(NodeId to, BytesView body) {
   charge(Op::kMsgOverhead, 0);
   charge(Op::kMac, body.size());
-  net_.send(id(), to,
-            bft::seal_envelope(keys_, bft::Channel::kBft, id(), to, body));
+  send_raw(to, bft::seal_envelope(keys_, bft::Channel::kBft, id(), to, body));
 }
 
 void AsyncReplica::broadcast_abft(BytesView body) {
@@ -57,15 +54,15 @@ void AsyncReplica::send_reply(NodeId client, uint64_t client_seq, Bytes result) 
   reply_cache_[client] = wire;
   charge(Op::kMsgOverhead, 0);
   charge(Op::kMac, wire.size());
-  net_.send(id(), client,
-            bft::seal_envelope(keys_, bft::Channel::kReply, id(), client, wire));
+  send_raw(client,
+           bft::seal_envelope(keys_, bft::Channel::kReply, id(), client, wire));
 }
 
 void AsyncReplica::send_causal(NodeId to, Bytes body) {
   charge(Op::kMsgOverhead, 0);
   charge(Op::kMac, body.size());
-  net_.send(id(), to,
-            bft::seal_envelope(keys_, bft::Channel::kCausal, id(), to, body));
+  send_raw(to,
+           bft::seal_envelope(keys_, bft::Channel::kCausal, id(), to, body));
 }
 
 void AsyncReplica::broadcast_causal(Bytes body) {
@@ -172,9 +169,8 @@ void AsyncReplica::handle_client_request(NodeId from, BytesView body,
     auto cached = reply_cache_.find(from);
     if (cached != reply_cache_.end()) {
       charge(Op::kMac, cached->second.size());
-      net_.send(id(), from,
-                bft::seal_envelope(keys_, bft::Channel::kReply, id(), from,
-                                   cached->second));
+      send_raw(from, bft::seal_envelope(keys_, bft::Channel::kReply, id(),
+                                        from, cached->second));
     }
     return;
   }

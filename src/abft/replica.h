@@ -23,6 +23,7 @@
 // mechanism — that is the whole point of the paper).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <optional>
@@ -31,33 +32,32 @@
 #include "abft/coin.h"
 #include "bft/app.h"
 #include "bft/envelope.h"
-#include "sim/network.h"
+#include "host/host.h"
 
 namespace scab::abft {
 
 using bft::NodeId;
 
-class AsyncReplica : public sim::Node, public bft::ReplicaContext {
+class AsyncReplica : public host::HostBound<bft::ReplicaContext> {
  public:
-  AsyncReplica(sim::Network& net, NodeId id, bft::BftConfig config,
-               const bft::KeyRing& keys, const sim::CostModel& costs,
+  AsyncReplica(host::Host& host, NodeId id, bft::BftConfig config,
+               const bft::KeyRing& keys, const host::CostModel& costs,
                const CoinPublicKey& coin_pk, CoinKeyShare coin_share,
                bft::ReplicaApp* app, crypto::Drbg rng);
 
-  // --- sim::Node ---
+  // --- host::Node ---
   void on_message(NodeId from, BytesView msg) override;
 
   // --- bft::ReplicaContext ---
-  NodeId id() const override { return Node::id(); }
+  // id()/now()/schedule()/charge() come from the HostBound mixin.
   const bft::BftConfig& config() const override { return config_; }
   /// Epochs play the role of views for the app layer.
   uint64_t view() const override { return current_epoch_; }
   /// Rotating "coordinator" role; only used by apps that want a single
   /// proposer for housekeeping ops (CP1's cleanup).
   bool is_primary() const override {
-    return current_epoch_ % config_.n == Node::id();
+    return current_epoch_ % config_.n == id();
   }
-  sim::SimTime now() const override { return sim().now(); }
   void send_reply(NodeId client, uint64_t client_seq, Bytes result) override;
   void send_causal(NodeId to, Bytes body) override;
   void broadcast_causal(Bytes body) override;
@@ -65,12 +65,6 @@ class AsyncReplica : public sim::Node, public bft::ReplicaContext {
   void request_view_change(const char* /*reason*/) override {}  // leaderless
   void admit_foreign_request(NodeId client, uint64_t client_seq,
                              Bytes payload) override;
-  void schedule(sim::SimTime delay, std::function<void()> fn) override {
-    sim().schedule_after(delay, std::move(fn));
-  }
-  void charge(sim::Op op, std::size_t bytes) override {
-    Node::charge(costs_, op, bytes);
-  }
   crypto::Drbg& rng() override { return rng_; }
   const bft::KeyRing& keys() const override { return keys_; }
 
@@ -168,10 +162,8 @@ class AsyncReplica : public sim::Node, public bft::ReplicaContext {
   Bytes coin_name(uint64_t epoch, uint32_t proposer, uint32_t round) const;
   Epoch& epoch_state(uint64_t e) { return epochs_[e]; }
 
-  sim::Network& net_;
   bft::BftConfig config_;
   const bft::KeyRing& keys_;
-  const sim::CostModel& costs_;
   CoinPublicKey coin_pk_;
   CoinKeyShare coin_key_;
   bft::ReplicaApp* app_;
@@ -187,7 +179,7 @@ class AsyncReplica : public sim::Node, public bft::ReplicaContext {
   std::map<NodeId, uint64_t> last_executed_client_seq_;
   std::map<NodeId, Bytes> reply_cache_;
 
-  uint64_t executed_requests_ = 0;
+  std::atomic<uint64_t> executed_requests_{0};
   uint64_t aba_rounds_run_ = 0;
 };
 

@@ -4,7 +4,7 @@
 
 namespace scab::apps {
 
-Bytes DnsRegistry::execute(sim::NodeId client, BytesView op) {
+Bytes DnsRegistry::execute(host::NodeId client, BytesView op) {
   Reader r(op);
   const uint8_t kind = r.u8();
   const std::string name = r.str();
@@ -40,7 +40,7 @@ Bytes DnsRegistry::resolve(std::string_view name) {
   return std::move(w).take();
 }
 
-sim::NodeId DnsRegistry::owner(const std::string& name) const {
+host::NodeId DnsRegistry::owner(const std::string& name) const {
   auto it = owners_.find(name);
   return it == owners_.end() ? 0 : it->second;
 }

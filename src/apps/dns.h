@@ -18,17 +18,17 @@ namespace scab::apps {
 
 class DnsRegistry : public causal::Service {
  public:
-  Bytes execute(sim::NodeId client, BytesView op) override;
+  Bytes execute(host::NodeId client, BytesView op) override;
 
   static Bytes register_name(std::string_view name);
   static Bytes resolve(std::string_view name);
 
   /// Owner of `name`, or 0 if unregistered.
-  sim::NodeId owner(const std::string& name) const;
+  host::NodeId owner(const std::string& name) const;
   std::size_t registered_count() const { return owners_.size(); }
 
  private:
-  std::map<std::string, sim::NodeId> owners_;
+  std::map<std::string, host::NodeId> owners_;
 };
 
 }  // namespace scab::apps

@@ -4,7 +4,7 @@
 
 namespace scab::apps {
 
-Bytes KvStore::execute(sim::NodeId /*client*/, BytesView op) {
+Bytes KvStore::execute(host::NodeId /*client*/, BytesView op) {
   Reader r(op);
   const uint8_t kind = r.u8();
   const std::string key = r.str();

@@ -15,7 +15,7 @@ namespace scab::apps {
 
 class KvStore : public causal::Service {
  public:
-  Bytes execute(sim::NodeId client, BytesView op) override;
+  Bytes execute(host::NodeId client, BytesView op) override;
 
   /// Deterministic op builders (used by clients, examples, tests).
   static Bytes put(std::string_view key, BytesView value);

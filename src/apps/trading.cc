@@ -10,7 +10,7 @@ Bytes filled_reply(uint64_t qty, uint64_t price) {
 }
 }  // namespace
 
-Bytes TradingService::execute(sim::NodeId client, BytesView op) {
+Bytes TradingService::execute(host::NodeId client, BytesView op) {
   Reader r(op);
   const uint8_t kind = r.u8();
   const std::string symbol = r.str();
@@ -77,7 +77,7 @@ uint64_t TradingService::price_cents(const std::string& symbol) const {
   return it == prices_.end() ? kInitialPriceCents : it->second;
 }
 
-int64_t TradingService::position(sim::NodeId client,
+int64_t TradingService::position(host::NodeId client,
                                  const std::string& symbol) const {
   auto it = positions_.find({client, symbol});
   return it == positions_.end() ? 0 : it->second;

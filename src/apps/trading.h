@@ -27,7 +27,7 @@ class TradingService : public causal::Service {
   static constexpr uint64_t kInitialPriceCents = 10'000;  // $100.00
   static constexpr uint64_t kImpactPerShare = 5;          // 5 cents / share
 
-  Bytes execute(sim::NodeId client, BytesView op) override;
+  Bytes execute(host::NodeId client, BytesView op) override;
 
   static Bytes buy(std::string_view symbol, uint64_t qty);
   static Bytes sell(std::string_view symbol, uint64_t qty);
@@ -35,11 +35,11 @@ class TradingService : public causal::Service {
 
   uint64_t price_cents(const std::string& symbol) const;
   /// Net shares held by `client` in `symbol`.
-  int64_t position(sim::NodeId client, const std::string& symbol) const;
+  int64_t position(host::NodeId client, const std::string& symbol) const;
 
  private:
   std::map<std::string, uint64_t> prices_;
-  std::map<std::pair<sim::NodeId, std::string>, int64_t> positions_;
+  std::map<std::pair<host::NodeId, std::string>, int64_t> positions_;
 };
 
 }  // namespace scab::apps

@@ -8,14 +8,15 @@
 // reply only after the plaintext is recovered.
 #pragma once
 
+#include <functional>
+
 #include "bft/config.h"
 #include "bft/keyring.h"
 #include "bft/types.h"
 #include "crypto/drbg.h"
+#include "host/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sim/cost_model.h"
-#include "sim/network.h"
 
 namespace scab::bft {
 
@@ -28,7 +29,7 @@ class ReplicaContext {
   virtual const BftConfig& config() const = 0;
   virtual uint64_t view() const = 0;
   virtual bool is_primary() const = 0;
-  virtual sim::SimTime now() const = 0;
+  virtual host::Time now() const = 0;
 
   /// Sends a REPLY to the client (normally called from on_deliver or later,
   /// once the causal reveal completed).
@@ -54,10 +55,10 @@ class ReplicaContext {
                                      Bytes payload) = 0;
 
   /// Schedules an app-level timer (amplification delays, cleanup checks).
-  virtual void schedule(sim::SimTime delay, std::function<void()> fn) = 0;
+  virtual void schedule(host::Time delay, std::function<void()> fn) = 0;
 
   /// CPU cost charging and utilities.
-  virtual void charge(sim::Op op, std::size_t bytes) = 0;
+  virtual void charge(host::Op op, std::size_t bytes) = 0;
   virtual crypto::Drbg& rng() = 0;
   virtual const KeyRing& keys() const = 0;
 

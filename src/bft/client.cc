@@ -1,8 +1,16 @@
 #include "bft/client.h"
 
+#include <algorithm>
+
 namespace scab::bft {
 
-using sim::Op;
+using host::Op;
+
+namespace {
+// Exponential-backoff cap: retry delays double per retransmission up to
+// base << kMaxBackoffShift.
+constexpr uint32_t kMaxBackoffShift = 6;
+}  // namespace
 
 bool ReplyQuorum::add(NodeId replica, const ReplyMsg& reply) {
   if (fired_ || reply.client_seq != client_seq_) return false;
@@ -18,15 +26,13 @@ bool ReplyQuorum::add(NodeId replica, const ReplyMsg& reply) {
   return false;
 }
 
-Client::Client(sim::Network& net, NodeId id, BftConfig config,
-               const KeyRing& keys, const sim::CostModel& costs,
+Client::Client(host::Host& host, NodeId id, BftConfig config,
+               const KeyRing& keys, const host::CostModel& costs,
                ClientProtocol* protocol, crypto::Drbg rng,
                obs::MetricsRegistry* metrics, obs::Tracer* tracer)
-    : sim::Node(net.sim(), id),
-      net_(net),
+    : HostBound(host, id, costs),
       config_(config),
       keys_(keys),
-      costs_(costs),
       protocol_(protocol),
       rng_(std::move(rng)),
       metrics_(metrics ? *metrics : obs::MetricsRegistry::inert()),
@@ -51,6 +57,7 @@ void Client::submit(Bytes op, CompletionHook hook) {
   generator_ = nullptr;
   max_ops_ = 0;
   in_flight_ = true;
+  retries_this_op_ = 0;
   inflight_index_ = issued_++;
   inflight_seq_ = next_seq();
   inflight_op_ = std::move(op);
@@ -65,6 +72,7 @@ void Client::begin_next() {
   if (generator_ == nullptr) return;
   if (max_ops_ != 0 && issued_ >= max_ops_) return;
   in_flight_ = true;
+  retries_this_op_ = 0;
   inflight_index_ = issued_;
   inflight_op_ = generator_(issued_);
   ++issued_;
@@ -78,8 +86,18 @@ void Client::begin_next() {
 
 void Client::arm_retry() {
   const uint64_t epoch = ++retry_epoch_;
-  sim().schedule_after(retry_timeout_, [this, epoch] {
+  // Capped exponential backoff: the k-th retransmission of one operation
+  // waits base << min(k, cap), plus DRBG jitter of up to a quarter of the
+  // delay so retrying clients desynchronize.  The FIRST arm of an operation
+  // is exactly `retry_timeout_` with no DRBG draw: on the happy path (no
+  // retry ever fires) the client's random stream is untouched, which keeps
+  // seeded simulator runs bit-identical to the pre-backoff behavior.
+  host::Time delay = retry_timeout_
+                     << std::min(retries_this_op_, kMaxBackoffShift);
+  if (retries_this_op_ > 0) delay += rng_.uniform(delay / 4 + 1);
+  schedule(delay, [this, epoch] {
     if (!in_flight_ || epoch != retry_epoch_) return;
+    ++retries_this_op_;
     m_.retries->inc();
     protocol_->on_retransmit(*this);
     arm_retry();
@@ -94,8 +112,7 @@ void Client::send_request(uint64_t client_seq, Bytes payload) {
   for (NodeId r = 0; r < config_.n; ++r) {
     charge(Op::kMsgOverhead, 0);
     charge(Op::kMac, body.size());
-    net_.send(id(), r,
-              seal_envelope(keys_, Channel::kClientRequest, id(), r, body));
+    send_raw(r, seal_envelope(keys_, Channel::kClientRequest, id(), r, body));
   }
 }
 
@@ -106,23 +123,25 @@ void Client::send_request_to(NodeId replica, uint64_t client_seq,
   msg.payload = std::move(payload);
   const Bytes body = msg.serialize();
   charge(Op::kMac, body.size());
-  net_.send(id(), replica,
-            seal_envelope(keys_, Channel::kClientRequest, id(), replica, body));
+  send_raw(replica,
+           seal_envelope(keys_, Channel::kClientRequest, id(), replica, body));
 }
 
 void Client::send_causal(NodeId replica, Bytes body) {
   charge(Op::kMac, body.size());
-  net_.send(id(), replica,
-            seal_envelope(keys_, Channel::kCausal, id(), replica, body));
+  send_raw(replica, seal_envelope(keys_, Channel::kCausal, id(), replica, body));
 }
 
 void Client::complete(Bytes result) {
   if (!in_flight_) return;
   in_flight_ = false;
   ++retry_epoch_;  // cancel pending retries
-  ++completed_;
-  last_result_ = std::move(result);
-  total_latency_ += now() - inflight_start_;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    last_result_ = std::move(result);
+    total_latency_ += now() - inflight_start_;
+  }
+  completed_.fetch_add(1, std::memory_order_release);
   m_.completed->inc();
   m_.latency_ns->record(now() - inflight_start_);
   tracer_.record(id(), inflight_seq_, obs::Phase::kCompleted, now());

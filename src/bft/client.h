@@ -9,14 +9,16 @@
 // private channels.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <mutex>
 
 #include "bft/config.h"
 #include "bft/envelope.h"
+#include "host/host.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sim/network.h"
 
 namespace scab::bft {
 
@@ -27,7 +29,7 @@ class ClientContext {
 
   virtual NodeId id() const = 0;
   virtual const BftConfig& config() const = 0;
-  virtual sim::SimTime now() const = 0;
+  virtual host::Time now() const = 0;
 
   /// Multicasts a request payload to all replicas (Aardvark-style).
   virtual void send_request(uint64_t client_seq, Bytes payload) = 0;
@@ -44,7 +46,7 @@ class ClientContext {
   /// Declares the in-flight operation complete with `result`.
   virtual void complete(Bytes result) = 0;
 
-  virtual void charge(sim::Op op, std::size_t bytes) = 0;
+  virtual void charge(host::Op op, std::size_t bytes) = 0;
   virtual crypto::Drbg& rng() = 0;
   virtual const KeyRing& keys() const = 0;
 };
@@ -95,21 +97,21 @@ class ReplyQuorum {
   std::map<NodeId, Bytes> votes_;
 };
 
-class Client : public sim::Node, public ClientContext {
+class Client : public host::HostBound<ClientContext> {
  public:
   /// `metrics` receives "client."-prefixed counters/histograms; `tracer` is
   /// the cluster-wide request tracer (kSubmit/kCompleted endpoints).  Both
   /// optional — null binds to the inert sinks.
-  Client(sim::Network& net, NodeId id, BftConfig config, const KeyRing& keys,
-         const sim::CostModel& costs, ClientProtocol* protocol,
+  Client(host::Host& host, NodeId id, BftConfig config, const KeyRing& keys,
+         const host::CostModel& costs, ClientProtocol* protocol,
          crypto::Drbg rng, obs::MetricsRegistry* metrics = nullptr,
          obs::Tracer* tracer = nullptr);
 
   /// Generates the application body of operation #index.
   using OpGenerator = std::function<Bytes(uint64_t index)>;
   /// Called when an operation completes (for workload bookkeeping).
-  using CompletionHook = std::function<void(uint64_t index, sim::SimTime start,
-                                            sim::SimTime end)>;
+  using CompletionHook = std::function<void(uint64_t index, host::Time start,
+                                            host::Time end)>;
 
   /// Issues `max_ops` operations back-to-back (0 = until the sim stops).
   void run_closed_loop(OpGenerator gen, uint64_t max_ops,
@@ -118,43 +120,46 @@ class Client : public sim::Node, public ClientContext {
   /// Issues a single operation.
   void submit(Bytes op, CompletionHook hook = nullptr);
 
-  // --- sim::Node ---
+  // --- host::Node ---
   void on_message(NodeId from, BytesView msg) override;
 
   // --- ClientContext ---
-  NodeId id() const override { return Node::id(); }
+  // id()/now()/charge() come from the HostBound mixin.
   const BftConfig& config() const override { return config_; }
-  sim::SimTime now() const override { return sim().now(); }
   void send_request(uint64_t client_seq, Bytes payload) override;
   void send_request_to(NodeId replica, uint64_t client_seq,
                        Bytes payload) override;
   void send_causal(NodeId replica, Bytes body) override;
   uint64_t next_seq() override { return next_seq_++; }
   void complete(Bytes result) override;
-  void charge(sim::Op op, std::size_t bytes) override {
-    Node::charge(costs_, op, bytes);
-  }
   crypto::Drbg& rng() override { return rng_; }
   const KeyRing& keys() const override { return keys_; }
 
-  // --- stats ---
-  uint64_t completed_ops() const { return completed_; }
-  const Bytes& last_result() const { return last_result_; }
-  /// Total virtual time spent across completed ops (for mean latency).
-  sim::SimTime total_latency() const { return total_latency_; }
+  // --- stats (safe to poll from the controlling thread under kThreads) ---
+  uint64_t completed_ops() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  Bytes last_result() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return last_result_;
+  }
+  /// Total host time spent across completed ops (for mean latency).
+  host::Time total_latency() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return total_latency_;
+  }
 
-  /// Retransmission interval (default: 4x the request timeout would be far
-  /// too slow for benches; this is tuned per scenario).
-  void set_retry_timeout(sim::SimTime t) { retry_timeout_ = t; }
+  /// Base retransmission interval; retries back off exponentially from here
+  /// (doubling per retry, capped at 64x, with DRBG jitter) so a dead primary
+  /// costs O(log) retransmissions instead of a fixed-rate storm.
+  void set_retry_timeout(host::Time t) { retry_timeout_ = t; }
 
  private:
   void begin_next();
   void arm_retry();
 
-  sim::Network& net_;
   BftConfig config_;
   const KeyRing& keys_;
-  const sim::CostModel& costs_;
   ClientProtocol* protocol_;
   crypto::Drbg rng_;
 
@@ -162,19 +167,21 @@ class Client : public sim::Node, public ClientContext {
   CompletionHook hook_;
   uint64_t max_ops_ = 0;
   uint64_t issued_ = 0;
-  uint64_t completed_ = 0;
+  std::atomic<uint64_t> completed_{0};
   uint64_t next_seq_ = 1;
 
   bool in_flight_ = false;
   uint64_t inflight_index_ = 0;
   uint64_t inflight_seq_ = 0;
   Bytes inflight_op_;
-  sim::SimTime inflight_start_ = 0;
+  host::Time inflight_start_ = 0;
   uint64_t retry_epoch_ = 0;
-  sim::SimTime retry_timeout_ = 500 * sim::kMillisecond;
+  uint32_t retries_this_op_ = 0;
+  host::Time retry_timeout_ = 500 * host::kMillisecond;
 
+  mutable std::mutex stats_mu_;  // guards last_result_/total_latency_
   Bytes last_result_;
-  sim::SimTime total_latency_ = 0;
+  host::Time total_latency_ = 0;
 
   obs::MetricsRegistry& metrics_;
   obs::Tracer& tracer_;

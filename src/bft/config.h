@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "sim/simulator.h"
+#include "host/time.h"
 
 namespace scab::bft {
 
@@ -16,7 +16,7 @@ struct BftConfig {
   uint32_t max_batch = 16;
   /// Fallback batch timer; normally a request is proposed immediately when
   /// the in-flight window has room, and batching emerges under contention.
-  sim::SimTime batch_delay = 200 * sim::kMicrosecond;
+  host::Time batch_delay = 200 * host::kMicrosecond;
   /// Maximum consensus instances between next_seq and next_exec; bounding
   /// this is what makes batching effective under load.
   uint32_t max_inflight_batches = 4;
@@ -29,9 +29,9 @@ struct BftConfig {
   // within this delay votes for a view change (also serves as the fairness
   // watchdog of Aardvark-style protocols: a primary that starves any
   // client's request is demoted).
-  sim::SimTime request_timeout = 2 * sim::kSecond;
+  host::Time request_timeout = 2 * host::kSecond;
   /// How often the watchdog scans pending requests.
-  sim::SimTime watchdog_period = 500 * sim::kMillisecond;
+  host::Time watchdog_period = 500 * host::kMillisecond;
 
   // How many executed batches each replica retains for catch-up fetches.
   std::size_t history_limit = 2048;

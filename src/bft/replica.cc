@@ -6,17 +6,15 @@
 
 namespace scab::bft {
 
-using sim::Op;
+using host::Op;
 
-Replica::Replica(sim::Network& net, NodeId id, BftConfig config,
-                 const KeyRing& keys, const sim::CostModel& costs,
+Replica::Replica(host::Host& host, NodeId id, BftConfig config,
+                 const KeyRing& keys, const host::CostModel& costs,
                  ReplicaApp* app, crypto::Drbg rng,
                  obs::MetricsRegistry* metrics, obs::Tracer* tracer)
-    : sim::Node(net.sim(), id),
-      net_(net),
+    : HostBound(host, id, costs),
       config_(config),
       keys_(keys),
-      costs_(costs),
       app_(app),
       rng_(std::move(rng)),
       exec_chain_digest_(32, 0),
@@ -55,7 +53,7 @@ void Replica::update_state_gauges() {
 void Replica::start() {
   if (started_) return;
   started_ = true;
-  sim().schedule_after(config_.watchdog_period, [this] { watchdog_tick(); });
+  schedule(config_.watchdog_period, [this] { watchdog_tick(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -64,7 +62,7 @@ void Replica::start() {
 void Replica::send_envelope(NodeId to, Channel channel, BytesView body) {
   charge(Op::kMsgOverhead, 0);
   charge(Op::kMac, body.size());
-  net_.send(id(), to, seal_envelope(keys_, channel, id(), to, body));
+  send_raw(to, seal_envelope(keys_, channel, id(), to, body));
 }
 
 void Replica::send_bft(NodeId to, BftMsgType type, BytesView body) {
@@ -249,7 +247,7 @@ void Replica::maybe_send_batch() {
   // fallback timer so it cannot starve.
   if (!batch_timer_armed_ && !pending_batch_.empty()) {
     batch_timer_armed_ = true;
-    sim().schedule_after(config_.batch_delay, [this] {
+    schedule(config_.batch_delay, [this] {
       batch_timer_armed_ = false;
       if (is_primary() && !view_change_active_) maybe_send_batch();
     });
@@ -543,7 +541,7 @@ void Replica::watchdog_tick() {
     // The new primary failed to assemble a new view in time: move further.
     start_view_change(view_change_target_ + 1, "view change stalled");
   }
-  sim().schedule_after(config_.watchdog_period, [this] { watchdog_tick(); });
+  schedule(config_.watchdog_period, [this] { watchdog_tick(); });
 }
 
 void Replica::request_view_change(const char* /*reason*/) {

@@ -12,6 +12,7 @@
 // through the ReplicaApp interface (see app.h).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -21,34 +22,31 @@
 #include "bft/app.h"
 #include "bft/config.h"
 #include "bft/envelope.h"
-#include "sim/network.h"
+#include "host/host.h"
 
 namespace scab::bft {
 
-class Replica : public sim::Node, public ReplicaContext {
+class Replica : public host::HostBound<ReplicaContext> {
  public:
   /// `metrics` receives this replica's "bft."-prefixed instruments (plus
   /// whatever the app publishes); `tracer` is the cluster-wide request
   /// tracer.  Both optional — null binds to the inert sinks.
-  Replica(sim::Network& net, NodeId id, BftConfig config, const KeyRing& keys,
-          const sim::CostModel& costs, ReplicaApp* app, crypto::Drbg rng,
+  Replica(host::Host& host, NodeId id, BftConfig config, const KeyRing& keys,
+          const host::CostModel& costs, ReplicaApp* app, crypto::Drbg rng,
           obs::MetricsRegistry* metrics = nullptr,
           obs::Tracer* tracer = nullptr);
 
   /// Arms the watchdog; call once after construction.
   void start();
 
-  // --- sim::Node ---
+  // --- host::Node ---
   void on_message(NodeId from, BytesView msg) override;
 
   // --- ReplicaContext ---
-  NodeId id() const override { return Node::id(); }
+  // id()/now()/schedule()/charge() come from the HostBound mixin.
   const BftConfig& config() const override { return config_; }
   uint64_t view() const override { return view_; }
-  bool is_primary() const override {
-    return config_.primary_of(view_) == Node::id();
-  }
-  sim::SimTime now() const override { return sim().now(); }
+  bool is_primary() const override { return config_.primary_of(view_) == id(); }
   void send_reply(NodeId client, uint64_t client_seq, Bytes result) override;
   void send_causal(NodeId to, Bytes body) override;
   void broadcast_causal(Bytes body) override;
@@ -56,12 +54,6 @@ class Replica : public sim::Node, public ReplicaContext {
   void request_view_change(const char* reason) override;
   void admit_foreign_request(NodeId client, uint64_t client_seq,
                              Bytes payload) override;
-  void schedule(sim::SimTime delay, std::function<void()> fn) override {
-    sim().schedule_after(delay, std::move(fn));
-  }
-  void charge(sim::Op op, std::size_t bytes) override {
-    Node::charge(costs_, op, bytes);
-  }
   crypto::Drbg& rng() override { return rng_; }
   const KeyRing& keys() const override { return keys_; }
   obs::MetricsRegistry& metrics() override { return metrics_; }
@@ -91,7 +83,7 @@ class Replica : public sim::Node, public ReplicaContext {
     NodeId client = 0;
     uint64_t client_seq = 0;
     Bytes payload;  // kept so a backup-turned-primary can re-propose
-    sim::SimTime first_seen = 0;
+    host::Time first_seen = 0;
   };
 
   // --- messaging ---
@@ -133,10 +125,8 @@ class Replica : public sim::Node, public ReplicaContext {
     return seq > low_watermark_ && seq <= low_watermark_ + config_.watermark_window;
   }
 
-  sim::Network& net_;
   BftConfig config_;
   const KeyRing& keys_;
-  const sim::CostModel& costs_;
   ReplicaApp* app_;
   crypto::Drbg rng_;
 
@@ -171,7 +161,7 @@ class Replica : public sim::Node, public ReplicaContext {
   // one for the highest view that sender has asked for, tracked in
   // latest_vc_view_), so its total size is bounded by n regardless of how
   // many distinct future views a Byzantine replica floods.
-  sim::SimTime view_change_started_ = 0;
+  host::Time view_change_started_ = 0;
   bool view_change_active_ = false;
   uint64_t view_change_target_ = 0;
   std::map<uint64_t, std::map<NodeId, ViewChange>> view_change_votes_;
@@ -179,7 +169,9 @@ class Replica : public sim::Node, public ReplicaContext {
   std::set<uint64_t> new_view_sent_;
   uint64_t view_changes_completed_ = 0;
 
-  uint64_t executed_requests_ = 0;
+  // Atomic so the controlling thread can poll progress while the threaded
+  // host's worker executes; plain increment semantics under the simulator.
+  std::atomic<uint64_t> executed_requests_{0};
   bool started_ = false;
 
   // Observability.  Handles resolved once in the constructor; gauges mirror

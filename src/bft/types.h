@@ -13,11 +13,11 @@
 
 #include "common/bytes.h"
 #include "common/serialize.h"
-#include "sim/network.h"
+#include "host/time.h"
 
 namespace scab::bft {
 
-using sim::NodeId;
+using host::NodeId;
 
 /// Message channels multiplexed over one simulated socket.
 enum class Channel : uint8_t {

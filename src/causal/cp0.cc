@@ -7,7 +7,7 @@
 namespace scab::causal {
 
 using bft::NodeId;
-using sim::Op;
+using host::Op;
 
 // ---------------------------------------------------------------------------
 // Cp0Backend

@@ -211,7 +211,7 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     std::vector<Bytes> valid;
     bool delivered = false;
     bool revealed = false;
-    sim::SimTime delivered_at = 0;  // reveal-round duration measurement
+    host::Time delivered_at = 0;  // reveal-round duration measurement
     Bytes plaintext;
   };
 

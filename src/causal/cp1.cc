@@ -5,7 +5,7 @@
 namespace scab::causal {
 
 using bft::NodeId;
-using sim::Op;
+using host::Op;
 
 namespace {
 

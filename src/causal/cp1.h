@@ -28,22 +28,12 @@
 
 #include "bft/app.h"
 #include "bft/client.h"
+#include "causal/cp1_options.h"
 #include "causal/id.h"
 #include "causal/service.h"
 #include "crypto/commitment.h"
 
 namespace scab::causal {
-
-struct Cp1Options {
-  /// A tentative request is cleaned once `cleanup_cycle` further requests
-  /// have been delivered since it was scheduled.  Must exceed the channel
-  /// delay + fairness delay (paper §V-C); the bench uses ~10x the number of
-  /// requests delivered per average latency.
-  uint64_t cleanup_cycle = 64;
-  /// Replicas amplify a verified witness if the reveal has not been
-  /// delivered this long after they first saw it.
-  sim::SimTime amplify_delay = 50 * sim::kMillisecond;
-};
 
 /// Payload tags inside CP1 request payloads.
 enum class Cp1Phase : uint8_t {

@@ -1,0 +1,23 @@
+// CP1 tuning knobs, split from cp1.h so that ClusterOptions (harness.h) can
+// hold them by value without dragging the whole CP1 implementation — and
+// its crypto includes — into every TU that assembles a cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "host/time.h"
+
+namespace scab::causal {
+
+struct Cp1Options {
+  /// A tentative request is cleaned once `cleanup_cycle` further requests
+  /// have been delivered since it was scheduled.  Must exceed the channel
+  /// delay + fairness delay (paper §V-C); the bench uses ~10x the number of
+  /// requests delivered per average latency.
+  uint64_t cleanup_cycle = 64;
+  /// Replicas amplify a verified witness if the reveal has not been
+  /// delivered this long after they first saw it.
+  host::Time amplify_delay = 50 * host::kMillisecond;
+};
+
+}  // namespace scab::causal

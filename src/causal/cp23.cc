@@ -7,7 +7,7 @@ namespace scab::causal {
 using bft::NodeId;
 using secretshare::Arss1Share;
 using secretshare::ShamirShare;
-using sim::Op;
+using host::Op;
 
 // ---------------------------------------------------------------------------
 // Private-channel share envelopes
@@ -102,13 +102,18 @@ void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
     }
   }
 
-  // Feed what we have: our own share first, then anything buffered.
+  // Feed what we have: our own share first, then anything buffered.  A
+  // feed can cross the reconstruction threshold, which executes the request
+  // and erases this Pending entry (drain_execution) — so move the buffer
+  // out first and re-resolve the entry before every feed instead of
+  // holding `p` across calls that may free it.
+  std::vector<secretshare::Arss1Share> queued = std::move(p.buffered);
   if (p.own_share) feed_share(id, p, *p.own_share, ctx);
-  for (const auto& s : p.buffered) {
-    if (p.revealed) break;
-    feed_share(id, p, s, ctx);
+  for (const auto& s : queued) {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.revealed) break;
+    feed_share(id, it->second, s, ctx);
   }
-  p.buffered.clear();
 }
 
 void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
@@ -275,11 +280,15 @@ void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
                                      ctx.rng()));
     }
   }
-  for (const auto& s : p.buffered) {
-    if (p.revealed) break;
-    feed_share(id, p, s, ctx);
+  // Any feed can cross the threshold and erase this Pending entry via
+  // drain_execution, so move the buffer out and re-resolve by id before
+  // every feed instead of holding `p` across calls that may free it.
+  std::vector<secretshare::ShamirShare> queued = std::move(p.buffered);
+  for (const auto& s : queued) {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.revealed) break;
+    feed_share(id, it->second, s, ctx);
   }
-  p.buffered.clear();
 }
 
 void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,

@@ -1,5 +1,21 @@
 #include "causal/harness.h"
 
+#include <chrono>
+#include <thread>
+
+#include "abft/coin.h"
+#include "abft/replica.h"
+#include "bft/client.h"
+#include "bft/keyring.h"
+#include "bft/replica.h"
+#include "causal/cp0.h"
+#include "causal/cp1.h"
+#include "causal/cp23.h"
+#include "causal/plain.h"
+#include "rt/runtime.h"
+#include "sim/sim_host.h"
+#include "threshenc/tdh2.h"
+
 namespace scab::causal {
 
 const char* protocol_name(Protocol p) {
@@ -38,8 +54,13 @@ Cluster::Cluster(ClusterOptions options)
 
   net_ = std::make_unique<sim::Network>(sim_, options_.profile, options_.seed,
                                         &net_metrics_);
+  if (options_.runtime == RuntimeKind::kSim) {
+    host_ = std::make_unique<sim::SimHost>(*net_);
+  } else {
+    host_ = std::make_unique<rt::ThreadHost>();  // in-process loopback
+  }
 
-  std::vector<bft::NodeId> node_ids;
+  std::vector<host::NodeId> node_ids;
   for (uint32_t i = 0; i < cfg.n; ++i) node_ids.push_back(i);
   for (uint32_t i = 0; i < options_.num_clients; ++i) {
     node_ids.push_back(client_id(i));
@@ -56,7 +77,8 @@ Cluster::Cluster(ClusterOptions options)
         options_.group = crypto::ModGroup::generate(options_.group_bits, grng);
       }
       crypto::Drbg krng = master_rng_.fork(to_bytes("tdh2"));
-      tdh2_ = threshenc::tdh2_keygen(*options_.group, cfg.f + 1, cfg.n, krng);
+      tdh2_ = std::make_unique<threshenc::Tdh2KeyMaterial>(
+          threshenc::tdh2_keygen(*options_.group, cfg.f + 1, cfg.n, krng));
       break;
     }
     case Protocol::kCp1: {
@@ -72,6 +94,7 @@ Cluster::Cluster(ClusterOptions options)
     default:
       break;
   }
+  if (!tdh2_) tdh2_ = std::make_unique<threshenc::Tdh2KeyMaterial>();
 
   if (options_.engine == Engine::kAsyncEngine) {
     if (!options_.coin_group) {
@@ -80,7 +103,8 @@ Cluster::Cluster(ClusterOptions options)
           crypto::ModGroup::generate(options_.coin_group_bits, grng);
     }
     crypto::Drbg crng = master_rng_.fork(to_bytes("coin"));
-    coin_ = abft::coin_keygen(*options_.coin_group, cfg.f + 1, cfg.n, crng);
+    coin_ = std::make_unique<abft::CoinKeyMaterial>(
+        abft::coin_keygen(*options_.coin_group, cfg.f + 1, cfg.n, crng));
   }
 
   // Replicas.
@@ -116,18 +140,16 @@ Cluster::Cluster(ClusterOptions options)
     replica_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
     if (options_.engine == Engine::kPbftEngine) {
       auto replica = std::make_unique<bft::Replica>(
-          *net_, i, cfg, *keys_, options_.costs, replica_apps_.back().get(),
+          *host_, i, cfg, *keys_, options_.costs, replica_apps_.back().get(),
           master_rng_.fork(seed_bytes(i, "replica")),
           replica_metrics_.back().get(), &tracer_);
-      net_->attach(replica.get());
       replica->start();
       replicas_.push_back(std::move(replica));
     } else {
       auto replica = std::make_unique<abft::AsyncReplica>(
-          *net_, i, cfg, *keys_, options_.costs, coin_.pk, coin_.shares.at(i),
-          replica_apps_.back().get(),
+          *host_, i, cfg, *keys_, options_.costs, coin_->pk,
+          coin_->shares.at(i), replica_apps_.back().get(),
           master_rng_.fork(seed_bytes(i, "replica")));
-      net_->attach(replica.get());
       async_replicas_.push_back(std::move(replica));
     }
   }
@@ -159,16 +181,45 @@ Cluster::Cluster(ClusterOptions options)
 
     client_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
     auto client = std::make_unique<bft::Client>(
-        *net_, client_id(i), cfg, *keys_, options_.costs,
+        *host_, client_id(i), cfg, *keys_, options_.costs,
         client_protocols_.back().get(),
         master_rng_.fork(seed_bytes(i, "client")),
         client_metrics_.back().get(), &tracer_);
-    net_->attach(client.get());
     clients_.push_back(std::move(client));
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() { shutdown(); }
+
+void Cluster::shutdown() {
+  // Joins every worker under rt::ThreadHost, so no endpoint callback can
+  // run concurrently with (or after) member destruction.  No-op for kSim.
+  if (host_) host_->stop();
+}
+
+const bft::KeyRing& Cluster::keys() const { return *keys_; }
+
+bft::Replica& Cluster::replica(uint32_t i) { return *replicas_.at(i); }
+
+abft::AsyncReplica& Cluster::async_replica(uint32_t i) {
+  return *async_replicas_.at(i);
+}
+
+uint64_t Cluster::replica_executed(uint32_t i) const {
+  return options_.engine == Engine::kPbftEngine
+             ? replicas_.at(i)->executed_requests()
+             : async_replicas_.at(i)->executed_requests();
+}
+
+bft::Client& Cluster::client(uint32_t i) { return *clients_.at(i); }
+
+bft::ReplicaApp& Cluster::replica_app(uint32_t i) {
+  return *replica_apps_.at(i);
+}
+
+bft::ClientProtocol& Cluster::client_protocol(uint32_t i) {
+  return *client_protocols_.at(i);
+}
 
 obs::MetricsRegistry Cluster::merged_metrics() const {
   obs::MetricsRegistry merged;
@@ -185,8 +236,15 @@ std::unique_ptr<Cp0Backend> Cluster::make_cp0_backend(
                                                      options_.bft.n);
   }
   std::optional<threshenc::Tdh2KeyShare> key;
-  if (replica_index) key = tdh2_.shares.at(*replica_index);
-  return std::make_unique<RealTdh2Backend>(tdh2_.pk, std::move(key));
+  if (replica_index) key = tdh2_->shares.at(*replica_index);
+  threshenc::Tdh2PublicKey pk = tdh2_->pk;
+  if (options_.runtime == RuntimeKind::kThreads && pk.lagrange_cache) {
+    // The Lagrange-coefficient cache is mutable and documented
+    // single-threaded; under the threaded runtime each backend (= each
+    // node's worker) gets its own instance instead of sharing one.
+    pk.lagrange_cache = std::make_shared<threshenc::Tdh2LagrangeCache>();
+  }
+  return std::make_unique<RealTdh2Backend>(std::move(pk), std::move(key));
 }
 
 void Cluster::corrupt_replica_shares(uint32_t i) {
@@ -201,14 +259,30 @@ void Cluster::corrupt_replica_shares(uint32_t i) {
 }
 
 std::optional<Bytes> Cluster::run_one(uint32_t ci, Bytes op,
-                                      sim::SimTime deadline) {
+                                      host::Time deadline) {
   bft::Client& c = client(ci);
   const uint64_t before = c.completed_ops();
-  c.submit(std::move(op));
-  const sim::SimTime stop_at = sim_.now() + deadline;
-  sim_.run_while([&] {
-    return c.completed_ops() > before || sim_.now() >= stop_at;
-  });
+  if (options_.runtime == RuntimeKind::kSim) {
+    // Direct call + run_while, exactly the pre-host-refactor sequence:
+    // keeps event counts (and so every seeded signature) bit-identical.
+    c.submit(std::move(op));
+    const host::Time stop_at = sim_.now() + deadline;
+    sim_.run_while([&] {
+      return c.completed_ops() > before || sim_.now() >= stop_at;
+    });
+  } else {
+    // The controlling thread may not touch the client directly: hand the
+    // submit to the client's own executor, then poll its progress.
+    host_->post(c.id(), [&c, op = std::move(op)]() mutable {
+      c.submit(std::move(op));
+    });
+    const auto stop_at = std::chrono::steady_clock::now() +
+                         std::chrono::nanoseconds(deadline);
+    while (c.completed_ops() == before &&
+           std::chrono::steady_clock::now() < stop_at) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
   if (c.completed_ops() > before) return c.last_result();
   return std::nullopt;
 }

@@ -1,27 +1,54 @@
-// One-stop cluster assembly: simulator + network + keys + replicas +
+// One-stop cluster assembly: host runtime + network + keys + replicas +
 // clients for any of the five measured protocols (PBFT baseline, CP0–CP3).
 //
 // Used by the integration tests, every benchmark, and the examples; it is
-// the public "deployment" API of the library.
+// the public "deployment" API of the library.  The same cluster assembles
+// on either host runtime (RuntimeKind): the deterministic discrete-event
+// simulator, or the real-time threaded runtime with an in-process loopback
+// transport.
+//
+// Include hygiene: this header deliberately forward-declares the protocol
+// stack (replicas, clients, apps, TDH2 key material) and keeps only the
+// by-value option types; the heavy crypto headers are confined to
+// harness.cc.  TUs that poke protocol internals include the specific
+// header they need (bft/replica.h, causal/cp0.h, ...) themselves.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
-#include "abft/replica.h"
-#include "bft/client.h"
-#include "bft/replica.h"
-#include "causal/cp0.h"
-#include "causal/cp1.h"
-#include "causal/cp23.h"
-#include "causal/plain.h"
+#include "bft/config.h"
+#include "causal/cp1_options.h"
 #include "causal/service.h"
+#include "crypto/drbg.h"
 #include "crypto/modgroup.h"
+#include "host/host.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "threshenc/tdh2.h"
+#include "secretshare/arss.h"
+#include "sim/network.h"
+
+namespace scab::bft {
+class Client;
+class ClientProtocol;
+class KeyRing;
+class Replica;
+class ReplicaApp;
+}  // namespace scab::bft
+
+namespace scab::abft {
+class AsyncReplica;
+struct CoinKeyMaterial;
+}  // namespace scab::abft
+
+namespace scab::threshenc {
+struct Tdh2KeyMaterial;
+}  // namespace scab::threshenc
 
 namespace scab::causal {
+
+class Cp0Backend;
 
 enum class Protocol { kPbft, kCp0, kCp1, kCp2, kCp3 };
 
@@ -30,17 +57,24 @@ enum class Protocol { kPbft, kCp0, kCp1, kCp2, kCp3 };
 /// Every causal protocol runs on either — the paper's generality claim.
 enum class Engine { kPbftEngine, kAsyncEngine };
 
+/// Which host::Host implementation carries the cluster (DESIGN.md §8):
+/// kSim — deterministic virtual-time simulator (bit-reproducible); kThreads
+/// — rt::ThreadHost, one worker thread per node over an in-process loopback
+/// transport, real steady-clock time.
+enum class RuntimeKind { kSim, kThreads };
+
 const char* protocol_name(Protocol p);
 
 /// Replica ids are 0..n-1; client ids start here.
-inline constexpr bft::NodeId kClientBase = 100;
+inline constexpr host::NodeId kClientBase = 100;
 
 struct ClusterOptions {
   Protocol protocol = Protocol::kPbft;
   Engine engine = Engine::kPbftEngine;
+  RuntimeKind runtime = RuntimeKind::kSim;
   bft::BftConfig bft = bft::BftConfig::for_f(1);
-  sim::NetworkProfile profile = sim::NetworkProfile::ideal();
-  sim::CostModel costs = sim::CostModel::zero();
+  sim::NetworkProfile profile = sim::NetworkProfile::ideal();  // kSim only
+  host::CostModel costs = host::CostModel::zero();             // kSim only
   uint32_t num_clients = 1;
   uint64_t seed = 1;
 
@@ -75,43 +109,43 @@ class Cluster {
 
   sim::Simulator& sim() { return sim_; }
   sim::Network& net() { return *net_; }
-  const bft::KeyRing& keys() const { return *keys_; }
+  host::Host& host() { return *host_; }
+  const bft::KeyRing& keys() const;
   const ClusterOptions& options() const { return options_; }
 
   uint32_t n() const { return options_.bft.n; }
   uint32_t f() const { return options_.bft.f; }
   uint32_t num_clients() const { return static_cast<uint32_t>(clients_.size()); }
-  static bft::NodeId client_id(uint32_t index) { return kClientBase + index; }
+  static host::NodeId client_id(uint32_t index) { return kClientBase + index; }
 
   /// PBFT engine only.
-  bft::Replica& replica(uint32_t i) { return *replicas_.at(i); }
+  bft::Replica& replica(uint32_t i);
   /// Async engine only.
-  abft::AsyncReplica& async_replica(uint32_t i) { return *async_replicas_.at(i); }
+  abft::AsyncReplica& async_replica(uint32_t i);
   /// Engine-agnostic: requests executed by replica i.
-  uint64_t replica_executed(uint32_t i) const {
-    return options_.engine == Engine::kPbftEngine
-               ? replicas_.at(i)->executed_requests()
-               : async_replicas_.at(i)->executed_requests();
-  }
-  bft::Client& client(uint32_t i) { return *clients_.at(i); }
-  bft::ReplicaApp& replica_app(uint32_t i) { return *replica_apps_.at(i); }
-  bft::ClientProtocol& client_protocol(uint32_t i) {
-    return *client_protocols_.at(i);
-  }
+  uint64_t replica_executed(uint32_t i) const;
+  bft::Client& client(uint32_t i);
+  bft::ReplicaApp& replica_app(uint32_t i);
+  bft::ClientProtocol& client_protocol(uint32_t i);
   Service& service(uint32_t i) { return *services_.at(i); }
 
   /// Marks replica i as a share-corrupting Byzantine replica (Table IV).
   /// Only meaningful for CP0/CP2/CP3.
   void corrupt_replica_shares(uint32_t i);
 
-  /// Convenience: submit one op from client `ci` and run the simulation
-  /// until it completes or `deadline` of virtual time passes.  Returns the
-  /// result on success.
+  /// Convenience: submit one op from client `ci` and run until it completes
+  /// or `deadline` passes (virtual time under kSim, wall time under
+  /// kThreads).  Returns the result on success.
   std::optional<Bytes> run_one(uint32_t ci, Bytes op,
-                               sim::SimTime deadline = 30 * sim::kSecond);
+                               host::Time deadline = 30 * host::kSecond);
+
+  /// Quiesces the runtime: joins all worker threads under kThreads (no-op
+  /// under kSim).  Endpoint state is safe to inspect afterwards; the
+  /// destructor calls this automatically.
+  void shutdown();
 
   /// CP0 key material (empty unless protocol == kCp0).
-  const threshenc::Tdh2KeyMaterial& tdh2_keys() const { return tdh2_; }
+  const threshenc::Tdh2KeyMaterial& tdh2_keys() const { return *tdh2_; }
 
   // --- observability ---
   /// Network-layer metrics ("net.*": drops by fault, egress wait, bytes).
@@ -140,15 +174,16 @@ class Cluster {
   std::vector<std::unique_ptr<obs::MetricsRegistry>> client_metrics_;
   obs::Tracer tracer_;
   std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<host::Host> host_;  // outlives every bound endpoint below
   std::unique_ptr<bft::KeyRing> keys_;
   crypto::Drbg master_rng_;
 
   // Shared crypto material.
-  threshenc::Tdh2KeyMaterial tdh2_;     // CP0
-  Bytes nmcad_key_;                     // CP1
-  Bytes commitment_key_;                // CP2
+  std::unique_ptr<threshenc::Tdh2KeyMaterial> tdh2_;  // CP0
+  Bytes nmcad_key_;                                   // CP1
+  Bytes commitment_key_;                              // CP2
 
-  abft::CoinKeyMaterial coin_;          // async engine
+  std::unique_ptr<abft::CoinKeyMaterial> coin_;  // async engine
 
   std::vector<Service*> services_;  // borrowed from the apps
   std::vector<std::unique_ptr<bft::ReplicaApp>> replica_apps_;

@@ -13,12 +13,12 @@
 
 #include "common/bytes.h"
 #include "common/serialize.h"
-#include "sim/network.h"
+#include "host/time.h"
 
 namespace scab::causal {
 
 struct RequestId {
-  sim::NodeId client = 0;
+  host::NodeId client = 0;
   uint64_t seq = 0;
 
   Bytes encode() const {

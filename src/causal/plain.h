@@ -19,7 +19,7 @@ class PlainReplicaApp : public bft::ReplicaApp {
 
   void on_deliver(uint64_t /*seq*/, const bft::Request& req,
                   bft::ReplicaContext& ctx) override {
-    ctx.charge(sim::Op::kExecute, req.payload.size());
+    ctx.charge(host::Op::kExecute, req.payload.size());
     Bytes result = service_->execute(req.client, req.payload);
     ctx.send_reply(req.client, req.client_seq, std::move(result));
   }

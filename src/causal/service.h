@@ -7,10 +7,12 @@
 // x kB request in, y kB reply out).
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
 
 #include "common/bytes.h"
-#include "sim/network.h"
+#include "host/time.h"
 
 namespace scab::causal {
 
@@ -19,7 +21,7 @@ class Service {
   virtual ~Service() = default;
 
   /// Executes one operation; must be deterministic.
-  virtual Bytes execute(sim::NodeId client, BytesView op) = 0;
+  virtual Bytes execute(host::NodeId client, BytesView op) = 0;
 };
 
 /// Returns a fixed-size reply, ignoring the request body (the
@@ -28,19 +30,25 @@ class EchoService : public Service {
  public:
   explicit EchoService(std::size_t reply_size = 0) : reply_size_(reply_size) {}
 
-  Bytes execute(sim::NodeId /*client*/, BytesView op) override {
-    ++executed_;
-    bytes_in_ += op.size();
+  Bytes execute(host::NodeId /*client*/, BytesView op) override {
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(op.size(), std::memory_order_relaxed);
     return Bytes(reply_size_, 0x5a);
   }
 
-  uint64_t executed() const { return executed_; }
-  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_in() const {
+    return bytes_in_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::size_t reply_size_;
-  uint64_t executed_ = 0;
-  uint64_t bytes_in_ = 0;
+  // Atomic: under rt::ThreadHost each replica executes on its own worker
+  // thread while benches poll progress from the controlling thread.
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> bytes_in_{0};
 };
 
 /// Builds a fresh Service per replica.

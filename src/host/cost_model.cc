@@ -1,6 +1,6 @@
-#include "sim/cost_model.h"
+#include "host/cost_model.h"
 
-namespace scab::sim {
+namespace scab::host {
 
 CostModel CostModel::default_symmetric_era() {
   CostModel m;
@@ -35,4 +35,4 @@ CostModel CostModel::default_symmetric_era() {
   return m;
 }
 
-}  // namespace scab::sim
+}  // namespace scab::host

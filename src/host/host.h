@@ -1,0 +1,141 @@
+// The host abstraction: everything a protocol node needs from its runtime.
+//
+// Every protocol object in the stack (bft::Replica, bft::Client, the
+// CP0–CP3 engines, abft::AsyncReplica) is written against this seam and
+// nothing else, so the same code runs under
+//
+//   * sim::SimHost — the deterministic discrete-event simulator (virtual
+//     time, one global event loop, bit-reproducible runs), and
+//   * rt::ThreadHost — a real-time runtime (steady-clock timers, one worker
+//     thread per node draining an MPSC mailbox, pluggable transports).
+//
+// The contract every host provides (DESIGN.md §8):
+//
+//   Clock      now() — monotonic nanoseconds.  Virtual under the sim.
+//   Timers     schedule(node, delay, fn) — fn runs on `node`'s executor
+//              after >= delay.
+//   Transport  send(from, to, bytes) — unicast, unordered across pairs,
+//              FIFO per (from, to) not guaranteed by the interface (the
+//              protocols tolerate reordering by design).
+//   Executor   post(node, fn) — runs fn on `node`'s executor.  A node's
+//              handlers (on_message, timers, posted fns) NEVER run
+//              concurrently with each other: each node is a sequential
+//              process on every host, which is the invariant that keeps
+//              the protocol objects lock-free.
+//   charge     cost accounting hook.  The simulator turns charges into
+//              virtual busy-time (the paper's modeled CPU costs); real-time
+//              hosts ignore them — real work is measured, not modeled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/bytes.h"
+#include "host/cost_model.h"
+#include "host/time.h"
+
+namespace scab::host {
+
+/// A protocol endpoint (replica or client).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Message delivery callback; invoked on this node's sequential executor.
+  virtual void on_message(NodeId from, BytesView msg) = 0;
+};
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Time now() const = 0;
+};
+
+class Timers {
+ public:
+  virtual ~Timers() = default;
+  /// Runs `fn` on `node`'s executor once at least `delay` ns have passed.
+  virtual void schedule(NodeId node, Time delay, std::function<void()> fn) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Sends `msg` from `from` to `to`; delivered via Node::on_message on the
+  /// receiver's executor.  Delivery is best-effort (faults, crashes).
+  virtual void send(NodeId from, NodeId to, Bytes msg) = 0;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Runs `fn` on `node`'s sequential executor.  The simulator host runs it
+  /// inline (the caller IS the event loop); thread hosts enqueue it on the
+  /// node's mailbox.  This is the only safe way to poke a node from outside
+  /// its own handlers.
+  virtual void post(NodeId node, std::function<void()> fn) = 0;
+};
+
+/// A complete runtime: clock + timers + transport + per-node executors,
+/// plus endpoint registration and the cost-charging hook.
+class Host : public Clock, public Timers, public Transport, public Executor {
+ public:
+  /// Registers `endpoint` as node `id`.  Must complete before any traffic
+  /// or timers target the node.
+  virtual void bind(NodeId id, Node* endpoint) = 0;
+  virtual void unbind(NodeId id) = 0;
+
+  /// Cost-accounting hook: `cost` ns of CPU work attributed to `node`.
+  /// Default no-op — real-time hosts measure instead of model.
+  virtual void charge(NodeId node, Time cost) {
+    (void)node;
+    (void)cost;
+  }
+
+  /// Quiesces the host: joins worker threads, drops pending timers.  After
+  /// stop() returns, no endpoint callback is running or will run — callers
+  /// may then destroy the endpoints.  Idempotent; no-op for the simulator
+  /// (its event loop is caller-driven).
+  virtual void stop() {}
+};
+
+/// Mixin deduplicating the per-node host plumbing that every protocol class
+/// needs: identity, clock/timer/charge forwarding, and bind/unbind lifetime
+/// (bound on construction, unbound on destruction).  `Base` is the context
+/// interface the class implements (bft::ReplicaContext, bft::ClientContext);
+/// the forwarders implicitly override the matching context virtuals.
+template <class Base>
+class HostBound : public Base, public Node {
+ public:
+  HostBound(Host& host, NodeId id, const CostModel& costs)
+      : host_(host), id_(id), costs_(costs) {
+    host_.bind(id_, this);
+  }
+  ~HostBound() override { host_.unbind(id_); }
+
+  HostBound(const HostBound&) = delete;
+  HostBound& operator=(const HostBound&) = delete;
+
+  NodeId id() const { return id_; }
+  Time now() const { return host_.now(); }
+  void schedule(Time delay, std::function<void()> fn) {
+    host_.schedule(id_, delay, std::move(fn));
+  }
+  void charge(Op op, std::size_t bytes) {
+    host_.charge(id_, costs_.cost(op, bytes));
+  }
+
+  Host& host() const { return host_; }
+
+ protected:
+  void send_raw(NodeId to, Bytes msg) { host_.send(id_, to, std::move(msg)); }
+  const CostModel& costs() const { return costs_; }
+
+ private:
+  Host& host_;
+  NodeId id_;
+  CostModel costs_;  // by value: hosts outlive nodes, option structs may not
+};
+
+}  // namespace scab::host

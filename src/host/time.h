@@ -1,0 +1,21 @@
+// Basic host-level types shared by every runtime.
+//
+// `Time` is nanoseconds: virtual nanoseconds under the simulator host,
+// steady-clock nanoseconds since host start under the threaded runtime.
+// Protocol code never interprets a Time as wall-clock — it only measures
+// differences and passes delays back to Host::schedule, so the same code is
+// correct on both hosts.
+#pragma once
+
+#include <cstdint>
+
+namespace scab::host {
+
+using Time = uint64_t;    // nanoseconds
+using NodeId = uint32_t;  // replica ids are dense from 0; client ids offset
+
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+}  // namespace scab::host

@@ -6,22 +6,54 @@
 
 namespace scab::obs {
 
+Histogram::Shard& Histogram::local_shard() {
+  // Threads are striped across shards round-robin by first touch; a sim run
+  // is single-threaded and always lands on shard 0.
+  static std::atomic<std::size_t> next_thread{0};
+  thread_local const std::size_t idx =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards_[idx];
+}
+
 void Histogram::record(uint64_t value) {
-  ++count_;
-  sum_ += value;
-  if (value < min_) min_ = value;
-  if (value > max_) max_ = value;
-  ++buckets_[std::bit_width(value)];
+  Shard& s = local_shard();
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !s.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !s.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  s.buckets[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.min = std::min(out.min, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (int i = 0; i < kBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
 }
 
 uint64_t Histogram::quantile(double p) const {
-  if (count_ == 0) return 0;
+  const Snapshot s = snapshot();
+  if (s.count == 0) return 0;
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
-  const uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_ - 1)) + 1;
+  const uint64_t rank =
+      static_cast<uint64_t>(p * static_cast<double>(s.count - 1)) + 1;
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
+    seen += s.buckets[i];
     if (seen >= rank) {
       // Upper bound of bucket i = 2^i - 1 (bit_width i covers [2^(i-1), 2^i)).
       if (i == 0) return 0;
@@ -29,19 +61,34 @@ uint64_t Histogram::quantile(double p) const {
       return (uint64_t{1} << i) - 1;
     }
   }
-  return max_;
+  return s.max;
 }
 
 void Histogram::merge_from(const Histogram& other) {
-  if (other.count_ == 0) return;
-  count_ += other.count_;
-  sum_ += other.sum_;
-  if (other.min_ < min_) min_ = other.min_;
-  if (other.max_ > max_) max_ = other.max_;
-  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  const Snapshot o = other.snapshot();
+  if (o.count == 0) return;
+  // Fold the other histogram's aggregate into our first shard; readers sum
+  // across shards, so the destination shard is immaterial.
+  Shard& s = shards_[0];
+  s.count.fetch_add(o.count, std::memory_order_relaxed);
+  s.sum.fetch_add(o.sum, std::memory_order_relaxed);
+  uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (o.min < cur &&
+         !s.min.compare_exchange_weak(cur, o.min, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (o.max > cur &&
+         !s.max.compare_exchange_weak(cur, o.max, std::memory_order_relaxed)) {
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    if (o.buckets[i]) {
+      s.buckets[i].fetch_add(o.buckets[i], std::memory_order_relaxed);
+    }
+  }
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -50,6 +97,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -58,6 +106,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -66,32 +115,43 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second->value();
 }
 
 int64_t MetricsRegistry::gauge_max(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second->max();
 }
 
 const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c->value());
   return out;
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Resolve destination instruments OUTSIDE other's lock and record into
+  // them outside our own: counter()/gauge()/histogram() take this->mu_,
+  // other's map iteration takes other.mu_, and the two registries are
+  // distinct objects in every call site (per-node registry -> fresh merged
+  // snapshot), so lock order is always this-then-other or disjoint.
+  std::lock_guard<std::mutex> lk(other.mu_);
   for (const auto& [name, c] : other.counters_) counter(name).inc(c->value());
   for (const auto& [name, g] : other.gauges_) {
     Gauge& mine = gauge(name);
@@ -137,6 +197,7 @@ void append_double(std::string& out, double v) {
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {

@@ -8,8 +8,14 @@
 //
 //  * Cheap enough to stay on in benchmarks: instruments are resolved ONCE
 //    (by name) into stable handles; the hot-path operations are a single
-//    add / compare / bucket increment.  No strings, no locks, no clock
-//    reads on the hot path.
+//    relaxed atomic add / compare / bucket increment.  No strings, no
+//    locks, no clock reads on the hot path.
+//  * Host-safe: under rt::ThreadHost every node records from its own
+//    worker thread while the controlling thread polls, so instruments are
+//    atomic (counters/gauges) or sharded-then-merged (histograms: each
+//    thread writes its own cache-line-aligned shard; readers aggregate
+//    across shards).  Name resolution takes a registry mutex — off the hot
+//    path by the handle rule above.
 //  * Always-on without null checks: a component that was not given a
 //    registry binds its handles to MetricsRegistry::inert(), a process-wide
 //    sink that behaves normally but that nobody reads.
@@ -24,9 +30,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -35,11 +43,13 @@ namespace scab::obs {
 /// Monotone event count.
 class Counter {
  public:
-  void inc(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
+  void inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Instantaneous level (map sizes, queue depths, lags).  Tracks the maximum
@@ -47,16 +57,24 @@ class Counter {
 class Gauge {
  public:
   void set(int64_t v) {
-    value_ = v;
-    if (v > max_) max_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    bump_max(v);
   }
-  void add(int64_t delta) { set(value_ + delta); }
-  int64_t value() const { return value_; }
-  int64_t max() const { return max_; }
+  void add(int64_t delta) {
+    bump_max(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
-  int64_t max_ = 0;
+  void bump_max(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
 };
 
 /// Log2-bucketed histogram: bucket i counts values whose bit width is i,
@@ -70,12 +88,18 @@ class Histogram {
 
   void record(uint64_t value);
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
+  uint64_t count() const { return snapshot().count; }
+  uint64_t sum() const { return snapshot().sum; }
+  uint64_t min() const {
+    const Snapshot s = snapshot();
+    return s.count == 0 ? 0 : s.min;
+  }
+  uint64_t max() const { return snapshot().max; }
   double mean() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+    const Snapshot s = snapshot();
+    return s.count == 0
+               ? 0.0
+               : static_cast<double>(s.sum) / static_cast<double>(s.count);
   }
   /// Upper bound of the bucket holding the p-quantile, p in [0, 1].
   uint64_t quantile(double p) const;
@@ -83,11 +107,30 @@ class Histogram {
   void merge_from(const Histogram& other);
 
  private:
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = UINT64_MAX;
-  uint64_t max_ = 0;
-  std::array<uint64_t, kBuckets> buckets_{};
+  // Writers hit a per-thread shard (cache-line aligned, relaxed atomics);
+  // readers aggregate across shards.  Aggregation is a sum, so the merged
+  // result is independent of which thread recorded which sample — metric
+  // values stay deterministic for deterministic workloads.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+  };
+  static constexpr std::size_t kShards = 8;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = UINT64_MAX;
+    uint64_t max = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+  };
+  Snapshot snapshot() const;
+  Shard& local_shard();
+
+  std::array<Shard, kShards> shards_;
 };
 
 /// Named instrument registry.  Lookup returns a stable reference valid for
@@ -98,8 +141,18 @@ class MetricsRegistry {
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
-  MetricsRegistry(MetricsRegistry&&) = default;
-  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+  // Moves are NOT thread-safe; move only before publication (merged
+  // snapshots, test fixtures).
+  MetricsRegistry(MetricsRegistry&& other) noexcept
+      : counters_(std::move(other.counters_)),
+        gauges_(std::move(other.gauges_)),
+        histograms_(std::move(other.histograms_)) {}
+  MetricsRegistry& operator=(MetricsRegistry&& other) noexcept {
+    counters_ = std::move(other.counters_);
+    gauges_ = std::move(other.gauges_);
+    histograms_ = std::move(other.histograms_);
+    return *this;
+  }
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
@@ -132,7 +185,9 @@ class MetricsRegistry {
 
  private:
   // std::map keeps export order deterministic; unique_ptr keeps handle
-  // addresses stable across rehash-free growth.
+  // addresses stable across rehash-free growth.  mu_ guards the maps (name
+  // resolution, iteration) — never the instruments themselves.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -32,6 +32,7 @@ void Tracer::record(uint32_t client, uint64_t client_seq, Phase phase,
                     uint64_t now_ns) {
   if (capacity_ == 0) return;
   const Key key{client, client_seq};
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = spans_.find(key);
   if (it == spans_.end()) {
     if (spans_.size() >= capacity_) return;  // bounded: drop new requests
@@ -44,6 +45,7 @@ void Tracer::record(uint32_t client, uint64_t client_seq, Phase phase,
 }
 
 Tracer::Breakdown Tracer::breakdown() const {
+  std::lock_guard<std::mutex> lk(mu_);
   Breakdown out;
   out.tracked = spans_.size();
   out.phases.resize(kPhaseCount - 1);
@@ -84,6 +86,7 @@ Tracer::Breakdown Tracer::breakdown() const {
 
 uint64_t Tracer::first_at(uint32_t client, uint64_t client_seq,
                           Phase phase) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = spans_.find(Key{client, client_seq});
   if (it == spans_.end()) return UINT64_MAX;
   return it->second[static_cast<std::size_t>(phase)];

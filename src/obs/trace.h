@@ -20,10 +20,17 @@
 // for new requests are dropped (existing spans still update).  A capacity
 // of zero makes the tracer inert — that is what Tracer::inert() hands to
 // components constructed without one.
+//
+// The tracer is cluster-wide (every node records into it), so under
+// rt::ThreadHost it is hit from all worker threads at once; a single mutex
+// guards the span map.  That is deliberately coarse — tracing prices one
+// map probe per phase event either way, and the registry-of-atomics path in
+// metrics.h is the hot-path instrument.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -82,7 +89,10 @@ class Tracer {
   /// recorded (test introspection).
   uint64_t first_at(uint32_t client, uint64_t client_seq, Phase phase) const;
 
-  std::size_t tracked() const { return spans_.size(); }
+  std::size_t tracked() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return spans_.size();
+  }
   std::size_t capacity() const { return capacity_; }
 
   /// {"completed":N,"end_to_end_ms":X,"phases":[{"name":...,"mean_ms":...,
@@ -106,6 +116,7 @@ class Tracer {
   };
 
   std::size_t capacity_;
+  mutable std::mutex mu_;
   std::unordered_map<Key, std::array<uint64_t, kPhaseCount>, KeyHash> spans_;
 };
 

@@ -1,0 +1,153 @@
+#include "rt/runtime.h"
+
+namespace scab::rt {
+
+// ---------------------------------------------------------------------------
+// Worker
+
+void ThreadHost::Worker::loop() {
+  std::unique_lock<std::mutex> lk(mu);
+  for (;;) {
+    if (stopping) return;
+    if (!tasks.empty()) {
+      auto fn = std::move(tasks.front());
+      tasks.pop_front();
+      lk.unlock();
+      fn();
+      lk.lock();
+      continue;
+    }
+    const auto now = SteadyClock::now();
+    if (!timers.empty() && timers.begin()->first <= now) {
+      auto node = timers.extract(timers.begin());
+      auto fn = std::move(node.mapped());
+      lk.unlock();
+      fn();
+      lk.lock();
+      continue;
+    }
+    if (timers.empty()) {
+      cv.wait(lk);
+    } else {
+      cv.wait_until(lk, timers.begin()->first);
+    }
+  }
+}
+
+void ThreadHost::Worker::push_task(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    if (stopping) return;
+    tasks.push_back(std::move(fn));
+  }
+  cv.notify_one();
+}
+
+void ThreadHost::Worker::push_timer(SteadyClock::time_point at,
+                                    std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    if (stopping) return;
+    timers.emplace(at, std::move(fn));
+  }
+  cv.notify_one();
+}
+
+void ThreadHost::Worker::stop_and_join() {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    stopping = true;
+  }
+  cv.notify_one();
+  if (thread.joinable()) thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// ThreadHost
+
+ThreadHost::ThreadHost(std::unique_ptr<rt::Transport> transport)
+    : epoch_(SteadyClock::now()),
+      transport_(transport ? std::move(transport)
+                           : std::make_unique<ChannelTransport>()) {
+  transport_->set_deliver([this](host::NodeId from, host::NodeId to,
+                                 Bytes msg) { deliver(from, to, std::move(msg)); });
+  transport_->start();
+}
+
+ThreadHost::~ThreadHost() { stop(); }
+
+host::Time ThreadHost::now() const {
+  return static_cast<host::Time>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           epoch_)
+          .count());
+}
+
+void ThreadHost::bind(host::NodeId id, host::Node* endpoint) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto w = std::make_unique<Worker>(endpoint);
+  Worker* raw = w.get();
+  raw->thread = std::thread([raw] { raw->loop(); });
+  workers_[id] = std::move(w);
+}
+
+void ThreadHost::unbind(host::NodeId id) {
+  std::unique_ptr<Worker> w;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = workers_.find(id);
+    if (it == workers_.end()) return;
+    w = std::move(it->second);
+    workers_.erase(it);
+  }
+  w->stop_and_join();
+}
+
+ThreadHost::Worker* ThreadHost::worker(host::NodeId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+void ThreadHost::schedule(host::NodeId node, host::Time delay,
+                          std::function<void()> fn) {
+  Worker* w = worker(node);
+  if (!w) return;
+  w->push_timer(SteadyClock::now() + std::chrono::nanoseconds(delay),
+                std::move(fn));
+}
+
+void ThreadHost::post(host::NodeId node, std::function<void()> fn) {
+  Worker* w = worker(node);
+  if (!w) return;
+  w->push_task(std::move(fn));
+}
+
+void ThreadHost::send(host::NodeId from, host::NodeId to, Bytes msg) {
+  transport_->send(from, to, std::move(msg));
+}
+
+void ThreadHost::deliver(host::NodeId from, host::NodeId to, Bytes msg) {
+  Worker* w = worker(to);
+  if (!w) return;  // unknown destination: drop (mirrors the sim's Network)
+  host::Node* ep = w->endpoint;
+  w->push_task([ep, from, m = std::move(msg)] { ep->on_message(from, m); });
+}
+
+void ThreadHost::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  transport_->stop();  // no new inbound deliveries
+  std::vector<Worker*> ws;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ws.reserve(workers_.size());
+    for (auto& [id, w] : workers_) ws.push_back(w.get());
+  }
+  for (Worker* w : ws) w->stop_and_join();
+}
+
+}  // namespace scab::rt

@@ -1,0 +1,88 @@
+// rt::ThreadHost — the real-time host: one worker thread per bound node.
+//
+// Where sim::SimHost multiplexes every node onto one virtual-time event
+// loop, ThreadHost gives each node a real thread that drains an MPSC
+// mailbox (tasks from other nodes' sends, posts from the controlling
+// thread) interleaved with a steady-clock timer queue.  The host-interface
+// invariant is preserved exactly: a node's handlers never run concurrently
+// with each other, so protocol objects stay lock-free; all cross-node
+// communication funnels through the mailbox.
+//
+//   now()      steady-clock nanoseconds since host construction
+//   schedule   per-node timer heap, fired by the node's own worker
+//   send       delegated to an rt::Transport (in-process ChannelTransport
+//              by default; SocketTransport for multi-process runs)
+//   post       enqueue onto the node's mailbox
+//   charge     NO-OP: real time is measured, not modeled (DESIGN.md §8)
+//   stop       joins every worker; pending timers and tasks are dropped
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "host/host.h"
+#include "rt/transport.h"
+
+namespace scab::rt {
+
+class ThreadHost final : public host::Host {
+ public:
+  /// `transport` defaults to an in-process ChannelTransport.
+  explicit ThreadHost(std::unique_ptr<rt::Transport> transport = nullptr);
+  ~ThreadHost() override;
+
+  host::Time now() const override;
+
+  void bind(host::NodeId id, host::Node* endpoint) override;
+  void unbind(host::NodeId id) override;
+  void schedule(host::NodeId node, host::Time delay,
+                std::function<void()> fn) override;
+  void post(host::NodeId node, std::function<void()> fn) override;
+  void send(host::NodeId from, host::NodeId to, Bytes msg) override;
+  void charge(host::NodeId node, host::Time cost) override {
+    (void)node;
+    (void)cost;  // real hosts measure; they do not model
+  }
+  void stop() override;
+
+  rt::Transport& transport() { return *transport_; }
+
+ private:
+  using SteadyClock = std::chrono::steady_clock;
+
+  /// One node's sequential executor: a thread draining tasks + due timers.
+  struct Worker {
+    explicit Worker(host::Node* ep) : endpoint(ep) {}
+
+    host::Node* endpoint;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+    // multimap: earliest deadline first, FIFO among equal deadlines.
+    std::multimap<SteadyClock::time_point, std::function<void()>> timers;
+    bool stopping = false;
+    std::thread thread;
+
+    void loop();
+    void push_task(std::function<void()> fn);
+    void push_timer(SteadyClock::time_point at, std::function<void()> fn);
+    void stop_and_join();
+  };
+
+  Worker* worker(host::NodeId id) const;
+  void deliver(host::NodeId from, host::NodeId to, Bytes msg);
+
+  const SteadyClock::time_point epoch_;
+  std::unique_ptr<rt::Transport> transport_;
+  mutable std::mutex mu_;  // guards workers_ (bind/unbind vs lookups)
+  std::unordered_map<host::NodeId, std::unique_ptr<Worker>> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace scab::rt

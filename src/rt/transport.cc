@@ -1,0 +1,186 @@
+#include "rt/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace scab::rt {
+
+namespace {
+
+// Reads exactly `len` bytes; false on EOF/error.
+bool read_full(int fd, uint8_t* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_full(int fd, const uint8_t* buf, std::size_t len) {
+  std::size_t put = 0;
+  while (put < len) {
+    const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void put_u32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint32_t get_u32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// Sanity cap so a corrupt length prefix cannot trigger a huge allocation.
+constexpr uint32_t kMaxFrame = 64u << 20;
+
+}  // namespace
+
+SocketTransport::SocketTransport(uint16_t listen_port,
+                                 std::map<NodeId, Peer> peers)
+    : peers_(std::move(peers)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+SocketTransport::~SocketTransport() { stop(); }
+
+void SocketTransport::start() {
+  if (!ok() || started_) return;
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketTransport::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, fd] : conns_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    conns_.clear();
+    readers.swap(reader_threads_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketTransport::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed by stop()
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    reader_threads_.emplace_back([this, fd] { read_loop(fd); });
+  }
+}
+
+void SocketTransport::read_loop(int fd) {
+  for (;;) {
+    uint8_t header[12];
+    if (!read_full(fd, header, sizeof(header))) break;
+    const uint32_t len = get_u32(header);
+    const NodeId from = get_u32(header + 4);
+    const NodeId to = get_u32(header + 8);
+    if (len > kMaxFrame) break;
+    Bytes payload(len);
+    if (len > 0 && !read_full(fd, payload.data(), len)) break;
+    DeliverFn deliver;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) break;
+      deliver = deliver_;
+    }
+    if (deliver) deliver(from, to, std::move(payload));
+  }
+  ::close(fd);
+}
+
+int SocketTransport::connect_to(const Peer& peer) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.ip.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void SocketTransport::send(NodeId from, NodeId to, Bytes msg) {
+  const auto peer = peers_.find(to);
+  if (peer == peers_.end()) {
+    // Not in the peer table: a node co-located in this process.
+    if (deliver_) deliver_(from, to, std::move(msg));
+    return;
+  }
+  // Serialize per-destination writes under the connection lock: frames must
+  // not interleave on the wire.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopping_) return;
+  auto it = conns_.find(to);
+  if (it == conns_.end()) {
+    const int fd = connect_to(peer->second);
+    if (fd < 0) return;  // best-effort: the protocol layer retries
+    it = conns_.emplace(to, fd).first;
+  }
+  uint8_t header[12];
+  put_u32(header, static_cast<uint32_t>(msg.size()));
+  put_u32(header + 4, from);
+  put_u32(header + 8, to);
+  if (!write_full(it->second, header, sizeof(header)) ||
+      !write_full(it->second, msg.data(), msg.size())) {
+    ::close(it->second);
+    conns_.erase(it);
+  }
+}
+
+}  // namespace scab::rt

@@ -1,0 +1,103 @@
+// Real-time transports for rt::ThreadHost.
+//
+//  * ChannelTransport — in-process loopback: send() invokes the delivery
+//    callback synchronously on the sender's thread; the host then enqueues
+//    onto the receiver's mailbox.  Zero-copy handoff, no sockets.
+//  * SocketTransport — length-prefixed TCP for multi-process runs.  One
+//    listening socket per transport serves all of the process's local
+//    nodes; remote node ids are routed by a peer table.  Frame format
+//    (little-endian): u32 payload_len | u32 from | u32 to | payload.
+//
+// Transports are dumb pipes: no retries, no ordering guarantees beyond TCP
+// per-connection FIFO, no authentication (the protocol layer MACs every
+// message; see bft/envelope.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "host/time.h"
+
+namespace scab::rt {
+
+using host::NodeId;
+
+class Transport {
+ public:
+  /// Called for every arriving message; may run on any transport thread.
+  using DeliverFn = std::function<void(NodeId from, NodeId to, Bytes msg)>;
+
+  virtual ~Transport() = default;
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  virtual void send(NodeId from, NodeId to, Bytes msg) = 0;
+  /// Starts background machinery (accept loops); no-op by default.
+  virtual void start() {}
+  /// Stops background machinery and joins its threads; idempotent.
+  virtual void stop() {}
+
+ protected:
+  DeliverFn deliver_;
+};
+
+/// In-process loopback: every node lives in this process.
+class ChannelTransport final : public Transport {
+ public:
+  void send(NodeId from, NodeId to, Bytes msg) override {
+    if (deliver_) deliver_(from, to, std::move(msg));
+  }
+};
+
+/// Length-prefixed TCP transport for multi-process deployments.
+///
+/// Destinations found in the peer table go over TCP (connections are opened
+/// lazily and cached); everything else is assumed local and short-circuits
+/// to the delivery callback, so a process can host several nodes.
+class SocketTransport final : public Transport {
+ public:
+  struct Peer {
+    std::string ip;  // dotted quad
+    uint16_t port = 0;
+  };
+
+  /// Binds and listens on `listen_port` (0 = ephemeral; see port()).
+  /// Check ok() before use — binding can fail in sandboxed environments.
+  explicit SocketTransport(uint16_t listen_port,
+                           std::map<NodeId, Peer> peers = {});
+  ~SocketTransport() override;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Adds/replaces a remote route (before start(); not thread-safe after).
+  void add_peer(NodeId id, Peer peer) { peers_[id] = std::move(peer); }
+
+  void start() override;
+  void stop() override;
+  void send(NodeId from, NodeId to, Bytes msg) override;
+
+ private:
+  int connect_to(const Peer& peer);
+  void accept_loop();
+  void read_loop(int fd);
+
+  std::map<NodeId, Peer> peers_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards conns_, reader_threads_, stopping_
+  std::unordered_map<NodeId, int> conns_;  // outbound, keyed by destination
+  std::vector<std::thread> reader_threads_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace scab::rt

@@ -1,77 +1,15 @@
-// CPU cost charging for simulated nodes.
-//
-// The paper's evaluation separates protocols almost entirely by (a) message
-// rounds and (b) cryptographic CPU cost — CP0's threshold operations cost
-// milliseconds while the symmetric protocols' operations cost microseconds.
-// A node "pays" for an operation by charging virtual time; the benchmarks
-// install a CalibratedCostModel whose per-operation prices were measured
-// from the real implementations at startup (DESIGN.md §3), while unit and
-// integration tests use the zero-cost model so that only message order
-// matters.
+// Compatibility shim: the cost model moved to src/host/cost_model.h when
+// the host abstraction was extracted (it is runtime policy, not simulator
+// mechanics).  Simulator-layer code keeps spelling sim::Op / sim::CostModel;
+// both names alias the host types.
 #pragma once
 
-#include <array>
-#include <cstdint>
-
-#include "sim/simulator.h"
+#include "host/cost_model.h"
 
 namespace scab::sim {
 
-enum class Op : uint8_t {
-  kHash,             // SHA-256, per message
-  kMac,              // HMAC generate/verify
-  kAeadSeal,         // private-channel encryption
-  kAeadOpen,         // private-channel decryption
-  kCommit,           // hash commitment create
-  kCommitOpen,       // hash commitment verify
-  kShamirShare,      // per full share vector
-  kShamirRec,        // one interpolation pass (ARSS recovery attempt)
-  kTdh2Encrypt,      // CP0 client encryption (hybrid)
-  kTdh2VerifyCt,     // public ciphertext verification
-  kTdh2ShareDec,     // decryption-share generation
-  kTdh2VerifyShare,  // decryption-share verification (single)
-  // Randomized batch verification of k shares (one random-linear-combination
-  // equation, DESIGN.md §4.3).  CONVENTION: charged with bytes = k·1024, so
-  // the per_byte slot prices the PER-SHARE amortized cost in ns and `fixed`
-  // is the batch's constant part (the two full-width exponentiations of the
-  // merged equation).
-  kTdh2BatchVerifyShare,
-  kTdh2Combine,      // Lagrange-in-exponent combination
-  kExecute,          // application execution of one request
-  kMsgOverhead,      // per-message OS/network-stack cost (send or receive)
-  kCount,
-};
-
-inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kCount);
-
-/// Per-operation price table: fixed cost plus a per-byte cost, so both the
-/// O(1) public-key operations and the O(len) symmetric ones are modeled.
-class CostModel {
- public:
-  struct Price {
-    SimTime fixed = 0;     // ns
-    SimTime per_byte = 0;  // ns per input byte (scaled by 1/1024 granularity:
-                           // cost = fixed + per_byte * bytes / 1024)
-  };
-
-  /// All-zero prices (unit tests: pure message-order semantics).
-  static CostModel zero() { return CostModel{}; }
-
-  /// Representative prices for a mid-2010s Xeon, in the spirit of the
-  /// paper's testbed; used by examples and as a fallback when a benchmark
-  /// skips live calibration. Values in ns.
-  static CostModel default_symmetric_era();
-
-  void set(Op op, Price price) { prices_[static_cast<std::size_t>(op)] = price; }
-  Price get(Op op) const { return prices_[static_cast<std::size_t>(op)]; }
-
-  SimTime cost(Op op, std::size_t bytes = 0) const {
-    const Price& p = prices_[static_cast<std::size_t>(op)];
-    return p.fixed + p.per_byte * static_cast<SimTime>(bytes) / 1024;
-  }
-
- private:
-  std::array<Price, kOpCount> prices_{};
-};
+using host::CostModel;
+using host::kOpCount;
+using host::Op;
 
 }  // namespace scab::sim

@@ -1,0 +1,23 @@
+#include "sim/sim_host.h"
+
+namespace scab::sim {
+
+void SimHost::bind(host::NodeId id, host::Node* endpoint) {
+  auto adapter = std::make_unique<Adapter>(net_.sim(), id, endpoint);
+  net_.attach(adapter.get());
+  adapters_[id] = std::move(adapter);
+}
+
+void SimHost::unbind(host::NodeId id) {
+  auto it = adapters_.find(id);
+  if (it == adapters_.end()) return;
+  net_.detach(id);
+  adapters_.erase(it);
+}
+
+void SimHost::charge(host::NodeId node, host::Time cost) {
+  auto it = adapters_.find(node);
+  if (it != adapters_.end()) it->second->charge(cost);
+}
+
+}  // namespace scab::sim

@@ -1,0 +1,77 @@
+// SimHost: the discrete-event simulator as a host::Host implementation.
+//
+// Determinism contract: SimHost adds NO events, randomness, or reordering
+// of its own — every call is a direct delegation to the pre-existing
+// simulator primitives, in the same order the protocol code issues it:
+//
+//   now()       -> Simulator::now()              (virtual time)
+//   schedule()  -> Simulator::schedule_after()   (same (time, seq) order)
+//   send()      -> Network::send()               (same latency/bandwidth/
+//                                                 fault pipeline)
+//   post()      -> runs fn INLINE                (the caller already is the
+//                                                 single event loop)
+//   charge()    -> sim::Node::charge()           (virtual busy-time on the
+//                                                 node's sequential CPU)
+//
+// so a protocol stack running on SimHost is bit-for-bit identical to the
+// pre-refactor code that subclassed sim::Node directly.  Each bound
+// endpoint gets an internal Adapter node attached to the Network; the
+// adapter owns the busy_until_ bookkeeping that shapes message departure
+// and delivery times.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "host/host.h"
+#include "sim/network.h"
+
+namespace scab::sim {
+
+class SimHost final : public host::Host {
+ public:
+  explicit SimHost(Network& net) : net_(net) {}
+
+  host::Time now() const override { return net_.sim().now(); }
+
+  void schedule(host::NodeId node, host::Time delay,
+                std::function<void()> fn) override {
+    (void)node;  // one global event loop: node affinity is automatic
+    net_.sim().schedule_after(delay, std::move(fn));
+  }
+
+  void post(host::NodeId node, std::function<void()> fn) override {
+    (void)node;
+    fn();  // the caller is the event loop; inline = the pre-refactor call
+  }
+
+  void send(host::NodeId from, host::NodeId to, Bytes msg) override {
+    net_.send(from, to, std::move(msg));
+  }
+
+  void bind(host::NodeId id, host::Node* endpoint) override;
+  void unbind(host::NodeId id) override;
+  void charge(host::NodeId node, host::Time cost) override;
+
+  Network& net() { return net_; }
+
+ private:
+  /// The sim::Node the Network sees for one bound endpoint: relays
+  /// deliveries and carries the sequential-CPU busy time.
+  class Adapter : public Node {
+   public:
+    Adapter(Simulator& sim, NodeId id, host::Node* endpoint)
+        : Node(sim, id), endpoint_(endpoint) {}
+    void on_message(NodeId from, BytesView msg) override {
+      endpoint_->on_message(from, msg);
+    }
+
+   private:
+    host::Node* endpoint_;
+  };
+
+  Network& net_;
+  std::unordered_map<host::NodeId, std::unique_ptr<Adapter>> adapters_;
+};
+
+}  // namespace scab::sim

@@ -6,6 +6,8 @@
 
 #include "abft/coin.h"
 #include "apps/kvstore.h"
+#include "abft/replica.h"
+#include "bft/client.h"
 #include "causal/harness.h"
 
 namespace scab {

@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "apps/kvstore.h"
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "causal/cp0.h"
+#include "causal/cp1.h"
 #include "causal/harness.h"
 
 namespace scab::causal {

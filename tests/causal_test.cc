@@ -6,6 +6,10 @@
 #include "apps/dns.h"
 #include "apps/kvstore.h"
 #include "apps/trading.h"
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "causal/cp0.h"
+#include "causal/cp1.h"
 #include "causal/harness.h"
 
 namespace scab::causal {

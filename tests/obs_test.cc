@@ -6,7 +6,10 @@
 #include <cmath>
 
 #include "apps/kvstore.h"
+#include "bft/client.h"
+#include "bft/replica.h"
 #include "causal/harness.h"
+#include "causal/id.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

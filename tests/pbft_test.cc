@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "apps/kvstore.h"
+#include "bft/client.h"
+#include "bft/replica.h"
 #include "causal/harness.h"
 
 namespace scab::causal {

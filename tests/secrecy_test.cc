@@ -8,7 +8,12 @@
 // replica (or the adversary routing the network) can see.
 #include <gtest/gtest.h>
 
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "causal/cp0.h"
+#include "causal/cp1.h"
 #include "causal/harness.h"
+#include "threshenc/tdh2.h"
 
 namespace scab::causal {
 namespace {
