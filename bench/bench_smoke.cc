@@ -6,7 +6,11 @@
 //      (the figure benches' acceptance bound; the tracer guarantees exact
 //      telescoping, so a violation means a serialisation regression);
 //   3. the run made progress (completed spans, measured operations);
-//   4. (optional second argument) a BENCH_crypto.json produced by
+//   4. a seeded chaos run (sim, CP2, a schedule that contains a
+//      crash/restart pair) passes its safety/secrecy/liveness verdict and
+//      emits a record whose recovery/chaos metrics satisfy the schema's
+//      "required_chaos" paths;
+//   5. (optional second argument) a BENCH_crypto.json produced by
 //      bench_micro_crypto parses and carries the expected keys, so the CI
 //      artifact is known-good before it is archived.
 // Usage: bench_smoke <path/to/metrics_schema.json> [BENCH_crypto.json]
@@ -16,6 +20,7 @@
 #include <sstream>
 
 #include "bench/throughput_common.h"
+#include "chaos/chaos.h"
 #include "obs/json.h"
 
 int main(int argc, char** argv) {
@@ -106,6 +111,56 @@ int main(int argc, char** argv) {
   }
 
   if (r.measured_ops == 0) fail("no operations measured");
+
+  // Chaos smoke: the first seed whose schedule includes a crash (so the
+  // record exercises the crash/restart path), run on the simulator.  The
+  // scan is deterministic, so CI always validates the same schedule.
+  {
+    chaos::ChaosOptions copt;
+    copt.protocol = causal::Protocol::kCp2;
+    uint64_t chaos_seed = 0;
+    for (uint64_t s = 1; s <= 64 && chaos_seed == 0; ++s) {
+      for (const auto& ev : chaos::generate_schedule(s, copt)) {
+        if (ev.kind == chaos::FaultKind::kCrash) {
+          chaos_seed = s;
+          break;
+        }
+      }
+    }
+    if (chaos_seed == 0) {
+      fail("no chaos seed in 1..64 produced a crash event");
+    } else {
+      const chaos::ChaosReport cr = chaos::run_chaos(chaos_seed, copt);
+      char chead[256];
+      std::snprintf(chead, sizeof(chead),
+                    "{\"figure\":\"chaos_smoke\",\"protocol\":\"CP2\","
+                    "\"seed\":%llu,\"faults_injected\":%llu,"
+                    "\"completed_ops\":%llu,\"expected_ops\":%llu,"
+                    "\"metrics\":",
+                    static_cast<unsigned long long>(chaos_seed),
+                    static_cast<unsigned long long>(cr.faults_injected),
+                    static_cast<unsigned long long>(cr.completed_ops),
+                    static_cast<unsigned long long>(cr.expected_ops));
+      const std::string cline =
+          std::string(chead) + cr.metrics_json + "}";
+      std::printf("%s\n", cline.c_str());
+      if (!cr.ok()) fail("chaos run violated an invariant: " + cr.violation);
+      const auto cdoc = obs::json::parse(cline);
+      if (!cdoc) {
+        fail("chaos record does not parse as JSON");
+      } else if (const auto* req = schema->get("required_chaos");
+                 req && req->is_array()) {
+        for (const auto& p : req->as_array()) {
+          if (!p.is_string()) continue;
+          if (!obs::json::find_path(*cdoc, p.as_string())) {
+            fail("chaos record missing required path: " + p.as_string());
+          }
+        }
+      } else {
+        fail("schema has no \"required_chaos\" array");
+      }
+    }
+  }
 
   if (argc >= 3) {
     std::ifstream crypto_file(argv[2]);

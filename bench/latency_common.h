@@ -29,6 +29,44 @@ inline causal::ClusterOptions latency_options(causal::Protocol protocol,
   return o;
 }
 
+/// Table IV's fault model: f randomly-chosen replicas contribute corrupted
+/// decryption/secret shares on every request.  Note this is a *Byzantine
+/// signer* fault — shares are authenticated end to end, so it cannot be
+/// expressed by a network-level injector (a wire tamper is rejected by the
+/// envelope MAC and becomes a drop); the corruption has to happen at the
+/// share producer, which is what Cluster::corrupt_replica_shares does.
+/// Returns the mean request latency in ms, or a negative value on timeout.
+inline double run_corrupt_latency_ms(causal::ClusterOptions opts, uint32_t f,
+                                     uint64_t requests,
+                                     std::string* obs_fields = nullptr) {
+  // The corrupted set is drawn by seed (the paper corrupts "randomly").
+  opts.num_clients = 1;
+  causal::Cluster cluster(opts);
+  crypto::Drbg pick(to_bytes("table4-pick"));
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < cluster.n(); ++i) ids.push_back(i);
+  for (uint32_t k = 0; k < f; ++k) {
+    const uint32_t j = k + static_cast<uint32_t>(pick.uniform(ids.size() - k));
+    std::swap(ids[k], ids[j]);
+    cluster.corrupt_replica_shares(ids[k]);
+  }
+  auto& client = cluster.client(0);
+  client.set_retry_timeout(60 * sim::kSecond);
+  client.run_closed_loop(
+      [](uint64_t i) { return Bytes(4096, static_cast<uint8_t>(i)); },
+      requests);
+  cluster.sim().run_while([&] {
+    return client.completed_ops() >= requests ||
+           cluster.sim().now() > 600 * sim::kSecond;
+  });
+  const double ms = client.completed_ops() >= requests
+                        ? static_cast<double>(client.total_latency()) /
+                              requests / sim::kMillisecond
+                        : -1.0;
+  if (obs_fields) *obs_fields = obs_json_fields(cluster);
+  return ms;
+}
+
 /// Runs the full latency table and prints it.  `corrupt_f_replicas` enables
 /// Table IV's fault model (f randomly-chosen replicas send bad shares).
 inline void run_latency_table(const char* title, sim::NetworkProfile profile,
@@ -47,36 +85,9 @@ inline void run_latency_table(const char* title, sim::NetworkProfile profile,
       auto opts = latency_options(protocol, f, profile, costs);
       const uint64_t requests = protocol == causal::Protocol::kCp0 ? 8 : 30;
 
-      double ms;
-      if (!corrupt_f_replicas) {
-        ms = run_latency_ms(opts, 4096, requests);
-      } else {
-        // Table IV: build the cluster manually to corrupt replicas. The
-        // corrupted set is drawn by seed (the paper corrupts "randomly").
-        opts.num_clients = 1;
-        causal::Cluster cluster(opts);
-        crypto::Drbg pick(to_bytes("table4-pick"));
-        std::vector<uint32_t> ids;
-        for (uint32_t i = 0; i < cluster.n(); ++i) ids.push_back(i);
-        for (uint32_t k = 0; k < f; ++k) {
-          const uint32_t j = k + static_cast<uint32_t>(pick.uniform(ids.size() - k));
-          std::swap(ids[k], ids[j]);
-          cluster.corrupt_replica_shares(ids[k]);
-        }
-        auto& client = cluster.client(0);
-        client.set_retry_timeout(60 * sim::kSecond);
-        client.run_closed_loop(
-            [](uint64_t i) { return Bytes(4096, static_cast<uint8_t>(i)); },
-            requests);
-        cluster.sim().run_while([&] {
-          return client.completed_ops() >= requests ||
-                 cluster.sim().now() > 600 * sim::kSecond;
-        });
-        ms = client.completed_ops() >= requests
-                 ? static_cast<double>(client.total_latency()) / requests /
-                       sim::kMillisecond
-                 : -1.0;
-      }
+      const double ms = corrupt_f_replicas
+                            ? run_corrupt_latency_ms(opts, f, requests)
+                            : run_latency_ms(opts, 4096, requests);
       row.push_back(fmt_ms(ms));
     }
     print_row(row);

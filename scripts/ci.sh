@@ -23,6 +23,12 @@ cat BENCH_crypto.json
 echo "=== bench smoke (metrics JSON vs schema + crypto bench artifact) ==="
 ./build/bench/bench_smoke bench/metrics_schema.json BENCH_crypto.json
 
+echo "=== chaos smoke (seeded fault schedules, fixed seeds, both runtimes) ==="
+# Re-runs just the chaos/fault-injection suites as an explicit gate: the
+# seeds are fixed in the tests, so a failure here is a real regression, not
+# flakiness.  Budget is ~30 s (the threaded sweep dominates).
+ctest --test-dir build --output-on-failure -j"$JOBS" -R "Chaos|Faults"
+
 echo "=== sanitizer build (ASan + UBSan) ==="
 cmake --preset sanitize
 cmake --build --preset sanitize -j"$JOBS"
@@ -35,9 +41,9 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$JOBS"
 
 echo "=== threaded-runtime tests under TSan ==="
-# The tsan test preset filters to the runtime-equivalence and backoff
-# suites: the crypto-heavy remainder is single-threaded and already
-# covered by the ASan pass above.
+# The tsan test preset filters to the runtime-equivalence, backoff,
+# fault-injection, and threaded chaos suites: the crypto-heavy remainder is
+# single-threaded and already covered by the ASan pass above.
 ctest --preset tsan
 
 echo "=== CI OK ==="

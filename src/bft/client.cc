@@ -136,6 +136,10 @@ void Client::complete(Bytes result) {
   if (!in_flight_) return;
   in_flight_ = false;
   ++retry_epoch_;  // cancel pending retries
+  // Back to the base interval after a successful reply: one slow operation
+  // (e.g. one that rode out a view change) must not leave the next
+  // operation's first retransmission waiting a maxed-out backoff.
+  retries_this_op_ = 0;
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     last_result_ = std::move(result);

@@ -27,6 +27,8 @@ Replica::Replica(host::Host& host, NodeId id, BftConfig config,
   m_.view_changes_started = &metrics_.counter("bft.view_changes_started");
   m_.view_changes_completed = &metrics_.counter("bft.view_changes_completed");
   m_.replays_suppressed = &metrics_.counter("bft.replays_suppressed");
+  m_.catchups_completed = &metrics_.counter("bft.recovery.catchups_completed");
+  m_.catchup_ms = &metrics_.histogram("bft.recovery.catchup_ms");
   m_.batch_size = &metrics_.histogram("bft.batch_size");
   m_.inflight_batches = &metrics_.histogram("bft.inflight_batches");
   m_.pending_requests = &metrics_.gauge("bft.pending_requests");
@@ -382,6 +384,7 @@ void Replica::try_execute() {
     Slot& s = it->second;
     if (s.executed) {
       ++next_exec_;
+      maybe_finish_catchup();
       continue;
     }
     if (!s.pre_prepare || !s.sent_commit) return;
@@ -393,6 +396,7 @@ void Replica::try_execute() {
     s.executed = true;
     execute_batch(next_exec_, *s.pre_prepare);
     ++next_exec_;
+    maybe_finish_catchup();
     // The in-flight window moved: the primary can propose queued requests.
     if (is_primary() && !pending_batch_.empty()) flush_batch();
   }
@@ -464,6 +468,7 @@ void Replica::try_fetch_execute() {
     execute_batch(s, *batch);
     slot(s).executed = true;
     next_exec_ = s + 1;
+    maybe_finish_catchup();
     fetch_votes_.erase(s);
   }
   fetch_votes_.erase(fetch_votes_.begin(),
@@ -501,6 +506,7 @@ void Replica::maybe_stabilize(uint64_t seq) {
       garbage_collect(seq);
     } else if (seq >= next_exec_) {
       // We are behind a stable checkpoint: fetch the missing batches.
+      note_catchup_target(seq);
       Writer w;
       w.u64(next_exec_);
       w.u64(seq);
@@ -512,6 +518,23 @@ void Replica::maybe_stabilize(uint64_t seq) {
     }
     return;
   }
+}
+
+void Replica::note_catchup_target(uint64_t seq) {
+  if (!catchup_active_) {
+    catchup_active_ = true;
+    catchup_started_ = now();
+    catchup_target_ = seq;
+  } else if (seq > catchup_target_) {
+    catchup_target_ = seq;  // fell further behind mid-episode
+  }
+}
+
+void Replica::maybe_finish_catchup() {
+  if (!catchup_active_ || next_exec_ <= catchup_target_) return;
+  catchup_active_ = false;
+  m_.catchups_completed->inc();
+  m_.catchup_ms->record((now() - catchup_started_) / 1'000'000);
 }
 
 void Replica::garbage_collect(uint64_t stable_seq) {

@@ -109,6 +109,8 @@ class Replica : public host::HostBound<ReplicaContext> {
   void try_fetch_execute();
   void maybe_stabilize(uint64_t seq);
   void garbage_collect(uint64_t stable_seq);
+  void note_catchup_target(uint64_t seq);
+  void maybe_finish_catchup();
 
   // --- view change ---
   void watchdog_tick();
@@ -157,6 +159,15 @@ class Replica : public host::HostBound<ReplicaContext> {
   // Catch-up fetch: seq -> responder -> serialized batch.
   std::map<uint64_t, std::map<NodeId, Bytes>> fetch_votes_;
 
+  // Catch-up episode tracking ("bft.recovery.catchup_ms"): an episode opens
+  // when a stable checkpoint proves we are behind (maybe_stabilize's fetch
+  // branch — the state a freshly restarted replica rejoins in), extends if
+  // later checkpoints push the target further out, and closes when execution
+  // passes the target.
+  bool catchup_active_ = false;
+  host::Time catchup_started_ = 0;
+  uint64_t catchup_target_ = 0;
+
   // View change.  view_change_votes_ holds at most one vote per sender (the
   // one for the highest view that sender has asked for, tracked in
   // latest_vc_view_), so its total size is bounded by n regardless of how
@@ -186,6 +197,8 @@ class Replica : public host::HostBound<ReplicaContext> {
     obs::Counter* view_changes_started;
     obs::Counter* view_changes_completed;
     obs::Counter* replays_suppressed;
+    obs::Counter* catchups_completed;
+    obs::Histogram* catchup_ms;
     obs::Histogram* batch_size;
     obs::Histogram* inflight_batches;
     obs::Gauge* pending_requests;

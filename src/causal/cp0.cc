@@ -1,5 +1,6 @@
 #include "causal/cp0.h"
 
+#include <algorithm>
 #include <set>
 
 #include "crypto/sha256.h"
@@ -278,6 +279,8 @@ void Cp0ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
   m_.combines = &reg.counter("cp0.combines");
   m_.early_stashed = &reg.counter("cp0.early_stashed");
   m_.batch_fallbacks = &reg.counter("cp0.batch_fallbacks");
+  m_.reveal_retries = &reg.counter("cp0.reveal_retries");
+  m_.share_rerequests_answered = &reg.counter("cp0.share_rerequests_answered");
   m_.batch_size = &reg.histogram("cp0.batch_size");
   m_.reveal_ns = &reg.histogram("cp0.reveal_ns");
   m_.pending = &reg.gauge("cp0.pending");
@@ -366,14 +369,63 @@ void Cp0ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
     // replica serves corrupted shares to everyone else).
     p.valid_from.insert(ctx.id());
     p.valid.push_back(*share);
-
-    Bytes outgoing = *share;
-    if (corrupt_shares_) {
-      for (std::size_t i = 0; i < outgoing.size(); i += 7) outgoing[i] ^= 0xa5;
-    }
-    ctx.broadcast_causal(encode_share_msg(id, outgoing));
+    p.own_share_wire = *share;
+    ctx.broadcast_causal(encode_share_msg(id, corrupted_if_faulty(*share)));
   }
   try_reveal(id, ctx);
+  arm_reveal_retry(id, 0, ctx);
+}
+
+Bytes Cp0ReplicaApp::corrupted_if_faulty(const Bytes& wire) const {
+  if (!corrupt_shares_) return wire;
+  Bytes outgoing = wire;
+  for (std::size_t i = 0; i < outgoing.size(); i += 7) outgoing[i] ^= 0xa5;
+  return outgoing;
+}
+
+void Cp0ReplicaApp::arm_reveal_retry(const RequestId& id, uint32_t attempt,
+                                     bft::ReplicaContext& ctx) {
+  if (attempt >= kMaxRevealRetries) return;
+  {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.delivered || it->second.revealed) {
+      return;
+    }
+  }
+  ctx.schedule(kRevealRetryBase << std::min(attempt, 4u),
+               [this, id, attempt, &ctx] {
+                 auto it = pending_.find(id);
+                 if (it == pending_.end() || !it->second.delivered ||
+                     it->second.revealed) {
+                   return;
+                 }
+                 m_.reveal_retries->inc();
+                 // Shares can have been lost to a partition or a peer
+                 // restart: push ours again and ask for everyone else's
+                 // (an empty share wire is the re-request sentinel; it can
+                 // never be a real share, which always parses non-empty).
+                 if (!it->second.own_share_wire.empty()) {
+                   ctx.broadcast_causal(encode_share_msg(
+                       id, corrupted_if_faulty(it->second.own_share_wire)));
+                 }
+                 ctx.broadcast_causal(encode_share_msg(id, Bytes{}));
+                 arm_reveal_retry(id, attempt + 1, ctx);
+               });
+}
+
+void Cp0ReplicaApp::answer_share_request(const RequestId& id, NodeId from,
+                                         bft::ReplicaContext& ctx) {
+  const Bytes* wire = nullptr;
+  if (auto it = pending_.find(id);
+      it != pending_.end() && !it->second.own_share_wire.empty()) {
+    wire = &it->second.own_share_wire;
+  } else if (auto cit = completed_shares_.find(id);
+             cit != completed_shares_.end()) {
+    wire = &cit->second;
+  }
+  if (wire == nullptr) return;  // never delivered it (or evicted): silence
+  m_.share_rerequests_answered->inc();
+  ctx.send_causal(from, encode_share_msg(id, corrupted_if_faulty(*wire)));
 }
 
 void Cp0ReplicaApp::on_causal_message(NodeId from, BytesView body,
@@ -383,6 +435,13 @@ void Cp0ReplicaApp::on_causal_message(NodeId from, BytesView body,
   const RequestId id = RequestId::read(r);
   const Bytes share = r.bytes();
   if (!r.done()) return;
+  if (share.empty()) {
+    // Re-request sentinel (see arm_reveal_retry): the sender lost our share
+    // — most likely it restarted and is re-collecting for requests we have
+    // long finished.  Answer before the completed_ drop below.
+    answer_share_request(id, from, ctx);
+    return;
+  }
   if (completed_.contains(id)) return;
   auto it = pending_.find(id);
   if (it == pending_.end()) {
@@ -486,6 +545,14 @@ void Cp0ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     Bytes result = service_->execute(p.client, p.plaintext);
     ctx.send_reply(p.client, p.client_seq, std::move(result));
     completed_.insert(id);
+    if (!p.own_share_wire.empty()) {
+      if (completed_shares_.size() >= kMaxCompletedShareCache) {
+        completed_shares_.erase(completed_shares_order_.front());
+        completed_shares_order_.pop_front();
+      }
+      completed_shares_order_.push_back(id);
+      completed_shares_.emplace(id, std::move(p.own_share_wire));
+    }
     pending_.erase(it);
     exec_queue_.pop_front();
   }

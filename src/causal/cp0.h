@@ -200,6 +200,15 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
   static constexpr std::size_t kMaxEarlySharesPerSender = 32;
   /// Cap on remembered validate_request verdicts awaiting delivery.
   static constexpr std::size_t kMaxValidatedCache = 1024;
+  /// Cap on own-share wires kept after execution so a restarted peer
+  /// re-collecting shares for old requests can still be answered.
+  static constexpr std::size_t kMaxCompletedShareCache = 1024;
+  /// Reveal-retry schedule: if a delivered request is still unrevealed
+  /// after base << min(attempt, 4), rebroadcast our share and re-request
+  /// everyone else's.  The base sits above the WAN reveal round-trip so the
+  /// happy path never retries.
+  static constexpr host::Time kRevealRetryBase = 500'000'000;  // 500 ms
+  static constexpr uint32_t kMaxRevealRetries = 8;
 
  private:
   struct PendingReveal {
@@ -213,10 +222,16 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     bool revealed = false;
     host::Time delivered_at = 0;  // reveal-round duration measurement
     Bytes plaintext;
+    Bytes own_share_wire;  // uncorrupted; serves re-requests
   };
 
   void try_reveal(const RequestId& id, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
+  void answer_share_request(const RequestId& id, bft::NodeId from,
+                            bft::ReplicaContext& ctx);
+  void arm_reveal_retry(const RequestId& id, uint32_t attempt,
+                        bft::ReplicaContext& ctx);
+  Bytes corrupted_if_faulty(const Bytes& wire) const;
   // Resolves "cp0." instrument handles from the context's registry on first
   // use (the app does not know its replica at construction time).
   void bind_metrics(bft::ReplicaContext& ctx);
@@ -239,6 +254,12 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
   // sender (kMaxEarlySharesPerSender) so Byzantine peers cannot grow
   // protocol state with shares for requests that never existed.
   std::map<bft::NodeId, std::deque<std::pair<RequestId, Bytes>>> early_shares_;
+  // Own-share wires of executed requests (bounded FIFO): a replica that
+  // crashed and restarted re-delivers old requests with empty reveal state
+  // and re-requests shares its peers already consumed; answering from this
+  // cache is what lets it catch up past them.
+  std::unordered_map<RequestId, Bytes> completed_shares_;
+  std::deque<RequestId> completed_shares_order_;
 
   struct {
     obs::Counter* ct_verified = nullptr;
@@ -250,6 +271,8 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     // Batches that needed the fallback (a bisection split or a rejected
     // share): a Byzantine share inside a batch always surfaces here.
     obs::Counter* batch_fallbacks = nullptr;
+    obs::Counter* reveal_retries = nullptr;
+    obs::Counter* share_rerequests_answered = nullptr;
     obs::Histogram* batch_size = nullptr;  // shares per batch flush
     obs::Histogram* reveal_ns = nullptr;  // delivery -> plaintext recovered
     obs::Gauge* pending = nullptr;

@@ -1,5 +1,7 @@
 #include "causal/cp23.h"
 
+#include <algorithm>
+
 #include "crypto/aead.h"
 
 namespace scab::causal {
@@ -44,6 +46,24 @@ Bytes corrupt_wire(Bytes wire) {
   return wire;
 }
 
+// Share re-request sentinel: the share-envelope frame with an EMPTY box.  A
+// real envelope always carries a non-empty AEAD box (tag included), so the
+// sentinel is wire-compatible — old code silently drops it at aead_open.
+Bytes encode_share_request(const RequestId& id) {
+  Writer w;
+  id.write(w);
+  w.bytes(Bytes{});
+  return std::move(w).take();
+}
+
+std::optional<RequestId> parse_share_request(BytesView body) {
+  Reader r(body);
+  const RequestId id = RequestId::read(r);
+  const Bytes box = r.bytes();
+  if (!r.done() || !box.empty()) return std::nullopt;
+  return id;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -62,6 +82,8 @@ void Cp2ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
   obs::MetricsRegistry& reg = ctx.metrics();
   m_.reconstructions = &reg.counter("cp2.reconstructions");
   m_.recovery_attempts = &reg.counter("cp2.recovery_attempts");
+  m_.reveal_retries = &reg.counter("cp2.reveal_retries");
+  m_.share_rerequests_answered = &reg.counter("cp2.share_rerequests_answered");
   m_.pending = &reg.gauge("cp2.pending");
   tracer_ = &ctx.tracer();
 }
@@ -83,6 +105,64 @@ void Cp2ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
   exec_queue_.push_back(id);
   m_.pending->set(static_cast<int64_t>(pending_.size()));
   start_reveal(id, p, ctx);
+  arm_reveal_retry(id, 0, ctx);
+}
+
+void Cp2ReplicaApp::arm_reveal_retry(const RequestId& id, uint32_t attempt,
+                                     bft::ReplicaContext& ctx) {
+  if (attempt >= kCpMaxRevealRetries) return;
+  {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.delivered || it->second.revealed) {
+      return;
+    }
+  }
+  ctx.schedule(kCpRevealRetryBase << std::min(attempt, 4u),
+               [this, id, attempt, &ctx] {
+                 auto it = pending_.find(id);
+                 if (it == pending_.end() || !it->second.delivered ||
+                     it->second.revealed) {
+                   return;
+                 }
+                 m_.reveal_retries->inc();
+                 Pending& p = it->second;
+                 // Re-send our share (if the client gave us one) and ask
+                 // the other replicas for theirs — either side can have
+                 // lost them to a partition or a restart.
+                 if (p.own_share) {
+                   Bytes wire = p.own_share->serialize();
+                   if (corrupt_shares_) wire = corrupt_wire(std::move(wire));
+                   for (NodeId to = 0; to < ctx.config().n; ++to) {
+                     if (to == ctx.id()) continue;
+                     ctx.charge(Op::kAeadSeal, wire.size());
+                     ctx.send_causal(to, seal_share(ctx.keys(), ctx.id(), to,
+                                                    id, wire, ctx.rng()));
+                   }
+                 }
+                 ctx.broadcast_causal(encode_share_request(id));
+                 arm_reveal_retry(id, attempt + 1, ctx);
+               });
+}
+
+void Cp2ReplicaApp::answer_share_request(const RequestId& id, NodeId from,
+                                         bft::ReplicaContext& ctx) {
+  if (from >= ctx.config().n) return;  // only replicas re-collect
+  const Bytes* wire = nullptr;
+  Bytes pending_wire;
+  if (auto it = pending_.find(id);
+      it != pending_.end() && it->second.own_share) {
+    pending_wire = it->second.own_share->serialize();
+    wire = &pending_wire;
+  } else if (auto cit = completed_own_shares_.find(id);
+             cit != completed_own_shares_.end()) {
+    wire = &cit->second;
+  }
+  if (wire == nullptr) return;  // never got a share for it (or evicted)
+  m_.share_rerequests_answered->inc();
+  Bytes out = corrupt_shares_ ? corrupt_wire(*wire) : *wire;
+  ctx.charge(Op::kAeadSeal, out.size());
+  ctx.send_causal(from,
+                  seal_share(ctx.keys(), ctx.id(), from, id, out, ctx.rng()));
 }
 
 void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
@@ -119,6 +199,10 @@ void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
 void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
                                       bft::ReplicaContext& ctx) {
   bind_metrics(ctx);
+  if (auto req_id = parse_share_request(body)) {
+    answer_share_request(*req_id, from, ctx);
+    return;
+  }
   ctx.charge(Op::kAeadOpen, body.size());
   auto opened = open_share(ctx.keys(), ctx.id(), from, body);
   if (!opened) return;
@@ -181,6 +265,14 @@ void Cp2ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     Bytes result = service_->execute(p.client, p.plaintext);
     ctx.send_reply(p.client, p.client_seq, std::move(result));
     completed_.insert(id);
+    if (p.own_share) {
+      if (completed_own_shares_.size() >= kCpMaxCompletedShareCache) {
+        completed_own_shares_.erase(completed_own_shares_order_.front());
+        completed_own_shares_order_.pop_front();
+      }
+      completed_own_shares_order_.push_back(id);
+      completed_own_shares_.emplace(id, p.own_share->serialize());
+    }
     pending_.erase(it);
     exec_queue_.pop_front();
   }
@@ -246,6 +338,8 @@ void Cp3ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
   obs::MetricsRegistry& reg = ctx.metrics();
   m_.reconstructions = &reg.counter("cp3.reconstructions");
   m_.recovery_attempts = &reg.counter("cp3.recovery_attempts");
+  m_.reveal_retries = &reg.counter("cp3.reveal_retries");
+  m_.share_rerequests_answered = &reg.counter("cp3.share_rerequests_answered");
   m_.pending = &reg.gauge("cp3.pending");
   tracer_ = &ctx.tracer();
 }
@@ -263,6 +357,61 @@ void Cp3ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
   exec_queue_.push_back(id);
   m_.pending->set(static_cast<int64_t>(pending_.size()));
   start_reveal(id, p, ctx);
+  arm_reveal_retry(id, 0, ctx);
+}
+
+void Cp3ReplicaApp::arm_reveal_retry(const RequestId& id, uint32_t attempt,
+                                     bft::ReplicaContext& ctx) {
+  if (attempt >= kCpMaxRevealRetries) return;
+  {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.delivered || it->second.revealed) {
+      return;
+    }
+  }
+  ctx.schedule(kCpRevealRetryBase << std::min(attempt, 4u),
+               [this, id, attempt, &ctx] {
+                 auto it = pending_.find(id);
+                 if (it == pending_.end() || !it->second.delivered ||
+                     it->second.revealed) {
+                   return;
+                 }
+                 m_.reveal_retries->inc();
+                 Pending& p = it->second;
+                 if (p.own_share) {
+                   Bytes wire = p.own_share->serialize();
+                   if (corrupt_shares_) wire = corrupt_wire(std::move(wire));
+                   for (NodeId to = 0; to < ctx.config().n; ++to) {
+                     if (to == ctx.id()) continue;
+                     ctx.charge(Op::kAeadSeal, wire.size());
+                     ctx.send_causal(to, seal_share(ctx.keys(), ctx.id(), to,
+                                                    id, wire, ctx.rng()));
+                   }
+                 }
+                 ctx.broadcast_causal(encode_share_request(id));
+                 arm_reveal_retry(id, attempt + 1, ctx);
+               });
+}
+
+void Cp3ReplicaApp::answer_share_request(const RequestId& id, NodeId from,
+                                         bft::ReplicaContext& ctx) {
+  if (from >= ctx.config().n) return;  // only replicas re-collect
+  const Bytes* wire = nullptr;
+  Bytes pending_wire;
+  if (auto it = pending_.find(id);
+      it != pending_.end() && it->second.own_share) {
+    pending_wire = it->second.own_share->serialize();
+    wire = &pending_wire;
+  } else if (auto cit = completed_own_shares_.find(id);
+             cit != completed_own_shares_.end()) {
+    wire = &cit->second;
+  }
+  if (wire == nullptr) return;  // never got a share for it (or evicted)
+  m_.share_rerequests_answered->inc();
+  Bytes out = corrupt_shares_ ? corrupt_wire(*wire) : *wire;
+  ctx.charge(Op::kAeadSeal, out.size());
+  ctx.send_causal(from,
+                  seal_share(ctx.keys(), ctx.id(), from, id, out, ctx.rng()));
 }
 
 void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
@@ -294,6 +443,10 @@ void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
 void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,
                                       bft::ReplicaContext& ctx) {
   bind_metrics(ctx);
+  if (auto req_id = parse_share_request(body)) {
+    answer_share_request(*req_id, from, ctx);
+    return;
+  }
   ctx.charge(Op::kAeadOpen, body.size());
   auto opened = open_share(ctx.keys(), ctx.id(), from, body);
   if (!opened) return;
@@ -354,6 +507,14 @@ void Cp3ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     Bytes result = service_->execute(p.client, p.plaintext);
     ctx.send_reply(p.client, p.client_seq, std::move(result));
     completed_.insert(id);
+    if (p.own_share) {
+      if (completed_own_shares_.size() >= kCpMaxCompletedShareCache) {
+        completed_own_shares_.erase(completed_own_shares_order_.front());
+        completed_own_shares_order_.pop_front();
+      }
+      completed_own_shares_order_.push_back(id);
+      completed_own_shares_.emplace(id, p.own_share->serialize());
+    }
     pending_.erase(it);
     exec_queue_.pop_front();
   }

@@ -31,6 +31,17 @@
 
 namespace scab::causal {
 
+/// Reveal-retry / share-re-request tuning shared by CP2 and CP3 (CP0 keeps
+/// mirrored constants): a delivered-but-unrevealed request rebroadcasts its
+/// share and re-requests the peers' after base << min(attempt, 4), capped at
+/// kCpMaxRevealRetries attempts.  The base sits above the WAN reveal
+/// round-trip so the happy path never retries.
+inline constexpr host::Time kCpRevealRetryBase = 500'000'000;  // 500 ms
+inline constexpr uint32_t kCpMaxRevealRetries = 8;
+/// Bounded cache of own-share wires for executed requests, kept to answer a
+/// restarted peer re-collecting shares for requests we already finished.
+inline constexpr std::size_t kCpMaxCompletedShareCache = 1024;
+
 // ---------------------------------------------------------------------------
 // CP2
 
@@ -72,6 +83,10 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
                   bft::ReplicaContext& ctx);
   void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
+  void answer_share_request(const RequestId& id, bft::NodeId from,
+                            bft::ReplicaContext& ctx);
+  void arm_reveal_retry(const RequestId& id, uint32_t attempt,
+                        bft::ReplicaContext& ctx);
   void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
@@ -81,11 +96,17 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
   std::unordered_map<RequestId, Pending> pending_;
   std::unordered_set<RequestId> completed_;
   std::deque<RequestId> exec_queue_;
+  // Own-share wires of executed requests (bounded FIFO; see
+  // kCpMaxCompletedShareCache): serves re-requests from restarted peers.
+  std::unordered_map<RequestId, Bytes> completed_own_shares_;
+  std::deque<RequestId> completed_own_shares_order_;
   uint64_t recovery_attempts_ = 0;
 
   struct {
     obs::Counter* reconstructions = nullptr;
     obs::Counter* recovery_attempts = nullptr;
+    obs::Counter* reveal_retries = nullptr;
+    obs::Counter* share_rerequests_answered = nullptr;
     obs::Gauge* pending = nullptr;
   } m_;
   obs::Tracer* tracer_ = nullptr;
@@ -151,6 +172,10 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
                   bft::ReplicaContext& ctx);
   void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
+  void answer_share_request(const RequestId& id, bft::NodeId from,
+                            bft::ReplicaContext& ctx);
+  void arm_reveal_retry(const RequestId& id, uint32_t attempt,
+                        bft::ReplicaContext& ctx);
   void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
@@ -160,11 +185,17 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
   std::unordered_map<RequestId, Pending> pending_;
   std::unordered_set<RequestId> completed_;
   std::deque<RequestId> exec_queue_;
+  // Own-share wires of executed requests (bounded FIFO; see
+  // kCpMaxCompletedShareCache): serves re-requests from restarted peers.
+  std::unordered_map<RequestId, Bytes> completed_own_shares_;
+  std::deque<RequestId> completed_own_shares_order_;
   uint64_t recovery_attempts_ = 0;
 
   struct {
     obs::Counter* reconstructions = nullptr;
     obs::Counter* recovery_attempts = nullptr;
+    obs::Counter* reveal_retries = nullptr;
+    obs::Counter* share_rerequests_answered = nullptr;
     obs::Gauge* pending = nullptr;
   } m_;
   obs::Tracer* tracer_ = nullptr;

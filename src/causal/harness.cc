@@ -57,7 +57,9 @@ Cluster::Cluster(ClusterOptions options)
   if (options_.runtime == RuntimeKind::kSim) {
     host_ = std::make_unique<sim::SimHost>(*net_);
   } else {
-    host_ = std::make_unique<rt::ThreadHost>();  // in-process loopback
+    // In-process loopback; fault-filter drop counters land in net_metrics_
+    // so "net.drops.*" reads the same on either runtime.
+    host_ = std::make_unique<rt::ThreadHost>(nullptr, &net_metrics_);
   }
 
   std::vector<host::NodeId> node_ids;
@@ -108,35 +110,9 @@ Cluster::Cluster(ClusterOptions options)
   }
 
   // Replicas.
+  replica_generation_.assign(cfg.n, 0);
   for (uint32_t i = 0; i < cfg.n; ++i) {
-    auto service = options_.service_factory();
-    services_.push_back(service.get());
-
-    std::unique_ptr<bft::ReplicaApp> app;
-    switch (options_.protocol) {
-      case Protocol::kPbft:
-        app = std::make_unique<PlainReplicaApp>(std::move(service));
-        break;
-      case Protocol::kCp0:
-        app = std::make_unique<Cp0ReplicaApp>(std::move(service),
-                                              make_cp0_backend(i));
-        break;
-      case Protocol::kCp1:
-        app = std::make_unique<Cp1ReplicaApp>(
-            std::move(service), crypto::NmCadCommitment(nmcad_key_),
-            options_.cp1);
-        break;
-      case Protocol::kCp2:
-        app = std::make_unique<Cp2ReplicaApp>(
-            std::move(service), crypto::Commitment(commitment_key_));
-        break;
-      case Protocol::kCp3:
-        app = std::make_unique<Cp3ReplicaApp>(std::move(service),
-                                              options_.arss2_mode);
-        break;
-    }
-    replica_apps_.push_back(std::move(app));
-
+    replica_apps_.push_back(make_replica_app(i));
     replica_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
     if (options_.engine == Engine::kPbftEngine) {
       auto replica = std::make_unique<bft::Replica>(
@@ -227,6 +203,71 @@ obs::MetricsRegistry Cluster::merged_metrics() const {
   for (const auto& r : replica_metrics_) merged.merge_from(*r);
   for (const auto& c : client_metrics_) merged.merge_from(*c);
   return merged;
+}
+
+std::unique_ptr<bft::ReplicaApp> Cluster::make_replica_app(uint32_t i) {
+  auto service = options_.service_factory();
+  Service* raw = service.get();
+
+  std::unique_ptr<bft::ReplicaApp> app;
+  switch (options_.protocol) {
+    case Protocol::kPbft:
+      app = std::make_unique<PlainReplicaApp>(std::move(service));
+      break;
+    case Protocol::kCp0:
+      app = std::make_unique<Cp0ReplicaApp>(std::move(service),
+                                            make_cp0_backend(i));
+      break;
+    case Protocol::kCp1:
+      app = std::make_unique<Cp1ReplicaApp>(std::move(service),
+                                            crypto::NmCadCommitment(nmcad_key_),
+                                            options_.cp1);
+      break;
+    case Protocol::kCp2:
+      app = std::make_unique<Cp2ReplicaApp>(std::move(service),
+                                            crypto::Commitment(commitment_key_));
+      break;
+    case Protocol::kCp3:
+      app = std::make_unique<Cp3ReplicaApp>(std::move(service),
+                                            options_.arss2_mode);
+      break;
+  }
+
+  if (i < services_.size()) {
+    services_[i] = raw;  // restart path: replace the dead replica's slot
+  } else {
+    services_.push_back(raw);
+  }
+  return app;
+}
+
+void Cluster::crash_replica(uint32_t i) {
+  // Order matters: the crash flag shields the endpoint while its executor is
+  // quiesced (unbind joins the worker thread under kThreads), and only then
+  // does the replica object — all volatile protocol state — die.
+  faults().crash(i);
+  host_->unbind(i);
+  replicas_.at(i).reset();
+  replica_apps_.at(i).reset();
+  services_.at(i) = nullptr;
+}
+
+void Cluster::restart_replica(uint32_t i) {
+  const uint32_t gen = ++replica_generation_.at(i);
+  replica_apps_.at(i) = make_replica_app(i);
+  auto replica = std::make_unique<bft::Replica>(
+      *host_, i, options_.bft, *keys_, options_.costs,
+      replica_apps_.at(i).get(),
+      // Generation-tagged fork: the reborn replica must not replay its old
+      // incarnation's randomness stream.
+      master_rng_.fork(
+          seed_bytes((static_cast<uint64_t>(gen) << 32) | i, "replica")),
+      replica_metrics_.at(i).get(), &tracer_);
+  replica->start();
+  replicas_.at(i) = std::move(replica);
+  // Only now readmit traffic: the crash flag kept messages away from the
+  // half-built endpoint.
+  faults().restart(i);
 }
 
 std::unique_ptr<Cp0Backend> Cluster::make_cp0_backend(

@@ -133,6 +133,22 @@ class Cluster {
   /// Only meaningful for CP0/CP2/CP3.
   void corrupt_replica_shares(uint32_t i);
 
+  /// Runtime-agnostic fault injection (crash / link cut / delay / tamper)
+  /// for whichever host carries this cluster (DESIGN.md §9).
+  host::FaultInjector& faults() { return *host_->fault_injector(); }
+
+  /// Tears replica i down for real (PBFT engine only): marks it crashed at
+  /// the network, unbinds its endpoint (joining its worker thread under
+  /// kThreads, killing its timers under kSim), and destroys the replica and
+  /// its app — ALL volatile protocol state is gone.
+  void crash_replica(uint32_t i);
+  /// Brings replica i back with empty volatile state (PBFT engine only):
+  /// fresh service/app/replica under the same id, re-bound and started, then
+  /// readmitted to the network.  It rejoins via the checkpoint catch-up
+  /// fetch; the metrics registry is reused so "bft.recovery.*" instruments
+  /// span the restart.
+  void restart_replica(uint32_t i);
+
   /// Convenience: submit one op from client `ci` and run until it completes
   /// or `deadline` passes (virtual time under kSim, wall time under
   /// kThreads).  Returns the result on success.
@@ -166,6 +182,9 @@ class Cluster {
  private:
   std::unique_ptr<Cp0Backend> make_cp0_backend(
       std::optional<uint32_t> replica_index) const;
+  /// Builds replica i's service + protocol app (registers the service in
+  /// services_); shared by the constructor and restart_replica.
+  std::unique_ptr<bft::ReplicaApp> make_replica_app(uint32_t i);
 
   ClusterOptions options_;
   sim::Simulator sim_;
@@ -186,6 +205,7 @@ class Cluster {
   std::unique_ptr<abft::CoinKeyMaterial> coin_;  // async engine
 
   std::vector<Service*> services_;  // borrowed from the apps
+  std::vector<uint32_t> replica_generation_;  // bumped on each restart
   std::vector<std::unique_ptr<bft::ReplicaApp>> replica_apps_;
   std::vector<std::unique_ptr<bft::Replica>> replicas_;
   std::vector<std::unique_ptr<abft::AsyncReplica>> async_replicas_;

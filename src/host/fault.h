@@ -1,0 +1,66 @@
+// Runtime-agnostic fault injection (DESIGN.md §9).
+//
+// A host::FaultInjector is the seam through which tests, the chaos harness
+// and the fault benches inject failures without caring which runtime
+// carries the cluster:
+//
+//   * sim::SimHost exposes one that delegates to the simulator's existing
+//     sim::FaultPlan — applied on send, bit-identical to driving the plan
+//     directly;
+//   * rt::ThreadHost implements the same surface as a filter in front of
+//     the per-node mailboxes, so a "crashed" node's traffic is dropped at
+//     the delivery chokepoint and a "delayed" link defers delivery on the
+//     receiver's own timer queue.
+//
+// crash()/restart() here gate the node's NETWORK presence only; actually
+// tearing a node down and bringing it back with empty volatile state is the
+// layer above (causal::Cluster::crash_replica / restart_replica), which
+// combines the injector with host bind/unbind and object reconstruction.
+//
+// Drops are attributed to the same "net.drops.{crash,cut,tamper}" counters
+// on both runtimes, so fault tests can assert attribution independently of
+// the runtime under test.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/bytes.h"
+#include "host/time.h"
+
+namespace scab::host {
+
+class FaultInjector {
+ public:
+  /// Inspect/tamper hook: return std::nullopt to drop the message, or a
+  /// (possibly modified) payload to deliver.  Runs after crash/cut checks.
+  /// Under rt::ThreadHost the hook may be invoked concurrently from
+  /// multiple sender threads and must be thread-safe.
+  using Tamper =
+      std::function<std::optional<Bytes>(NodeId from, NodeId to, BytesView msg)>;
+
+  virtual ~FaultInjector() = default;
+
+  /// Drops everything to and from `node` until restart(node).
+  virtual void crash(NodeId node) = 0;
+  /// Clears the crash flag: traffic to/from `node` flows again.
+  virtual void restart(NodeId node) = 0;
+  virtual bool is_crashed(NodeId node) const = 0;
+
+  /// Drops messages on the directed link from -> to.
+  virtual void cut(NodeId from, NodeId to) = 0;
+  virtual void heal(NodeId from, NodeId to) = 0;
+  /// Clears every cut and every per-link delay (crash flags stay).
+  virtual void heal_all() = 0;
+
+  /// Adds `extra` ns of one-way delay on the directed link from -> to
+  /// (0 removes it).  Delayed messages are not reordered relative to the
+  /// runtime's own delivery rules beyond the added latency.
+  virtual void delay(NodeId from, NodeId to, Time extra) = 0;
+  virtual void clear_delays() = 0;
+
+  virtual void set_tamper(Tamper t) = 0;
+  virtual void clear_tamper() = 0;
+};
+
+}  // namespace scab::host

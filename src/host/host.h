@@ -33,6 +33,7 @@
 
 #include "common/bytes.h"
 #include "host/cost_model.h"
+#include "host/fault.h"
 #include "host/time.h"
 
 namespace scab::host {
@@ -98,6 +99,10 @@ class Host : public Clock, public Timers, public Transport, public Executor {
   /// may then destroy the endpoints.  Idempotent; no-op for the simulator
   /// (its event loop is caller-driven).
   virtual void stop() {}
+
+  /// The host's fault-injection surface (crash/cut/delay/tamper), or
+  /// nullptr for hosts without one.  Both in-tree hosts implement it.
+  virtual FaultInjector* fault_injector() { return nullptr; }
 };
 
 /// Mixin deduplicating the per-node host plumbing that every protocol class

@@ -63,12 +63,99 @@ void ThreadHost::Worker::stop_and_join() {
 }
 
 // ---------------------------------------------------------------------------
+// Faults
+
+void ThreadHost::Faults::crash(host::NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_.insert(node);
+}
+
+void ThreadHost::Faults::restart(host::NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_.erase(node);
+}
+
+bool ThreadHost::Faults::is_crashed(host::NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_.contains(node);
+}
+
+void ThreadHost::Faults::cut(host::NodeId from, host::NodeId to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cut_.insert(key(from, to));
+}
+
+void ThreadHost::Faults::heal(host::NodeId from, host::NodeId to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cut_.erase(key(from, to));
+}
+
+void ThreadHost::Faults::heal_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cut_.clear();
+  delays_.clear();
+}
+
+void ThreadHost::Faults::delay(host::NodeId from, host::NodeId to,
+                               host::Time extra) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (extra == 0) {
+    delays_.erase(key(from, to));
+  } else {
+    delays_[key(from, to)] = extra;
+  }
+}
+
+void ThreadHost::Faults::clear_delays() {
+  std::lock_guard<std::mutex> lk(mu_);
+  delays_.clear();
+}
+
+void ThreadHost::Faults::set_tamper(Tamper t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  tamper_ = std::move(t);
+}
+
+void ThreadHost::Faults::clear_tamper() {
+  std::lock_guard<std::mutex> lk(mu_);
+  tamper_ = nullptr;
+}
+
+ThreadHost::Faults::Verdict ThreadHost::Faults::filter(host::NodeId from,
+                                                       host::NodeId to,
+                                                       Bytes* msg,
+                                                       host::Time* extra) const {
+  *extra = 0;
+  Tamper tamper_copy;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_.contains(from) || crashed_.contains(to)) return Verdict::kDropCrash;
+    if (cut_.contains(key(from, to))) return Verdict::kDropCut;
+    if (auto it = delays_.find(key(from, to)); it != delays_.end()) {
+      *extra = it->second;
+    }
+    tamper_copy = tamper_;
+  }
+  if (tamper_copy) {
+    auto out = tamper_copy(from, to, *msg);
+    if (!out) return Verdict::kDropTamper;
+    *msg = std::move(*out);
+  }
+  return Verdict::kDeliver;
+}
+
+// ---------------------------------------------------------------------------
 // ThreadHost
 
-ThreadHost::ThreadHost(std::unique_ptr<rt::Transport> transport)
+ThreadHost::ThreadHost(std::unique_ptr<rt::Transport> transport,
+                       obs::MetricsRegistry* metrics)
     : epoch_(SteadyClock::now()),
       transport_(transport ? std::move(transport)
-                           : std::make_unique<ChannelTransport>()) {
+                           : std::make_unique<ChannelTransport>()),
+      metrics_(metrics ? *metrics : obs::MetricsRegistry::inert()) {
+  m_.drops_crash = &metrics_.counter("net.drops.crash");
+  m_.drops_cut = &metrics_.counter("net.drops.cut");
+  m_.drops_tamper = &metrics_.counter("net.drops.tamper");
   transport_->set_deliver([this](host::NodeId from, host::NodeId to,
                                  Bytes msg) { deliver(from, to, std::move(msg)); });
   transport_->start();
@@ -84,15 +171,32 @@ host::Time ThreadHost::now() const {
 }
 
 void ThreadHost::bind(host::NodeId id, host::Node* endpoint) {
+  // Rebind under a live id (restart): retire the old worker first.  Its
+  // queued tasks/timers die with it; in-flight lookups still hold a
+  // shared_ptr and their push_* calls no-op once stopping is set.  The join
+  // happens OUTSIDE mu_ — the dying worker may be mid-send, and deliver()
+  // takes mu_ to look up the destination.
+  std::shared_ptr<Worker> old;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;  // a rebind after stop() would leak a live thread
+    if (auto it = workers_.find(id); it != workers_.end()) {
+      old = std::move(it->second);
+      workers_.erase(it);
+    }
+  }
+  if (old) old->stop_and_join();
+
   std::lock_guard<std::mutex> lk(mu_);
-  auto w = std::make_unique<Worker>(endpoint);
+  if (stopped_) return;
+  auto w = std::make_shared<Worker>(endpoint);
   Worker* raw = w.get();
   raw->thread = std::thread([raw] { raw->loop(); });
   workers_[id] = std::move(w);
 }
 
 void ThreadHost::unbind(host::NodeId id) {
-  std::unique_ptr<Worker> w;
+  std::shared_ptr<Worker> w;
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = workers_.find(id);
@@ -103,22 +207,22 @@ void ThreadHost::unbind(host::NodeId id) {
   w->stop_and_join();
 }
 
-ThreadHost::Worker* ThreadHost::worker(host::NodeId id) const {
+std::shared_ptr<ThreadHost::Worker> ThreadHost::worker(host::NodeId id) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = workers_.find(id);
-  return it == workers_.end() ? nullptr : it->second.get();
+  return it == workers_.end() ? nullptr : it->second;
 }
 
 void ThreadHost::schedule(host::NodeId node, host::Time delay,
                           std::function<void()> fn) {
-  Worker* w = worker(node);
+  auto w = worker(node);
   if (!w) return;
   w->push_timer(SteadyClock::now() + std::chrono::nanoseconds(delay),
                 std::move(fn));
 }
 
 void ThreadHost::post(host::NodeId node, std::function<void()> fn) {
-  Worker* w = worker(node);
+  auto w = worker(node);
   if (!w) return;
   w->push_task(std::move(fn));
 }
@@ -128,10 +232,35 @@ void ThreadHost::send(host::NodeId from, host::NodeId to, Bytes msg) {
 }
 
 void ThreadHost::deliver(host::NodeId from, host::NodeId to, Bytes msg) {
-  Worker* w = worker(to);
+  // The one chokepoint every inbound message funnels through, regardless of
+  // transport (channel, socket loopback, socket peer) — so the fault filter
+  // here gives the same coverage FaultPlan gives the simulator.
+  host::Time extra = 0;
+  switch (faults_.filter(from, to, &msg, &extra)) {
+    case Faults::Verdict::kDropCrash:
+      m_.drops_crash->inc();
+      return;
+    case Faults::Verdict::kDropCut:
+      m_.drops_cut->inc();
+      return;
+    case Faults::Verdict::kDropTamper:
+      m_.drops_tamper->inc();
+      return;
+    case Faults::Verdict::kDeliver:
+      break;
+  }
+  auto w = worker(to);
   if (!w) return;  // unknown destination: drop (mirrors the sim's Network)
   host::Node* ep = w->endpoint;
-  w->push_task([ep, from, m = std::move(msg)] { ep->on_message(from, m); });
+  auto task = [ep, from, m = std::move(msg)] { ep->on_message(from, m); };
+  if (extra > 0) {
+    // Delayed link: defer onto the receiver's own timer queue so ordering
+    // against undelayed traffic matches the sim (late messages arrive late).
+    w->push_timer(SteadyClock::now() + std::chrono::nanoseconds(extra),
+                  std::move(task));
+  } else {
+    w->push_task(std::move(task));
+  }
 }
 
 void ThreadHost::stop() {
@@ -141,13 +270,13 @@ void ThreadHost::stop() {
     stopped_ = true;
   }
   transport_->stop();  // no new inbound deliveries
-  std::vector<Worker*> ws;
+  std::vector<std::shared_ptr<Worker>> ws;
   {
     std::lock_guard<std::mutex> lk(mu_);
     ws.reserve(workers_.size());
-    for (auto& [id, w] : workers_) ws.push_back(w.get());
+    for (auto& [id, w] : workers_) ws.push_back(w);
   }
-  for (Worker* w : ws) w->stop_and_join();
+  for (auto& w : ws) w->stop_and_join();
 }
 
 }  // namespace scab::rt

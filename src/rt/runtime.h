@@ -15,6 +15,16 @@
 //   post       enqueue onto the node's mailbox
 //   charge     NO-OP: real time is measured, not modeled (DESIGN.md §8)
 //   stop       joins every worker; pending timers and tasks are dropped
+//
+// Fault injection (DESIGN.md §9): the host::FaultInjector surface is a
+// filter at the single delivery chokepoint in front of the mailboxes —
+// crashed nodes and cut links drop (attributed to the same
+// "net.drops.{crash,cut,tamper}" counters the simulator uses), delayed
+// links defer delivery onto the receiver's own timer queue, and the tamper
+// hook may rewrite or drop payloads.  Live unbind/rebind is supported: a
+// node can be torn down mid-run (its worker joins, queued work dies with
+// it) and a replacement endpoint bound under the same id — this is what
+// Cluster::restart_replica rides on.
 #pragma once
 
 #include <chrono>
@@ -25,16 +35,20 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "host/host.h"
+#include "obs/metrics.h"
 #include "rt/transport.h"
 
 namespace scab::rt {
 
 class ThreadHost final : public host::Host {
  public:
-  /// `transport` defaults to an in-process ChannelTransport.
-  explicit ThreadHost(std::unique_ptr<rt::Transport> transport = nullptr);
+  /// `transport` defaults to an in-process ChannelTransport.  `metrics`
+  /// (optional) receives the fault filter's "net.drops.*" counters.
+  explicit ThreadHost(std::unique_ptr<rt::Transport> transport = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr);
   ~ThreadHost() override;
 
   host::Time now() const override;
@@ -50,6 +64,8 @@ class ThreadHost final : public host::Host {
     (void)cost;  // real hosts measure; they do not model
   }
   void stop() override;
+
+  host::FaultInjector* fault_injector() override { return &faults_; }
 
   rt::Transport& transport() { return *transport_; }
 
@@ -75,14 +91,57 @@ class ThreadHost final : public host::Host {
     void stop_and_join();
   };
 
-  Worker* worker(host::NodeId id) const;
+  /// Mutex-guarded fault state, consulted by deliver() on every message.
+  class Faults final : public host::FaultInjector {
+   public:
+    void crash(host::NodeId node) override;
+    void restart(host::NodeId node) override;
+    bool is_crashed(host::NodeId node) const override;
+    void cut(host::NodeId from, host::NodeId to) override;
+    void heal(host::NodeId from, host::NodeId to) override;
+    void heal_all() override;
+    void delay(host::NodeId from, host::NodeId to, host::Time extra) override;
+    void clear_delays() override;
+    void set_tamper(Tamper t) override;
+    void clear_tamper() override;
+
+    enum class Verdict : uint8_t { kDeliver, kDropCrash, kDropCut, kDropTamper };
+    /// Applies the current plan to one message; may rewrite `msg` (tamper)
+    /// and sets `extra` to the link's added delay.  The tamper hook runs
+    /// outside the lock (it may be slow or reentrant).
+    Verdict filter(host::NodeId from, host::NodeId to, Bytes* msg,
+                   host::Time* extra) const;
+
+   private:
+    static uint64_t key(host::NodeId a, host::NodeId b) {
+      return (static_cast<uint64_t>(a) << 32) | b;
+    }
+    mutable std::mutex mu_;
+    std::unordered_set<host::NodeId> crashed_;
+    std::unordered_set<uint64_t> cut_;
+    std::unordered_map<uint64_t, host::Time> delays_;
+    Tamper tamper_;
+  };
+
+  std::shared_ptr<Worker> worker(host::NodeId id) const;
   void deliver(host::NodeId from, host::NodeId to, Bytes msg);
 
   const SteadyClock::time_point epoch_;
   std::unique_ptr<rt::Transport> transport_;
+  Faults faults_;
+  // shared_ptr: deliver()/post()/schedule() hold a reference across the
+  // enqueue, so a concurrent live unbind (node restart) cannot free the
+  // worker out from under them; push_* on a stopping worker is a no-op.
   mutable std::mutex mu_;  // guards workers_ (bind/unbind vs lookups)
-  std::unordered_map<host::NodeId, std::unique_ptr<Worker>> workers_;
+  std::unordered_map<host::NodeId, std::shared_ptr<Worker>> workers_;
   bool stopped_ = false;
+
+  obs::MetricsRegistry& metrics_;
+  struct {
+    obs::Counter* drops_crash;
+    obs::Counter* drops_cut;
+    obs::Counter* drops_tamper;
+  } m_;
 };
 
 }  // namespace scab::rt

@@ -6,17 +6,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 
 namespace scab::rt {
 
 namespace {
 
-// Reads exactly `len` bytes; false on EOF/error.
+// Reads exactly `len` bytes; false on EOF/error.  EINTR (a signal landing
+// mid-recv) and short reads both retry — either would previously tear down
+// the connection and silently strand a frame.
 bool read_full(int fd, uint8_t* buf, std::size_t len) {
   std::size_t got = 0;
   while (got < len) {
     const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     got += static_cast<std::size_t>(n);
   }
@@ -27,11 +32,18 @@ bool write_full(int fd, const uint8_t* buf, std::size_t len) {
   std::size_t put = 0;
   while (put < len) {
     const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     put += static_cast<std::size_t>(n);
   }
   return true;
 }
+
+// Reconnect backoff: base 10 ms, doubling per consecutive failure, capped
+// at 10 ms << 6 = 640 ms.  Jitter desynchronizes a cluster reconnecting to
+// the same recovered peer.
+constexpr auto kReconnectBase = std::chrono::milliseconds(10);
+constexpr uint32_t kMaxBackoffShift = 6;
 
 void put_u32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
 uint32_t get_u32(const uint8_t* p) {
@@ -46,8 +58,12 @@ constexpr uint32_t kMaxFrame = 64u << 20;
 }  // namespace
 
 SocketTransport::SocketTransport(uint16_t listen_port,
-                                 std::map<NodeId, Peer> peers)
-    : peers_(std::move(peers)) {
+                                 std::map<NodeId, Peer> peers,
+                                 uint64_t jitter_seed)
+    : peers_(std::move(peers)),
+      jitter_state_((jitter_seed * 0x9e3779b97f4a7c15ULL +
+                     0x2545f4914f6cdd1dULL) |
+                    1) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return;
   int one = 1;
@@ -92,9 +108,11 @@ void SocketTransport::stop() {
   std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [id, fd] : conns_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
+    for (auto& [id, out] : conns_) {
+      if (out.fd >= 0) {
+        ::shutdown(out.fd, SHUT_RDWR);
+        ::close(out.fd);
+      }
     }
     conns_.clear();
     readers.swap(reader_threads_);
@@ -155,6 +173,23 @@ int SocketTransport::connect_to(const Peer& peer) {
   return fd;
 }
 
+void SocketTransport::note_send_error() {
+  send_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (send_errors_counter_) send_errors_counter_->inc();
+}
+
+void SocketTransport::arm_backoff(OutState& out) {
+  const uint32_t shift = std::min(out.failures, kMaxBackoffShift);
+  auto delay = kReconnectBase * (uint64_t{1} << shift);
+  jitter_state_ ^= jitter_state_ << 13;
+  jitter_state_ ^= jitter_state_ >> 7;
+  jitter_state_ ^= jitter_state_ << 17;
+  delay += std::chrono::milliseconds(
+      jitter_state_ % static_cast<uint64_t>(delay.count() / 4 + 1));
+  out.next_attempt = std::chrono::steady_clock::now() + delay;
+  ++out.failures;
+}
+
 void SocketTransport::send(NodeId from, NodeId to, Bytes msg) {
   const auto peer = peers_.find(to);
   if (peer == peers_.end()) {
@@ -166,20 +201,33 @@ void SocketTransport::send(NodeId from, NodeId to, Bytes msg) {
   // not interleave on the wire.
   std::lock_guard<std::mutex> lk(mu_);
   if (stopping_) return;
-  auto it = conns_.find(to);
-  if (it == conns_.end()) {
-    const int fd = connect_to(peer->second);
-    if (fd < 0) return;  // best-effort: the protocol layer retries
-    it = conns_.emplace(to, fd).first;
+  OutState& out = conns_[to];
+  if (out.fd < 0) {
+    if (out.failures > 0 &&
+        std::chrono::steady_clock::now() < out.next_attempt) {
+      // Backoff gate closed: drop instead of eating a connect() timeout on
+      // every send to a dead peer.  The protocol layer retransmits.
+      note_send_error();
+      return;
+    }
+    out.fd = connect_to(peer->second);
+    if (out.fd < 0) {
+      note_send_error();
+      arm_backoff(out);
+      return;
+    }
+    out.failures = 0;
   }
   uint8_t header[12];
   put_u32(header, static_cast<uint32_t>(msg.size()));
   put_u32(header + 4, from);
   put_u32(header + 8, to);
-  if (!write_full(it->second, header, sizeof(header)) ||
-      !write_full(it->second, msg.data(), msg.size())) {
-    ::close(it->second);
-    conns_.erase(it);
+  if (!write_full(out.fd, header, sizeof(header)) ||
+      !write_full(out.fd, msg.data(), msg.size())) {
+    ::close(out.fd);
+    out.fd = -1;
+    note_send_error();
+    arm_backoff(out);
   }
 }
 

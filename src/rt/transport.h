@@ -10,9 +10,15 @@
 //
 // Transports are dumb pipes: no retries, no ordering guarantees beyond TCP
 // per-connection FIFO, no authentication (the protocol layer MACs every
-// message; see bft/envelope.h).
+// message; see bft/envelope.h).  Failures are never silent, though: every
+// dropped send is counted in "net.rt.send_errors" (see bind_metrics), broken
+// fds are closed and forgotten, and reconnects back off exponentially with
+// deterministic jitter so a dead peer cannot make every send() eat a
+// connect() timeout.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -24,6 +30,7 @@
 
 #include "common/bytes.h"
 #include "host/time.h"
+#include "obs/metrics.h"
 
 namespace scab::rt {
 
@@ -70,8 +77,10 @@ class SocketTransport final : public Transport {
 
   /// Binds and listens on `listen_port` (0 = ephemeral; see port()).
   /// Check ok() before use — binding can fail in sandboxed environments.
+  /// `jitter_seed` feeds the deterministic reconnect-backoff jitter.
   explicit SocketTransport(uint16_t listen_port,
-                           std::map<NodeId, Peer> peers = {});
+                           std::map<NodeId, Peer> peers = {},
+                           uint64_t jitter_seed = 0);
   ~SocketTransport() override;
 
   bool ok() const { return listen_fd_ >= 0; }
@@ -80,24 +89,49 @@ class SocketTransport final : public Transport {
   /// Adds/replaces a remote route (before start(); not thread-safe after).
   void add_peer(NodeId id, Peer peer) { peers_[id] = std::move(peer); }
 
+  /// Publishes "net.rt.send_errors" into `m` (before start(); not
+  /// thread-safe after).  Without this, errors still count locally.
+  void bind_metrics(obs::MetricsRegistry* m) {
+    if (m) send_errors_counter_ = &m->counter("net.rt.send_errors");
+  }
+  /// Sends dropped on this transport: connect failures, mid-frame write
+  /// failures, and sends suppressed while a peer's backoff gate is closed.
+  uint64_t send_errors() const {
+    return send_errors_.load(std::memory_order_relaxed);
+  }
+
   void start() override;
   void stop() override;
   void send(NodeId from, NodeId to, Bytes msg) override;
 
  private:
+  /// Outbound connection state for one peer.  fd < 0 means disconnected;
+  /// after a failure, reconnect attempts are gated by next_attempt with
+  /// capped exponential backoff (plus jitter) keyed on consecutive failures.
+  struct OutState {
+    int fd = -1;
+    uint32_t failures = 0;
+    std::chrono::steady_clock::time_point next_attempt{};
+  };
+
   int connect_to(const Peer& peer);
   void accept_loop();
   void read_loop(int fd);
+  void note_send_error();
+  void arm_backoff(OutState& out);  // call with mu_ held
 
   std::map<NodeId, Peer> peers_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
-  std::mutex mu_;  // guards conns_, reader_threads_, stopping_
-  std::unordered_map<NodeId, int> conns_;  // outbound, keyed by destination
+  std::mutex mu_;  // guards conns_, reader_threads_, stopping_, jitter_state_
+  std::unordered_map<NodeId, OutState> conns_;  // outbound, keyed by dest
   std::vector<std::thread> reader_threads_;
   bool started_ = false;
   bool stopping_ = false;
+  uint64_t jitter_state_;
+  std::atomic<uint64_t> send_errors_{0};
+  obs::Counter* send_errors_counter_ = nullptr;
 };
 
 }  // namespace scab::rt

@@ -86,9 +86,7 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
   m_.bytes->inc(msg.size());
   egress_bytes_counter(from).inc(msg.size());
 
-  auto it = nodes_.find(to);
-  if (it == nodes_.end()) return;
-  Node* dst = it->second;
+  if (!nodes_.contains(to)) return;
 
   DropReason reason = DropReason::kNone;
   auto shaped = faults_.apply(from, to, msg, &reason);
@@ -136,8 +134,9 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
     jitter = jitter_state_ % profile_.link.jitter;
   }
 
-  const SimTime arrival = free_at + profile_.link.latency + jitter;
-  deliver(from, dst, std::move(*shaped), arrival);
+  const SimTime arrival =
+      free_at + profile_.link.latency + jitter + faults_.extra_delay(from, to);
+  deliver(from, to, std::move(*shaped), arrival);
 }
 
 void Network::broadcast(NodeId from, const Bytes& msg,
@@ -154,23 +153,26 @@ void Network::broadcast(NodeId from, const Bytes& msg,
   }
 }
 
-void Network::deliver(NodeId from, Node* to, Bytes msg, SimTime arrival) {
+void Network::deliver(NodeId from, NodeId to, Bytes msg, SimTime arrival) {
   sim_.schedule_at(arrival, [this, from, to, msg = std::move(msg)]() mutable {
-    if (faults_.is_crashed(to->id())) {  // crashed while in flight
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) return;  // detached/restarted while in flight
+    Node* dst = it->second;
+    if (faults_.is_crashed(to)) {  // crashed while in flight
       m_.drops_crash->inc();
       return;
     }
     // The receiver is a sequential processor: if it is still busy with
     // earlier work, requeue this delivery for when it frees up.  busy_until
     // only ever advances, so this converges.
-    const SimTime start = to->ready_at();
+    const SimTime start = dst->ready_at();
     if (start > sim_.now()) {
       deliver(from, to, std::move(msg), start);
       return;
     }
     ++messages_delivered_;
     m_.delivered->inc();
-    to->on_message(from, msg);
+    dst->on_message(from, msg);
   });
 }
 

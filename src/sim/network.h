@@ -106,6 +106,27 @@ class FaultPlan {
   /// Drops messages on the directed link a -> b.
   void cut(NodeId from, NodeId to) { cut_.insert(key(from, to)); }
   void heal(NodeId from, NodeId to) { cut_.erase(key(from, to)); }
+  /// Clears every cut and every per-link delay (crash flags stay).
+  void heal_all() {
+    cut_.clear();
+    delays_.clear();
+  }
+
+  /// Adds `extra` ns of one-way delay on the directed link a -> b; 0
+  /// removes the entry.  Applied by Network::send on top of the profile's
+  /// latency, so delayed messages still obey per-link FIFO-ish shaping.
+  void delay(NodeId from, NodeId to, SimTime extra) {
+    if (extra == 0) {
+      delays_.erase(key(from, to));
+    } else {
+      delays_[key(from, to)] = extra;
+    }
+  }
+  void clear_delays() { delays_.clear(); }
+  SimTime extra_delay(NodeId from, NodeId to) const {
+    auto it = delays_.find(key(from, to));
+    return it == delays_.end() ? 0 : it->second;
+  }
 
   /// Arbitrary inspect/tamper hook: return std::nullopt to drop the
   /// message, or a (possibly modified) payload to deliver.  Runs after the
@@ -126,6 +147,7 @@ class FaultPlan {
   }
   std::unordered_set<NodeId> crashed_;
   std::unordered_set<uint64_t> cut_;
+  std::unordered_map<uint64_t, SimTime> delays_;
   Tamper tamper_;
 };
 
@@ -159,7 +181,10 @@ class Network {
   Simulator& sim() const { return sim_; }
 
  private:
-  void deliver(NodeId from, Node* to, Bytes msg, SimTime arrival);
+  // Keyed by NodeId (not Node*): the destination is re-resolved when the
+  // delivery event fires, so a node detached (or replaced by a restart)
+  // while messages are in flight just drops them instead of dangling.
+  void deliver(NodeId from, NodeId to, Bytes msg, SimTime arrival);
   obs::Counter& egress_bytes_counter(NodeId from);
 
   Simulator& sim_;

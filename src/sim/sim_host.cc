@@ -6,6 +6,7 @@ void SimHost::bind(host::NodeId id, host::Node* endpoint) {
   auto adapter = std::make_unique<Adapter>(net_.sim(), id, endpoint);
   net_.attach(adapter.get());
   adapters_[id] = std::move(adapter);
+  ++bind_epochs_[id];
 }
 
 void SimHost::unbind(host::NodeId id) {
@@ -13,6 +14,7 @@ void SimHost::unbind(host::NodeId id) {
   if (it == adapters_.end()) return;
   net_.detach(id);
   adapters_.erase(it);
+  ++bind_epochs_[id];  // kill timers armed by the departing endpoint
 }
 
 void SimHost::charge(host::NodeId node, host::Time cost) {

@@ -18,6 +18,16 @@
 // endpoint gets an internal Adapter node attached to the Network; the
 // adapter owns the busy_until_ bookkeeping that shapes message departure
 // and delivery times.
+//
+// Node restart support: every bind bumps the node's epoch, and a scheduled
+// timer only fires if its node's epoch is unchanged — so timers armed by a
+// torn-down endpoint (watchdogs, reveal retries) die silently instead of
+// running against freed state.  The guard adds no events and no RNG draws:
+// event times, counts and ordering are untouched.
+//
+// fault_injector() delegates to the Network's FaultPlan — the runtime-
+// agnostic host::FaultInjector surface is bit-identical to driving
+// net().faults() directly.
 #pragma once
 
 #include <memory>
@@ -30,14 +40,19 @@ namespace scab::sim {
 
 class SimHost final : public host::Host {
  public:
-  explicit SimHost(Network& net) : net_(net) {}
+  explicit SimHost(Network& net) : net_(net), faults_(net) {}
 
   host::Time now() const override { return net_.sim().now(); }
 
   void schedule(host::NodeId node, host::Time delay,
                 std::function<void()> fn) override {
-    (void)node;  // one global event loop: node affinity is automatic
-    net_.sim().schedule_after(delay, std::move(fn));
+    // One global event loop: node affinity is automatic.  The epoch check
+    // keeps a timer from outliving its endpoint across unbind/rebind.
+    const uint64_t epoch = epoch_of(node);
+    net_.sim().schedule_after(
+        delay, [this, node, epoch, fn = std::move(fn)] {
+          if (epoch_of(node) == epoch) fn();
+        });
   }
 
   void post(host::NodeId node, std::function<void()> fn) override {
@@ -52,6 +67,8 @@ class SimHost final : public host::Host {
   void bind(host::NodeId id, host::Node* endpoint) override;
   void unbind(host::NodeId id) override;
   void charge(host::NodeId node, host::Time cost) override;
+
+  host::FaultInjector* fault_injector() override { return &faults_; }
 
   Network& net() { return net_; }
 
@@ -70,8 +87,44 @@ class SimHost final : public host::Host {
     host::Node* endpoint_;
   };
 
+  /// host::FaultInjector as a thin veneer over the Network's FaultPlan.
+  class Faults final : public host::FaultInjector {
+   public:
+    explicit Faults(Network& net) : net_(net) {}
+    void crash(host::NodeId node) override { net_.faults().crash(node); }
+    void restart(host::NodeId node) override { net_.faults().recover(node); }
+    bool is_crashed(host::NodeId node) const override {
+      return net_.faults().is_crashed(node);
+    }
+    void cut(host::NodeId from, host::NodeId to) override {
+      net_.faults().cut(from, to);
+    }
+    void heal(host::NodeId from, host::NodeId to) override {
+      net_.faults().heal(from, to);
+    }
+    void heal_all() override { net_.faults().heal_all(); }
+    void delay(host::NodeId from, host::NodeId to, host::Time extra) override {
+      net_.faults().delay(from, to, extra);
+    }
+    void clear_delays() override { net_.faults().clear_delays(); }
+    void set_tamper(Tamper t) override { net_.faults().set_tamper(std::move(t)); }
+    void clear_tamper() override { net_.faults().clear_tamper(); }
+
+   private:
+    Network& net_;
+  };
+
+  uint64_t epoch_of(host::NodeId node) const {
+    auto it = bind_epochs_.find(node);
+    return it == bind_epochs_.end() ? 0 : it->second;
+  }
+
   Network& net_;
+  Faults faults_;
   std::unordered_map<host::NodeId, std::unique_ptr<Adapter>> adapters_;
+  // Bumped on every bind AND unbind, so timers from any earlier lifetime of
+  // the id can never fire into a newer (or absent) endpoint.
+  std::unordered_map<host::NodeId, uint64_t> bind_epochs_;
 };
 
 }  // namespace scab::sim

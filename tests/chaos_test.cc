@@ -1,0 +1,170 @@
+// Seeded chaos harness (DESIGN.md §9): schedule determinism, the safety /
+// secrecy / liveness sweep over every protocol on both runtimes (the
+// acceptance bar: >= 50 distinct seeded schedules, zero violations), sim
+// replay determinism, and a real kill-and-restart in the threaded runtime
+// that must rejoin through the checkpoint catch-up fetch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "bft/client.h"
+#include "causal/harness.h"
+#include "chaos/chaos.h"
+
+namespace scab::chaos {
+namespace {
+
+using causal::Protocol;
+using causal::RuntimeKind;
+
+constexpr Protocol kAllProtocols[] = {Protocol::kPbft, Protocol::kCp0,
+                                      Protocol::kCp1, Protocol::kCp2,
+                                      Protocol::kCp3};
+
+TEST(ChaosSchedule, DeterministicForSeed) {
+  ChaosOptions opt;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto a = generate_schedule(seed, opt);
+    const auto b = generate_schedule(seed, opt);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_FALSE(a.empty());
+  }
+  // Distinct seeds should (essentially always) produce distinct schedules.
+  EXPECT_NE(generate_schedule(1, opt), generate_schedule(2, opt));
+}
+
+TEST(ChaosSchedule, SelfHealingAndAtMostOneCrash) {
+  ChaosOptions opt;
+  opt.num_faults = 12;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto schedule = generate_schedule(seed, opt);
+    ASSERT_FALSE(schedule.empty());
+    // Terminal event is the heal-all, exactly on the horizon.
+    EXPECT_EQ(schedule.back().kind, FaultKind::kHealAll);
+    EXPECT_EQ(schedule.back().at, opt.horizon);
+    std::optional<host::NodeId> crashed;
+    host::Time prev = 0;
+    for (const auto& ev : schedule) {
+      EXPECT_GE(ev.at, prev) << format_schedule(schedule);
+      prev = ev.at;
+      if (ev.kind == FaultKind::kCrash) {
+        EXPECT_FALSE(crashed.has_value()) << format_schedule(schedule);
+        crashed = ev.a;
+      } else if (ev.kind == FaultKind::kRestart) {
+        ASSERT_TRUE(crashed.has_value());
+        EXPECT_EQ(*crashed, ev.a);
+        crashed.reset();
+      }
+    }
+    // Every crash was paired with a restart before the horizon closed.
+    EXPECT_FALSE(crashed.has_value()) << format_schedule(schedule);
+  }
+}
+
+// The acceptance sweep: 5 protocols x 8 sim seeds + 5 protocols x 2
+// threaded seeds = 50 distinct seeded schedules, all of which must deliver
+// every request after the terminal heal with no safety or secrecy
+// violation.
+TEST(ChaosSweep, SimAllProtocolsZeroViolations) {
+  for (Protocol p : kAllProtocols) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      ChaosOptions opt;
+      opt.protocol = p;
+      opt.runtime = RuntimeKind::kSim;
+      const ChaosReport r = run_chaos(seed, opt);
+      EXPECT_TRUE(r.ok()) << causal::protocol_name(p) << " seed " << seed
+                          << ": " << r.violation;
+    }
+  }
+}
+
+TEST(ChaosSweep, ThreadsAllProtocolsZeroViolations) {
+  for (Protocol p : kAllProtocols) {
+    for (uint64_t seed = 101; seed <= 102; ++seed) {
+      ChaosOptions opt;
+      opt.protocol = p;
+      opt.runtime = RuntimeKind::kThreads;
+      // Wall-clock run: compress the fault window so the whole sweep stays
+      // inside the CI smoke budget.
+      opt.horizon = 300 * host::kMillisecond;
+      opt.deadline = 20 * host::kSecond;
+      opt.num_faults = 4;
+      opt.ops_per_client = 4;
+      const ChaosReport r = run_chaos(seed, opt);
+      EXPECT_TRUE(r.ok()) << causal::protocol_name(p) << " seed " << seed
+                          << ": " << r.violation;
+    }
+  }
+}
+
+// Replaying one chaos seed in the simulator is bit-deterministic: the
+// schedule, the per-replica execution logs, and the completion counts all
+// come out identical.
+TEST(ChaosReplay, SimSameSeedSameRun) {
+  ChaosOptions opt;
+  opt.protocol = Protocol::kCp2;
+  const ChaosReport a = run_chaos(42, opt);
+  const ChaosReport b = run_chaos(42, opt);
+  EXPECT_EQ(generate_schedule(42, opt), generate_schedule(42, opt));
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.logs, b.logs);
+  EXPECT_EQ(a.first_delivery_after_heal, b.first_delivery_after_heal);
+  EXPECT_TRUE(a.ok()) << a.violation;
+}
+
+// A replica killed and restarted mid-run in the THREADED runtime comes back
+// with empty volatile state and rejoins via the checkpoint catch-up fetch:
+// the run populates the bft.recovery.catchup_ms histogram on its (reused)
+// metrics registry.
+TEST(ChaosRestart, ThreadedNodeRejoinsViaCheckpointCatchup) {
+  causal::ClusterOptions opts;
+  opts.protocol = Protocol::kPbft;
+  opts.runtime = RuntimeKind::kThreads;
+  opts.bft = bft::BftConfig::for_f(1);
+  opts.bft.checkpoint_interval = 4;  // restart recovery within a few ops
+  opts.num_clients = 1;
+  opts.seed = 11;
+  causal::Cluster cluster(opts);
+
+  auto op = [](int i) { return to_bytes("op-" + std::to_string(i)); };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.run_one(0, op(i)).has_value()) << i;
+  }
+
+  cluster.crash_replica(2);
+  // n=4 with one replica down leaves exactly the 2f+1 quorum: progress
+  // continues, checkpoints advance past the dead replica.
+  for (int i = 3; i < 12; ++i) {
+    ASSERT_TRUE(cluster.run_one(0, op(i)).has_value()) << i;
+  }
+
+  cluster.restart_replica(2);
+  EXPECT_EQ(cluster.replica_executed(2), 0u);  // truly empty volatile state
+  // Enough post-restart traffic to cross a checkpoint boundary, whose
+  // certificate is what tells the reborn replica it is behind.
+  for (int i = 12; i < 24; ++i) {
+    ASSERT_TRUE(cluster.run_one(0, op(i)).has_value()) << i;
+  }
+
+  auto& catchup_ms =
+      cluster.replica_metrics(2).histogram("bft.recovery.catchup_ms");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (catchup_ms.count() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cluster.shutdown();
+
+  EXPECT_GE(catchup_ms.count(), 1u) << "restarted replica never caught up";
+  EXPECT_GE(cluster.replica_metrics(2)
+                .counter("bft.recovery.catchups_completed")
+                .value(),
+            1u);
+  EXPECT_GT(cluster.replica_executed(2), 0u);
+}
+
+}  // namespace
+}  // namespace scab::chaos

@@ -1,0 +1,100 @@
+// Runtime-agnostic fault injection (DESIGN.md §9): the same
+// host::FaultInjector calls drive a partition -> view-change -> heal drill
+// on the deterministic simulator and on the real-time threaded runtime.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "causal/harness.h"
+
+namespace scab::causal {
+namespace {
+
+class FaultsTest : public ::testing::TestWithParam<RuntimeKind> {};
+
+// Cut the primary's replica links mid-burst: the backups' fairness watchdog
+// must force a view change (bft.view_changes_completed advances), the
+// in-flight request completes under the new primary, and after heal_all the
+// cluster keeps delivering.
+TEST_P(FaultsTest, PartitionTriggersViewChangeThenHealDelivers) {
+  ClusterOptions opts;
+  opts.protocol = Protocol::kPbft;
+  opts.runtime = GetParam();
+  opts.bft = bft::BftConfig::for_f(1);
+  opts.bft.request_timeout = 300 * host::kMillisecond;
+  opts.bft.watchdog_period = 100 * host::kMillisecond;
+  opts.num_clients = 1;
+  opts.seed = 5;
+  Cluster cluster(opts);
+  cluster.client(0).set_retry_timeout(150 * host::kMillisecond);
+
+  ASSERT_TRUE(cluster.run_one(0, to_bytes("healthy")).has_value());
+
+  // Partition the view-0 primary from every backup (both directions).
+  host::FaultInjector& faults = cluster.faults();
+  for (uint32_t r = 1; r < cluster.n(); ++r) {
+    faults.cut(0, r);
+    faults.cut(r, 0);
+  }
+
+  // Mid-burst request: it can only complete once the backups elect a new
+  // primary, so success here IS the view-change assertion; the counter
+  // check below attributes it.
+  ASSERT_TRUE(
+      cluster.run_one(0, to_bytes("during-partition"), 20 * host::kSecond)
+          .has_value());
+
+  uint64_t view_changes = 0;
+  for (uint32_t r = 1; r < cluster.n(); ++r) {
+    view_changes += cluster.replica_metrics(r)
+                        .counter("bft.view_changes_completed")
+                        .value();
+  }
+  EXPECT_GT(view_changes, 0u);
+
+  faults.heal_all();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(
+        cluster.run_one(0, to_bytes("post-heal-" + std::to_string(i)))
+            .has_value())
+        << i;
+  }
+  cluster.shutdown();
+}
+
+// Directed cut semantics: dropping a single backup's inbound links must NOT
+// cost liveness (quorum is 2f+1 of n=3f+1), and healing restores it.
+TEST_P(FaultsTest, SingleBackupIsolationKeepsQuorum) {
+  ClusterOptions opts;
+  opts.protocol = Protocol::kPbft;
+  opts.runtime = GetParam();
+  opts.num_clients = 1;
+  opts.seed = 6;
+  Cluster cluster(opts);
+
+  host::FaultInjector& faults = cluster.faults();
+  for (uint32_t r = 0; r < cluster.n(); ++r) {
+    if (r != 3) faults.cut(r, 3);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.run_one(0, to_bytes("cut-" + std::to_string(i)))
+                    .has_value())
+        << i;
+  }
+  faults.heal_all();
+  ASSERT_TRUE(cluster.run_one(0, to_bytes("healed")).has_value());
+  cluster.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Runtimes, FaultsTest,
+    ::testing::Values(RuntimeKind::kSim, RuntimeKind::kThreads),
+    [](const ::testing::TestParamInfo<RuntimeKind>& info) {
+      return info.param == RuntimeKind::kSim ? std::string("sim")
+                                             : std::string("threads");
+    });
+
+}  // namespace
+}  // namespace scab::causal
