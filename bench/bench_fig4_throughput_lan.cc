@@ -3,10 +3,11 @@
 
 int main(int argc, char** argv) {
   using namespace scab;
+  const bool json = bench::parse_json_flag(argc, argv);
+  bench::open_json_artifact(json, "fig4_throughput_lan");
   bench::run_throughput_figure("Fig 4 — throughput vs clients (LAN, f=1)",
                                "fig4_throughput_lan",
                                sim::NetworkProfile::lan(), 1,
-                               {1, 5, 10, 20, 40, 60, 80, 100},
-                               bench::parse_json_flag(argc, argv));
+                               {1, 5, 10, 20, 40, 60, 80, 100}, json);
   return 0;
 }

@@ -112,6 +112,56 @@ int main(int argc, char** argv) {
 
   if (r.measured_ops == 0) fail("no operations measured");
 
+  // Pipeline smoke: the same tiny CP0 configuration with client-side
+  // batching (4 payloads per amortized TDH2 envelope) and 2 in-flight
+  // slots per client, validated against the schema's "required_pipeline"
+  // paths — the record shape bench_peak_pipeline's sweep points share.
+  {
+    causal::ClusterOptions popts = opts;
+    popts.client_batch = 4;
+    popts.client_inflight = 2;
+    std::string pobs;
+    const ThroughputResult pr =
+        run_throughput(popts, /*clients=*/2, /*request_bytes=*/256,
+                       /*warmup_ops=*/16, /*measure_ops=*/64,
+                       60 * sim::kSecond, &pobs);
+    char phead[320];
+    std::snprintf(phead, sizeof(phead),
+                  "{\"figure\":\"pipeline_smoke\",\"protocol\":\"CP0\","
+                  "\"clients\":2,\"batch\":4,\"inflight\":2,"
+                  "\"ops_per_sec\":%.3f,\"mean_latency_ms\":%.4f,"
+                  "\"median_latency_ms\":%.4f,\"measured_ops\":%llu,",
+                  pr.ops_per_sec, pr.mean_latency_ms, pr.median_latency_ms,
+                  static_cast<unsigned long long>(pr.measured_ops));
+    const std::string pline = std::string(phead) + pobs + "}";
+    std::printf("%s\n", pline.c_str());
+    if (pr.measured_ops == 0) fail("pipeline smoke measured no operations");
+    if (pr.median_latency_ms <= 0) {
+      fail("pipeline smoke has no median latency");
+    }
+    const auto pdoc = obs::json::parse(pline);
+    if (!pdoc) {
+      fail("pipeline record does not parse as JSON");
+    } else if (const auto* req = schema->get("required_pipeline");
+               req && req->is_array()) {
+      for (const auto& p : req->as_array()) {
+        if (!p.is_string()) continue;
+        if (!obs::json::find_path(*pdoc, p.as_string())) {
+          fail("pipeline record missing required path: " + p.as_string());
+        }
+      }
+      // The batched run must actually batch: the envelope-size histogram
+      // has samples and its maximum matches the configured aggregation.
+      const auto* bmax =
+          obs::json::find_path(*pdoc, "metrics/histograms/cp0.batch_size/max");
+      if (bmax && bmax->as_number() < 4) {
+        fail("pipeline smoke never produced a full 4-payload envelope");
+      }
+    } else {
+      fail("schema has no \"required_pipeline\" array");
+    }
+  }
+
   // Chaos smoke: the first seed whose schedule includes a crash (so the
   // record exercises the crash/restart path), run on the simulator.  The
   // scan is deterministic, so CI always validates the same schedule.

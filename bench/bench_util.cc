@@ -1,8 +1,10 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "crypto/aead.h"
 #include "crypto/commitment.h"
@@ -283,13 +285,19 @@ ThroughputResult run_throughput(ClusterOptions opts, uint32_t clients,
     return sum;
   };
 
+  // (completion time, latency) per logical operation across all clients;
+  // the simulator is single-threaded so the shared vector needs no lock.
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> completions;
   for (uint32_t c = 0; c < clients; ++c) {
     cluster.client(c).set_retry_timeout(60 * sim::kSecond);
     cluster.client(c).run_closed_loop(
         [request_bytes](uint64_t i) {
           return Bytes(request_bytes, static_cast<uint8_t>(i));
         },
-        0 /* unbounded */);
+        0 /* unbounded */,
+        [&completions](uint64_t, sim::SimTime start, sim::SimTime end) {
+          completions.emplace_back(end, end - start);
+        });
   }
 
   cluster.sim().run_while([&] {
@@ -317,8 +325,44 @@ ThroughputResult run_throughput(ClusterOptions opts, uint32_t clients,
     out.mean_latency_ms = static_cast<double>(lat1 - lat0) /
                           static_cast<double>(out.measured_ops) /
                           sim::kMillisecond;
+    std::vector<SimTime> window;
+    window.reserve(out.measured_ops);
+    for (const auto& [end, latency] : completions) {
+      if (end > t0 && end <= t1) window.push_back(latency);
+    }
+    if (!window.empty()) {
+      auto mid = window.begin() + static_cast<std::ptrdiff_t>(window.size() / 2);
+      std::nth_element(window.begin(), mid, window.end());
+      out.median_latency_ms = static_cast<double>(*mid) / sim::kMillisecond;
+    }
   }
   return out;
+}
+
+namespace {
+FILE* g_artifact = nullptr;
+}  // namespace
+
+void open_json_artifact(bool enabled, const std::string& name) {
+  if (g_artifact) {
+    std::fclose(g_artifact);
+    g_artifact = nullptr;
+  }
+  if (!enabled) return;
+  const std::string path = "BENCH_" + name + ".json";
+  g_artifact = std::fopen(path.c_str(), "w");
+  if (!g_artifact) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n", path.c_str());
+  }
+}
+
+void emit_json_line(const std::string& line) {
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+  if (g_artifact) {
+    std::fprintf(g_artifact, "%s\n", line.c_str());
+    std::fflush(g_artifact);
+  }
 }
 
 void print_header(const std::string& title, const std::string& note) {

@@ -64,6 +64,11 @@ double run_latency_ms(causal::ClusterOptions opts, std::size_t request_bytes,
 struct ThroughputResult {
   double ops_per_sec = 0;
   double mean_latency_ms = 0;
+  /// Exact median over the per-operation latencies completed inside the
+  /// measurement window (not a histogram-bucket estimate) — the batching
+  /// acceptance bound "peak throughput at equal median latency" needs the
+  /// real order statistic.
+  double median_latency_ms = 0;
   uint64_t measured_ops = 0;
 };
 
@@ -80,6 +85,17 @@ ThroughputResult run_throughput(causal::ClusterOptions opts, uint32_t clients,
 /// The observability members for a finished cluster (used by the helpers
 /// above and directly by benches that drive their own run loop).
 std::string obs_json_fields(causal::Cluster& cluster);
+
+/// --json artifact tee.  When `enabled`, every subsequent emit_json_line()
+/// is mirrored to `BENCH_<name>.json` in the working directory (the repo
+/// root under scripts/ci.sh), so JSON runs leave an archivable trajectory
+/// artifact in addition to the stdout stream.  Opening a new artifact
+/// closes the previous one; disabled mode closes without opening.
+void open_json_artifact(bool enabled, const std::string& name);
+
+/// Prints one complete JSON record (no trailing newline in `line`) to
+/// stdout and, when an artifact is open, appends it there too.
+void emit_json_line(const std::string& line);
 
 /// Fixed-width table printing.
 void print_header(const std::string& title, const std::string& note);

@@ -50,18 +50,22 @@ inline ThroughputResult sweep_point(causal::Protocol protocol, uint32_t f,
 
 /// One sweep point as a JSON-lines record: headline numbers plus the
 /// observability export ("trace" per-phase breakdown + merged "metrics").
+/// Routed through emit_json_line, so records also land in the BENCH_*.json
+/// artifact when one is open (open_json_artifact).
 inline void print_sweep_point_json(const char* figure, causal::Protocol p,
                                    uint32_t f, uint32_t clients,
                                    const ThroughputResult& r,
                                    const std::string& obs_fields) {
-  std::printf(
+  char head[320];
+  std::snprintf(
+      head, sizeof(head),
       "{\"figure\":\"%s\",\"protocol\":\"%s\",\"f\":%u,\"clients\":%u,"
-      "\"ops_per_sec\":%.3f,\"mean_latency_ms\":%.4f,\"measured_ops\":%llu,"
-      "%s}\n",
+      "\"ops_per_sec\":%.3f,\"mean_latency_ms\":%.4f,"
+      "\"median_latency_ms\":%.4f,\"measured_ops\":%llu,",
       figure, causal::protocol_name(p), f, clients, r.ops_per_sec,
-      r.mean_latency_ms, static_cast<unsigned long long>(r.measured_ops),
-      obs_fields.c_str());
-  std::fflush(stdout);
+      r.mean_latency_ms, r.median_latency_ms,
+      static_cast<unsigned long long>(r.measured_ops));
+  emit_json_line(std::string(head) + obs_fields + "}");
 }
 
 inline void run_throughput_figure(const char* title, const char* figure_id,
@@ -102,12 +106,17 @@ inline void run_throughput_figure(const char* title, const char* figure_id,
   }
 }
 
-/// Shared `--json` flag handling for the figure benches.
-inline bool parse_json_flag(int argc, char** argv) {
+/// True when `flag` appears among the arguments.
+inline bool parse_flag(int argc, char** argv, std::string_view flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") return true;
+    if (std::string_view(argv[i]) == flag) return true;
   }
   return false;
+}
+
+/// Shared `--json` flag handling for the figure benches.
+inline bool parse_json_flag(int argc, char** argv) {
+  return parse_flag(argc, argv, "--json");
 }
 
 }  // namespace scab::bench

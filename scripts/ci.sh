@@ -20,6 +20,17 @@ echo "=== crypto microbench (batch-verification amortization) ==="
 ./build/bench/bench_micro_crypto > BENCH_crypto.json
 cat BENCH_crypto.json
 
+echo "=== pipeline bench (batched CP0 envelopes; writes BENCH_pipeline.json) ==="
+# Full batch x inflight sweep on the calibrated-cost oracle; exits non-zero
+# unless the best batched configuration at (near-)equal median latency is
+# >= 5x the unbatched closed loop.
+./build/bench/bench_peak_pipeline --json > /dev/null
+
+echo "=== fig6 quick slice (writes BENCH_fig6_peak_throughput.json) ==="
+# f=1 column only: keeps a fresh JSON trajectory artifact at the repo root
+# without paying for the full three-column sweep on every CI run.
+./build/bench/bench_fig6_peak_throughput --json --quick > /dev/null
+
 echo "=== bench smoke (metrics JSON vs schema + crypto bench artifact) ==="
 ./build/bench/bench_smoke bench/metrics_schema.json BENCH_crypto.json
 

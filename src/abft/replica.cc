@@ -51,7 +51,7 @@ void AsyncReplica::send_reply(NodeId client, uint64_t client_seq, Bytes result) 
   reply.replica = id();
   reply.result = std::move(result);
   Bytes wire = reply.serialize();
-  reply_cache_[client] = wire;
+  reply_cache_[client].put(client_seq, wire);
   charge(Op::kMsgOverhead, 0);
   charge(Op::kMac, wire.size());
   send_raw(client,
@@ -163,14 +163,17 @@ void AsyncReplica::handle_client_request(NodeId from, BytesView body,
   auto msg = bft::ClientRequestMsg::parse(body);
   if (!msg) return;
 
-  auto last = last_executed_client_seq_.find(from);
-  if (last != last_executed_client_seq_.end() &&
-      msg->client_seq <= last->second) {
-    auto cached = reply_cache_.find(from);
-    if (cached != reply_cache_.end()) {
-      charge(Op::kMac, cached->second.size());
-      send_raw(from, bft::seal_envelope(keys_, bft::Channel::kReply, id(),
-                                        from, cached->second));
+  // Per-seq executed check (client_window.h): ACS order is proposer
+  // order, so a pipelined client's seq s may still be outstanding after
+  // s + 1 executed — it must be admitted, not treated as a replay.
+  if (auto win = executed_window_.find(from);
+      win != executed_window_.end() && win->second.executed(msg->client_seq)) {
+    if (auto cached = reply_cache_.find(from); cached != reply_cache_.end()) {
+      if (const Bytes* wire = cached->second.find(msg->client_seq)) {
+        charge(Op::kMac, wire->size());
+        send_raw(from, bft::seal_envelope(keys_, bft::Channel::kReply, id(),
+                                          from, *wire));
+      }
     }
     return;
   }
@@ -517,14 +520,15 @@ void AsyncReplica::try_output(uint64_t epoch) {
     for (uint32_t i = 0; i < count; ++i) {
       auto req = bft::Request::read(r);
       if (!req) break;
-      auto& last = last_executed_client_seq_[req->client];
-      if (req->client_seq <= last && last != 0) continue;
-      last = req->client_seq;
+      if (!executed_window_[req->client].mark(req->client_seq)) continue;
       pending_digests_.erase(hex_encode(req->digest()));
       ++executed_requests_;
       app_->on_deliver(++exec_seq_, *req, *this);
     }
   }
+  // The epoch's combined batch finished delivering: let the app flush any
+  // work it deferred to amortize across the batch (CP1's reveal executions).
+  app_->on_batch_end(*this);
 
   // Drop pending requests that were executed via another proposer's batch.
   for (auto it = pending_.begin(); it != pending_.end();) {

@@ -31,6 +31,7 @@
 
 #include "abft/coin.h"
 #include "bft/app.h"
+#include "bft/client_window.h"
 #include "bft/envelope.h"
 #include "host/host.h"
 
@@ -176,8 +177,10 @@ class AsyncReplica : public host::HostBound<bft::ReplicaContext> {
   uint64_t exec_seq_ = 0;
   uint64_t local_seq_ = 1;
 
-  std::map<NodeId, uint64_t> last_executed_client_seq_;
-  std::map<NodeId, Bytes> reply_cache_;
+  // Windowed, not scalar: ACS executes in proposer order, so a pipelined
+  // client's seqs routinely commit out of order (client_window.h).
+  std::map<NodeId, bft::ClientExecWindow> executed_window_;
+  std::map<NodeId, bft::ClientReplyCache> reply_cache_;
 
   std::atomic<uint64_t> executed_requests_{0};
   uint64_t aba_rounds_run_ = 0;

@@ -80,6 +80,11 @@ class ReplicaApp {
   virtual void on_deliver(uint64_t seq, const Request& req,
                           ReplicaContext& ctx) = 0;
 
+  /// The batch whose requests were just delivered finished (called once per
+  /// executed batch, after the last on_deliver).  Apps that defer per-request
+  /// work to amortize it across a batch flush here (CP1's reveal executions).
+  virtual void on_batch_end(ReplicaContext& ctx) { (void)ctx; }
+
   /// A causal-channel message arrived (already MAC-authenticated).
   virtual void on_causal_message(NodeId from, BytesView body,
                                  ReplicaContext& ctx) {

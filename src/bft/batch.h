@@ -1,0 +1,53 @@
+// Framing for client-side operation batches and their batched replies.
+//
+// A pipelined client (bft::Client in pipeline mode) aggregates several
+// logical application payloads into ONE protocol operation; a batch-aware
+// protocol (CP0's batched TDH2 envelope) carries them under a single
+// amortized header, and the replica frames the per-payload results back
+// with the same helper.  A batch of one is never framed: single operations
+// must stay bit-identical to the unbatched path.
+//
+// Wire:  u32 magic | u32 count | count x bytes(payload)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace scab::bft {
+
+inline constexpr uint32_t kOpBatchMagic = 0x0b47c902;
+inline constexpr uint32_t kMaxOpBatch = 4096;
+
+inline Bytes encode_op_batch(const std::vector<Bytes>& ops) {
+  Writer w;
+  w.u32(kOpBatchMagic);
+  w.u32(static_cast<uint32_t>(ops.size()));
+  for (const auto& op : ops) w.bytes(op);
+  return std::move(w).take();
+}
+
+inline bool is_op_batch(BytesView wire) {
+  if (wire.size() < 4) return false;
+  uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= static_cast<uint32_t>(wire[i]) << (8 * i);
+  return magic == kOpBatchMagic;
+}
+
+inline std::optional<std::vector<Bytes>> decode_op_batch(BytesView wire) {
+  Reader r(wire);
+  if (r.u32() != kOpBatchMagic) return std::nullopt;
+  const uint32_t count = r.u32();
+  if (!r.ok() || count == 0 || count > kMaxOpBatch) return std::nullopt;
+  std::vector<Bytes> ops;
+  ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ops.push_back(r.bytes());
+    if (!r.ok()) return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return ops;
+}
+
+}  // namespace scab::bft

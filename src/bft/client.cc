@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bft/batch.h"
+
 namespace scab::bft {
 
 using host::Op;
@@ -43,16 +45,154 @@ Client::Client(host::Host& host, NodeId id, BftConfig config,
   m_.latency_ns = &metrics_.histogram("client.latency_ns");
 }
 
+Client::~Client() = default;
+
+// Per-slot view of the client: every ClientContext capability forwards to
+// the shared node (one sequential executor, one rng, one seq counter);
+// only complete() is slot-scoped so a finishing protocol frees exactly its
+// own slot.
+struct Client::SlotContext final : ClientContext {
+  SlotContext(Client* client, std::size_t slot) : c(client), s(slot) {}
+
+  NodeId id() const override { return c->id(); }
+  const BftConfig& config() const override { return c->config_; }
+  host::Time now() const override { return c->now(); }
+  void send_request(uint64_t client_seq, Bytes payload) override {
+    c->send_request(client_seq, std::move(payload));
+  }
+  void send_request_to(NodeId replica, uint64_t client_seq,
+                       Bytes payload) override {
+    c->send_request_to(replica, client_seq, std::move(payload));
+  }
+  void send_causal(NodeId replica, Bytes body) override {
+    c->send_causal(replica, std::move(body));
+  }
+  uint64_t next_seq() override { return c->next_seq(); }
+  void complete(Bytes result) override {
+    c->complete_slot(s, std::move(result));
+  }
+  void charge(host::Op op, std::size_t bytes) override { c->charge(op, bytes); }
+  crypto::Drbg& rng() override { return c->rng_; }
+  const KeyRing& keys() const override { return c->keys_; }
+
+  Client* c;
+  std::size_t s;
+};
+
+void Client::set_pipeline(ProtocolFactory factory, uint32_t inflight,
+                          uint32_t batch) {
+  pipeline_inflight_ = std::max<uint32_t>(1, inflight);
+  pipeline_batch_ = std::max<uint32_t>(1, batch);
+  slots_.clear();
+  if (pipeline_inflight_ == 1 && pipeline_batch_ == 1) return;  // legacy path
+  m_.inflight_slots = &metrics_.histogram("client.pipeline_slots");
+  for (uint32_t i = 0; i < pipeline_inflight_; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->protocol = factory();
+    slot->ctx = std::make_unique<SlotContext>(this, i);
+    slots_.push_back(std::move(slot));
+  }
+}
+
 void Client::run_closed_loop(OpGenerator gen, uint64_t max_ops,
                              CompletionHook hook) {
   generator_ = std::move(gen);
   hook_ = std::move(hook);
   // max_ops counts operations from THIS call (the loop may be re-armed).
   max_ops_ = max_ops == 0 ? 0 : issued_ + max_ops;
+  if (pipelined()) {
+    fill_slots();
+    return;
+  }
   if (!in_flight_) begin_next();
 }
 
+void Client::fill_slots() {
+  if (generator_ == nullptr) return;
+  // Occupancy after refill, recorded on early exits too.
+  auto record_occupancy = [this] {
+    uint64_t busy = 0;
+    for (const auto& s : slots_) busy += s->in_flight ? 1 : 0;
+    m_.inflight_slots->record(busy);
+  };
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    if (slot.in_flight) continue;
+    if (max_ops_ != 0 && issued_ >= max_ops_) {
+      record_occupancy();
+      return;
+    }
+    uint32_t k = pipeline_batch_;
+    if (max_ops_ != 0) {
+      k = static_cast<uint32_t>(
+          std::min<uint64_t>(k, max_ops_ - issued_));
+    }
+    std::vector<Bytes> ops;
+    ops.reserve(k);
+    for (uint32_t j = 0; j < k; ++j) ops.push_back(generator_(issued_ + j));
+    slot.index_base = issued_;
+    slot.logical = k;
+    issued_ += k;
+    // A batch of one is never framed: the wire stays bit-identical to the
+    // single-request path.
+    slot.op = k == 1 ? std::move(ops[0]) : encode_op_batch(ops);
+    slot.seq = next_seq();
+    slot.in_flight = true;
+    slot.retries = 0;
+    slot.start = now();
+    for (uint32_t j = 0; j < k; ++j) m_.submitted->inc();
+    tracer_.record(id(), slot.seq, obs::Phase::kSubmit, now());
+    slot.protocol->start(slot.seq, slot.op, *slot.ctx);
+    arm_slot_retry(i);
+  }
+  record_occupancy();
+}
+
+void Client::arm_slot_retry(std::size_t slot_index) {
+  Slot& slot = *slots_[slot_index];
+  const uint64_t epoch = ++slot.retry_epoch;
+  host::Time delay = retry_timeout_ << std::min(slot.retries, kMaxBackoffShift);
+  if (slot.retries > 0) delay += rng_.uniform(delay / 4 + 1);
+  schedule(delay, [this, slot_index, epoch] {
+    Slot& s = *slots_[slot_index];
+    if (!s.in_flight || epoch != s.retry_epoch) return;
+    ++s.retries;
+    m_.retries->inc();
+    s.protocol->on_retransmit(*s.ctx);
+    arm_slot_retry(slot_index);
+  });
+}
+
+void Client::complete_slot(std::size_t slot_index, Bytes result) {
+  Slot& slot = *slots_[slot_index];
+  if (!slot.in_flight) return;
+  slot.in_flight = false;
+  ++slot.retry_epoch;  // cancel pending retries
+  slot.retries = 0;
+  const host::Time end = now();
+  const host::Time latency = end - slot.start;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    last_result_ = std::move(result);
+    // Every logical payload in the operation experienced the slot latency.
+    total_latency_ += latency * slot.logical;
+  }
+  completed_.fetch_add(slot.logical, std::memory_order_release);
+  for (uint32_t j = 0; j < slot.logical; ++j) {
+    m_.completed->inc();
+    m_.latency_ns->record(latency);
+  }
+  tracer_.record(id(), slot.seq, obs::Phase::kCompleted, end);
+  if (hook_) {
+    for (uint32_t j = 0; j < slot.logical; ++j) {
+      hook_(slot.index_base + j, slot.start, end);
+    }
+  }
+  fill_slots();
+}
+
 void Client::submit(Bytes op, CompletionHook hook) {
+  if (pipelined()) return;  // pipelined mode drives ops via run_closed_loop
   hook_ = std::move(hook);
   generator_ = nullptr;
   max_ops_ = 0;
@@ -161,14 +301,33 @@ void Client::on_message(NodeId /*from*/, BytesView msg) {
 
   switch (env->channel) {
     case Channel::kReply: {
-      if (!in_flight_) return;
       auto reply = ReplyMsg::parse(env->body);
       if (!reply || reply->replica != env->sender) return;
       if (env->sender >= config_.n) return;
+      if (pipelined()) {
+        // Fan out to every in-flight slot: each slot's ReplyQuorum filters
+        // by its own client_seq, so only the owning slot counts the vote.
+        for (auto& slot : slots_) {
+          if (slot->in_flight) {
+            slot->protocol->on_reply(env->sender, *reply, *slot->ctx);
+          }
+        }
+        return;
+      }
+      if (!in_flight_) return;
       protocol_->on_reply(env->sender, *reply, *this);
       break;
     }
     case Channel::kCausal:
+      if (pipelined()) {
+        for (auto& slot : slots_) {
+          if (slot->in_flight) {
+            slot->protocol->on_causal_message(env->sender, env->body,
+                                              *slot->ctx);
+          }
+        }
+        return;
+      }
       protocol_->on_causal_message(env->sender, env->body, *this);
       break;
     default:

@@ -12,7 +12,9 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "bft/config.h"
 #include "bft/envelope.h"
@@ -106,6 +108,8 @@ class Client : public host::HostBound<ClientContext> {
          const host::CostModel& costs, ClientProtocol* protocol,
          crypto::Drbg rng, obs::MetricsRegistry* metrics = nullptr,
          obs::Tracer* tracer = nullptr);
+  // Out-of-line: slots hold unique_ptrs to the forward-declared SlotContext.
+  ~Client() override;
 
   /// Generates the application body of operation #index.
   using OpGenerator = std::function<Bytes(uint64_t index)>;
@@ -119,6 +123,22 @@ class Client : public host::HostBound<ClientContext> {
 
   /// Issues a single operation.
   void submit(Bytes op, CompletionHook hook = nullptr);
+
+  /// Builds one ClientProtocol instance (pipelined mode needs one per slot).
+  using ProtocolFactory = std::function<std::unique_ptr<ClientProtocol>()>;
+
+  /// Switches run_closed_loop into pipelined mode: up to `inflight`
+  /// operations in flight at once (each on its own protocol instance from
+  /// `factory`), with `batch` logical payloads aggregated per operation
+  /// (framed via bft/batch.h — the protocol must be batch-aware when
+  /// batch > 1; a batch of one is submitted unframed, bit-identical to the
+  /// closed-loop path).  Replies are fanned out to every in-flight slot;
+  /// ReplyQuorum's client_seq filter routes them.  Must be called before
+  /// run_closed_loop; inflight = batch = 1 keeps the legacy path.
+  void set_pipeline(ProtocolFactory factory, uint32_t inflight, uint32_t batch);
+
+  uint32_t pipeline_inflight() const { return pipeline_inflight_; }
+  uint32_t pipeline_batch() const { return pipeline_batch_; }
 
   // --- host::Node ---
   void on_message(NodeId from, BytesView msg) override;
@@ -155,8 +175,30 @@ class Client : public host::HostBound<ClientContext> {
   void set_retry_timeout(host::Time t) { retry_timeout_ = t; }
 
  private:
+  struct SlotContext;
+  friend struct SlotContext;
+
+  /// One pipelined operation slot: its own protocol instance, sequence
+  /// number, retry timer, and latency clock.
+  struct Slot {
+    std::unique_ptr<ClientProtocol> protocol;
+    std::unique_ptr<SlotContext> ctx;
+    bool in_flight = false;
+    uint64_t seq = 0;
+    uint64_t index_base = 0;  // first logical-op index carried by this slot
+    uint32_t logical = 1;     // logical payloads packed into the operation
+    Bytes op;
+    host::Time start = 0;
+    uint64_t retry_epoch = 0;
+    uint32_t retries = 0;
+  };
+
   void begin_next();
   void arm_retry();
+  bool pipelined() const { return !slots_.empty(); }
+  void fill_slots();
+  void arm_slot_retry(std::size_t slot_index);
+  void complete_slot(std::size_t slot_index, Bytes result);
 
   BftConfig config_;
   const KeyRing& keys_;
@@ -169,6 +211,10 @@ class Client : public host::HostBound<ClientContext> {
   uint64_t issued_ = 0;
   std::atomic<uint64_t> completed_{0};
   uint64_t next_seq_ = 1;
+
+  std::vector<std::unique_ptr<Slot>> slots_;  // empty = legacy single-flight
+  uint32_t pipeline_inflight_ = 1;
+  uint32_t pipeline_batch_ = 1;
 
   bool in_flight_ = false;
   uint64_t inflight_index_ = 0;
@@ -190,6 +236,10 @@ class Client : public host::HostBound<ClientContext> {
     obs::Counter* completed;
     obs::Counter* retries;
     obs::Histogram* latency_ns;
+    // Pipelined mode only (bound in set_pipeline): slot occupancy after
+    // each refill — how much of the inflight window the workload keeps
+    // busy.
+    obs::Histogram* inflight_slots = nullptr;
   } m_;
 };
 

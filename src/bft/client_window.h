@@ -1,0 +1,98 @@
+// Per-client execution window: replay dedup and reply caching that stay
+// correct when a pipelined client keeps several operations in flight.
+//
+// Classic PBFT assumes one outstanding request per client, so a scalar
+// "last executed client_seq" suffices for replay suppression and a single
+// cached reply wire serves every retransmission.  A pipelined client
+// (bft::Client in pipeline mode, DESIGN.md §10) breaks both assumptions:
+// up to `inflight` client_seqs are outstanding at once, and a view-change
+// re-proposal (or the async engine's ACS, which executes in proposer
+// order) can commit them out of client_seq order.  Against the scalar
+// state, executing seq s+1 first makes seq s look like a replay: every
+// replica suppresses it, retransmissions are answered with the WRONG
+// cached reply (s+1's, which the client's quorum filter rightly ignores),
+// and the payload is silently lost while the client retries forever.
+//
+// ClientExecWindow tracks the executed set exactly: a contiguous low
+// watermark plus the sparse executed seqs above it.  For an honest client
+// the sparse set never outgrows its inflight window; a Byzantine client
+// skipping its own seqs is capped at kMaxSparse by collapsing its lowest
+// gap (self-harm only — no other client's state is affected).
+// ClientReplyCache keeps the last kMaxCachedReplies reply wires PER SEQ so
+// a retransmission of any recently-executed operation finds its own reply,
+// not whichever executed last.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+
+namespace scab::bft {
+
+class ClientExecWindow {
+ public:
+  /// Far above any honest client's inflight window (client seqs are issued
+  /// contiguously from 1, so gaps only ever span in-flight operations).
+  static constexpr std::size_t kMaxSparse = 256;
+
+  bool executed(uint64_t seq) const {
+    return seq < next_unexecuted_ || sparse_.contains(seq);
+  }
+
+  /// Marks `seq` executed.  Returns false iff it already was (a replay —
+  /// the caller must not execute the request again).
+  bool mark(uint64_t seq) {
+    if (executed(seq)) return false;
+    sparse_.insert(seq);
+    drain();
+    if (sparse_.size() > kMaxSparse) {
+      // Only a client skipping its own seqs can get here; collapse its
+      // lowest gap so the state stays bounded.
+      next_unexecuted_ = *sparse_.begin() + 1;
+      sparse_.erase(sparse_.begin());
+      drain();
+    }
+    return true;
+  }
+
+ private:
+  void drain() {
+    while (sparse_.contains(next_unexecuted_)) {
+      sparse_.erase(next_unexecuted_);
+      ++next_unexecuted_;
+    }
+  }
+
+  // Every seq below the watermark has executed; seq 0 is a legal value (a
+  // Byzantine client may use it), so "none executed yet" is watermark 0
+  // with an empty sparse set, NOT a zero low-water seq.
+  uint64_t next_unexecuted_ = 0;
+  std::set<uint64_t> sparse_;  // executed seqs at/above the watermark
+};
+
+class ClientReplyCache {
+ public:
+  /// Covers any reasonable client pipeline depth; older replies are only
+  /// ever re-requested by clients that already completed them.
+  static constexpr std::size_t kMaxCachedReplies = 16;
+
+  void put(uint64_t seq, Bytes wire) {
+    replies_[seq] = std::move(wire);
+    while (replies_.size() > kMaxCachedReplies) {
+      replies_.erase(replies_.begin());
+    }
+  }
+
+  /// The cached reply wire for `seq`, or nullptr if evicted/unknown.
+  const Bytes* find(uint64_t seq) const {
+    auto it = replies_.find(seq);
+    return it == replies_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<uint64_t, Bytes> replies_;  // client_seq -> serialized ReplyMsg
+};
+
+}  // namespace scab::bft

@@ -13,6 +13,12 @@ Bytes mac_input(Channel channel, NodeId from, NodeId to, BytesView body) {
   w.u32(to);
   return crypto::sha256_tuple({w.data(), body});
 }
+
+void update_u64le(crypto::Sha256& h, uint64_t n) {
+  uint8_t len[8];
+  for (int i = 0; i < 8; ++i) len[i] = static_cast<uint8_t>(n >> (8 * i));
+  h.update(BytesView(len, 8));
+}
 }  // namespace
 
 Bytes seal_envelope(const KeyRing& keys, Channel channel, NodeId from,
@@ -23,6 +29,36 @@ Bytes seal_envelope(const KeyRing& keys, Channel channel, NodeId from,
   w.bytes(body);
   w.raw(crypto::hmac_sha256_trunc(keys.session_key(from, to),
                                   mac_input(channel, from, to, body),
+                                  kAuthTagSize));
+  return std::move(w).take();
+}
+
+Bytes seal_envelope_parts(const KeyRing& keys, Channel channel, NodeId from,
+                          NodeId to, std::initializer_list<BytesView> parts) {
+  std::size_t body_len = 0;
+  for (const auto& p : parts) body_len += p.size();
+
+  // The MAC input must equal mac_input(channel, from, to, concat(parts))
+  // bit for bit: replicate sha256_tuple's u64-LE length framing, streaming
+  // the body spans instead of hashing a concatenated copy.
+  Writer hdr;
+  hdr.u8(static_cast<uint8_t>(channel));
+  hdr.u32(from);
+  hdr.u32(to);
+  crypto::Sha256 h;
+  update_u64le(h, hdr.size());
+  h.update(hdr.data());
+  update_u64le(h, body_len);
+  for (const auto& p : parts) h.update(p);
+  const auto digest = h.digest();
+
+  Writer w;
+  w.u8(static_cast<uint8_t>(channel));
+  w.u32(from);
+  w.u32(static_cast<uint32_t>(body_len));  // the u32 prefix of w.bytes(body)
+  for (const auto& p : parts) w.raw(p);
+  w.raw(crypto::hmac_sha256_trunc(keys.session_key(from, to),
+                                  BytesView(digest.data(), digest.size()),
                                   kAuthTagSize));
   return std::move(w).take();
 }

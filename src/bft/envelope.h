@@ -3,6 +3,7 @@
 // binding (channel, sender, receiver, body).
 #pragma once
 
+#include <initializer_list>
 #include <optional>
 
 #include "bft/keyring.h"
@@ -21,6 +22,14 @@ struct Envelope {
 /// Seals `body` for the (from -> to) authenticated channel.
 Bytes seal_envelope(const KeyRing& keys, Channel channel, NodeId from,
                     NodeId to, BytesView body);
+
+/// Scatter/gather variant: seals the logical concatenation of `parts`
+/// without materializing the body first — the MAC streams over the spans
+/// and the wire is assembled into one buffer.  Bit-identical to
+/// seal_envelope(keys, channel, from, to, concat(parts...)), so receivers
+/// need no changes (DESIGN.md §10's zero-copy wire path).
+Bytes seal_envelope_parts(const KeyRing& keys, Channel channel, NodeId from,
+                          NodeId to, std::initializer_list<BytesView> parts);
 
 /// Verifies and opens an envelope addressed to `self`. Returns nullopt on
 /// malformed input or MAC failure.

@@ -68,14 +68,24 @@ void Replica::send_envelope(NodeId to, Channel channel, BytesView body) {
 }
 
 void Replica::send_bft(NodeId to, BftMsgType type, BytesView body) {
-  send_envelope(to, Channel::kBft, tag_bft(type, body));
+  // Scatter/gather seal: the 1-byte type tag and the body are framed
+  // directly into the wire, skipping tag_bft's concatenated copy.
+  const uint8_t tag = static_cast<uint8_t>(type);
+  charge(Op::kMsgOverhead, 0);
+  charge(Op::kMac, body.size() + 1);
+  send_raw(to, seal_envelope_parts(keys_, Channel::kBft, id(), to,
+                                   {BytesView(&tag, 1), body}));
 }
 
 void Replica::broadcast_bft(BftMsgType type, BytesView body) {
-  const Bytes tagged = tag_bft(type, body);
+  const uint8_t tag = static_cast<uint8_t>(type);
+  const BytesView tag_view(&tag, 1);
   for (NodeId r = 0; r < config_.n; ++r) {
     if (r == id()) continue;
-    send_envelope(r, Channel::kBft, tagged);
+    charge(Op::kMsgOverhead, 0);
+    charge(Op::kMac, body.size() + 1);
+    send_raw(r, seal_envelope_parts(keys_, Channel::kBft, id(), r,
+                                    {tag_view, body}));
   }
 }
 
@@ -86,7 +96,7 @@ void Replica::send_reply(NodeId client, uint64_t client_seq, Bytes result) {
   reply.replica = id();
   reply.result = std::move(result);
   Bytes wire = reply.serialize();
-  reply_cache_[client] = wire;
+  reply_cache_[client].put(client_seq, wire);
   send_envelope(client, Channel::kReply, wire);
 }
 
@@ -195,12 +205,17 @@ void Replica::admit_foreign_request(NodeId client, uint64_t client_seq,
 
 void Replica::admit_request(NodeId client, ClientRequestMsg msg,
                             bool skip_validate) {
-  // Executed before? Resend the cached reply (client retransmission).
-  auto last = last_executed_client_seq_.find(client);
-  if (last != last_executed_client_seq_.end() && msg.client_seq <= last->second) {
-    auto cached = reply_cache_.find(client);
-    if (cached != reply_cache_.end()) {
-      send_envelope(client, Channel::kReply, cached->second);
+  // Executed before? Resend THAT seq's cached reply (client
+  // retransmission).  The check must be per-seq, not "<= last executed":
+  // a pipelined client's outstanding seq s is NOT a replay just because
+  // s + 1 already executed out of order — it still needs admission.
+  if (auto win = executed_window_.find(client);
+      win != executed_window_.end() && win->second.executed(msg.client_seq)) {
+    if (auto cached = reply_cache_.find(client);
+        cached != reply_cache_.end()) {
+      if (const Bytes* wire = cached->second.find(msg.client_seq)) {
+        send_envelope(client, Channel::kReply, *wire);
+      }
     }
     return;
   }
@@ -243,15 +258,18 @@ void Replica::submit_local_request(Bytes payload) {
 }
 
 void Replica::maybe_send_batch() {
-  if (view_change_active_) return;
-  flush_batch();
-  // Anything still queued (in-flight window full / watermark edge) gets a
-  // fallback timer so it cannot starve.
+  if (!view_change_active_) flush_batch();
+  // Anything still queued (in-flight window full / watermark edge / view
+  // change in progress) gets a fallback timer so it cannot starve.  The
+  // timer is armed even mid-view-change and its callback unconditionally
+  // re-enters here: breaking the rearm chain on a transient condition is
+  // exactly what would leave a queued request waiting for the next client
+  // arrival.
   if (!batch_timer_armed_ && !pending_batch_.empty()) {
     batch_timer_armed_ = true;
     schedule(config_.batch_delay, [this] {
       batch_timer_armed_ = false;
-      if (is_primary() && !view_change_active_) maybe_send_batch();
+      if (is_primary()) maybe_send_batch();
     });
   }
 }
@@ -397,25 +415,24 @@ void Replica::try_execute() {
     execute_batch(next_exec_, *s.pre_prepare);
     ++next_exec_;
     maybe_finish_catchup();
-    // The in-flight window moved: the primary can propose queued requests.
-    if (is_primary() && !pending_batch_.empty()) flush_batch();
+    // The in-flight window moved: the primary can propose queued requests
+    // (via maybe_send_batch so anything still blocked keeps its fallback
+    // timer instead of waiting for the next client arrival).
+    if (is_primary() && !pending_batch_.empty()) maybe_send_batch();
   }
 }
 
 void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
   for (const auto& req : pp.batch) {
     if (req.is_null()) continue;
-    // Replay dedup: map PRESENCE means "this client has executed at least
-    // one request", so a replayed client_seq == 0 is caught too (a plain
-    // `<= last` with a zero-initialized default entry would re-execute it
-    // on every view-change re-proposal).
-    auto last = last_executed_client_seq_.find(req.client);
-    if (last != last_executed_client_seq_.end() &&
-        req.client_seq <= last->second) {
+    // Replay dedup over the exact executed set (client_window.h): a
+    // view-change re-proposal may commit a pipelined client's seqs out of
+    // order, so suppressing on "<= last executed" would drop a payload
+    // forever; only a seq that truly executed is a replay.
+    if (!executed_window_[req.client].mark(req.client_seq)) {
       m_.replays_suppressed->inc();
       continue;  // replayed across views
     }
-    last_executed_client_seq_[req.client] = req.client_seq;
     tracer_.record(req.client, req.client_seq, obs::Phase::kCommitted, now());
     pending_requests_.erase(hex_encode(req.digest()));
     ++executed_requests_;
@@ -423,6 +440,7 @@ void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
     app_->on_deliver(seq, req, *this);
     tracer_.record(req.client, req.client_seq, obs::Phase::kExecuted, now());
   }
+  app_->on_batch_end(*this);
   m_.pending_requests->set(static_cast<int64_t>(pending_requests_.size()));
 
   // Chain digest for checkpoints, plus batch history for catch-up fetches.
@@ -546,7 +564,9 @@ void Replica::garbage_collect(uint64_t stable_seq) {
   own_checkpoints_.erase(own_checkpoints_.begin(),
                          own_checkpoints_.upper_bound(stable_seq));
   update_state_gauges();
-  if (is_primary()) flush_batch();  // watermark window moved: drain queue
+  // Watermark window moved: drain the queue, rearming the fallback timer
+  // for whatever the in-flight window still blocks.
+  if (is_primary()) maybe_send_batch();
 }
 
 // ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "bft/app.h"
+#include "bft/client_window.h"
 #include "bft/config.h"
 #include "bft/envelope.h"
 #include "host/host.h"
@@ -145,8 +146,10 @@ class Replica : public host::HostBound<ReplicaContext> {
 
   // Request admission & watchdog (fairness monitor).
   std::unordered_map<std::string, PendingRequest> pending_requests_;  // by digest hex
-  std::unordered_map<NodeId, uint64_t> last_executed_client_seq_;
-  std::unordered_map<NodeId, Bytes> reply_cache_;  // last reply wire per client
+  // Windowed, not scalar: a pipelined client's seqs can execute out of
+  // order across a view change (client_window.h).
+  std::unordered_map<NodeId, ClientExecWindow> executed_window_;
+  std::unordered_map<NodeId, ClientReplyCache> reply_cache_;
 
   // Checkpoints.
   Bytes exec_chain_digest_;

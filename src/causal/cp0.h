@@ -81,6 +81,41 @@ class Cp0Backend {
   /// Lets the backend register its own instruments (cache hit rates etc.)
   /// next to the protocol's cp0.* metrics.  Default: none.
   virtual void bind_metrics(obs::MetricsRegistry& /*registry*/) {}
+
+  // --- batched envelopes (DESIGN.md §10) -----------------------------------
+  // A batched wire packs N payloads under ONE KEM header; every reveal-path
+  // entry point above then runs once per BATCH instead of once per payload,
+  // using the full reveal label below.  The defaults treat every wire as a
+  // single-payload envelope, so backends without a batch format keep their
+  // exact pre-batching behaviour.
+
+  /// Number of payloads inside `ct` (1 for single/unrecognized wires).
+  virtual uint32_t batch_count(BytesView /*ct*/) { return 1; }
+  /// The label the reveal path must use: `prefix` (= RequestId::encode())
+  /// for single wires, prefix || batch digest for batched wires.
+  virtual Bytes reveal_label(BytesView /*ct*/, BytesView prefix) {
+    return Bytes(prefix.begin(), prefix.end());
+  }
+  /// Client: encrypt `messages` under one amortized header bound to
+  /// `prefix`.  A batch of one MUST be bit-identical to encrypt().  The
+  /// default handles only that degenerate case (no batch wire format).
+  virtual Bytes encrypt_batch(const std::vector<Bytes>& messages,
+                              BytesView prefix, crypto::Drbg& rng) {
+    return messages.size() == 1 ? encrypt(messages[0], prefix, rng) : Bytes{};
+  }
+  /// Combine >= threshold preverified shares and open EVERY payload (all or
+  /// nothing); single wires return a one-element vector.  `full_label` is
+  /// the reveal_label() result; `prefix` the RequestId part of it.
+  virtual std::optional<std::vector<Bytes>> combine_batch_preverified(
+      BytesView ct, BytesView prefix, BytesView full_label,
+      const std::vector<Bytes>& shares) {
+    (void)prefix;
+    auto one = combine_preverified(ct, full_label, shares);
+    if (!one) return std::nullopt;
+    std::vector<Bytes> out;
+    out.push_back(std::move(*one));
+    return out;
+  }
 };
 
 /// The real thing: hybrid TDH2 (see threshenc/).
@@ -109,6 +144,13 @@ class RealTdh2Backend : public Cp0Backend {
       BytesView ct, BytesView label, const std::vector<Bytes>& shares) override;
   uint32_t threshold() const override { return pk_.threshold; }
   void bind_metrics(obs::MetricsRegistry& registry) override;
+  uint32_t batch_count(BytesView ct) override;
+  Bytes reveal_label(BytesView ct, BytesView prefix) override;
+  Bytes encrypt_batch(const std::vector<Bytes>& messages, BytesView prefix,
+                      crypto::Drbg& rng) override;
+  std::optional<std::vector<Bytes>> combine_batch_preverified(
+      BytesView ct, BytesView prefix, BytesView full_label,
+      const std::vector<Bytes>& shares) override;
 
   /// Parsed-ciphertext LRU capacity.  CP0 parses the SAME wire ciphertext
   /// in verify_ciphertext, share_decrypt, every share verification, and
@@ -117,16 +159,30 @@ class RealTdh2Backend : public Cp0Backend {
   static constexpr std::size_t kCtCacheEntries = 16;
 
  private:
-  /// Digest-keyed LRU lookup of the parsed hybrid ciphertext; parses (and
-  /// caches) on miss, returns nullptr for malformed wires (not cached).
-  const threshenc::HybridCiphertext* parsed_ct(BytesView ct);
+  /// A parsed wire: exactly one of `single`/`batch` is set.  `kem()` is the
+  /// TDH2 ciphertext every share-path operation works on.
+  struct ParsedWire {
+    std::optional<threshenc::HybridCiphertext> single;
+    std::optional<threshenc::HybridBatchCiphertext> batch;
+    const threshenc::Tdh2Ciphertext& kem() const {
+      return batch ? batch->kem : single->kem;
+    }
+  };
+
+  /// Digest-keyed LRU lookup of the parsed hybrid ciphertext (single or
+  /// batched, discriminated by the wire magic); parses (and caches) on
+  /// miss, returns nullptr for malformed wires (not cached).
+  const ParsedWire* parsed_ct(BytesView ct);
+  /// Shared tail of the preverified combines: shares -> KEM seed.
+  std::optional<Bytes> combine_seed_preverified(const ParsedWire& parsed,
+                                                const std::vector<Bytes>& shares);
 
   threshenc::Tdh2PublicKey pk_;
   std::optional<threshenc::Tdh2KeyShare> my_key_;
 
   struct CtCacheEntry {
     Bytes digest;  // sha256 of the wire
-    threshenc::HybridCiphertext parsed;
+    ParsedWire parsed;
   };
   std::vector<CtCacheEntry> ct_cache_;  // front = most recently used
   obs::Counter* ct_cache_hits_ = nullptr;
@@ -162,6 +218,13 @@ class ModeledThresholdBackend : public Cp0Backend {
   std::optional<Bytes> combine_preverified(
       BytesView ct, BytesView label, const std::vector<Bytes>& shares) override;
   uint32_t threshold() const override { return threshold_; }
+  uint32_t batch_count(BytesView ct) override;
+  Bytes reveal_label(BytesView ct, BytesView prefix) override;
+  Bytes encrypt_batch(const std::vector<Bytes>& messages, BytesView prefix,
+                      crypto::Drbg& rng) override;
+  std::optional<std::vector<Bytes>> combine_batch_preverified(
+      BytesView ct, BytesView prefix, BytesView full_label,
+      const std::vector<Bytes>& shares) override;
 
  private:
   uint32_t threshold_;
@@ -213,6 +276,8 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
  private:
   struct PendingReveal {
     Bytes ciphertext;  // empty until the schedule step committed
+    Bytes label;       // full reveal label (id prefix || batch digest)
+    uint32_t count = 1;  // payloads inside the envelope
     bft::NodeId client = 0;
     uint64_t client_seq = 0;
     std::map<bft::NodeId, Bytes> unverified;  // sender -> share wire
@@ -221,7 +286,7 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     bool delivered = false;
     bool revealed = false;
     host::Time delivered_at = 0;  // reveal-round duration measurement
-    Bytes plaintext;
+    std::vector<Bytes> plaintexts;  // one per payload, execution order
     Bytes own_share_wire;  // uncorrupted; serves re-requests
   };
 
@@ -273,8 +338,15 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     obs::Counter* batch_fallbacks = nullptr;
     obs::Counter* reveal_retries = nullptr;
     obs::Counter* share_rerequests_answered = nullptr;
+    // Shares arriving after their request already executed: dropped on the
+    // floor (bounded), never re-queued into pending_.
+    obs::Counter* late_shares_dropped = nullptr;
     obs::Histogram* batch_size = nullptr;  // shares per batch flush
+    obs::Histogram* envelope_payloads = nullptr;  // payloads per envelope
     obs::Histogram* reveal_ns = nullptr;  // delivery -> plaintext recovered
+    // Reveal-pipelining depth: delivered-but-unexecuted slots observed each
+    // time a reveal completes (collection for slot s+1 overlapping s).
+    obs::Histogram* inflight_slots = nullptr;
     obs::Gauge* pending = nullptr;
     obs::Gauge* early_shares = nullptr;
   } m_;
@@ -286,6 +358,11 @@ class Cp0ClientProtocol : public bft::ClientProtocol {
   explicit Cp0ClientProtocol(std::unique_ptr<Cp0Backend> backend)
       : backend_(std::move(backend)) {}
 
+  /// Opt in to op-batch framing (bft/batch.h): a framed `op` is unpacked
+  /// and its payloads ride one amortized envelope.  Off by default so an
+  /// application payload can never be misread as a frame.
+  void set_batching(bool on) { batching_ = on; }
+
   void start(uint64_t client_seq, BytesView op, bft::ClientContext& ctx) override;
   void on_reply(bft::NodeId replica, const bft::ReplyMsg& reply,
                 bft::ClientContext& ctx) override;
@@ -293,6 +370,7 @@ class Cp0ClientProtocol : public bft::ClientProtocol {
 
  private:
   std::unique_ptr<Cp0Backend> backend_;
+  bool batching_ = false;
   uint64_t seq_ = 0;
   Bytes ciphertext_;
   bft::ReplyQuorum quorum_;

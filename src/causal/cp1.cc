@@ -65,6 +65,7 @@ void Cp1ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
   m_.openings_rejected = &reg.counter("cp1.openings_rejected");
   m_.amplifications = &reg.counter("cp1.amplifications");
   m_.tentative = &reg.gauge("cp1.tentative");
+  m_.batch_size = &reg.histogram("cp1.batch_size");
   tracer_ = &ctx.tracer();
 }
 
@@ -114,7 +115,12 @@ void Cp1ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
   bind_metrics(ctx);
   ++delivered_count_;
   if (req.payload.empty()) return;
-  switch (static_cast<Cp1Phase>(req.payload[0])) {
+  const auto phase = static_cast<Cp1Phase>(req.payload[0]);
+  // A non-reveal delivery ends the current run of consecutive reveals:
+  // execute the deferred run before processing it so service-visible
+  // ordering matches delivery order exactly.
+  if (phase != Cp1Phase::kReveal) flush_reveals(ctx);
+  switch (phase) {
     case Cp1Phase::kSchedule:
       deliver_schedule(req, ctx);
       break;
@@ -126,6 +132,25 @@ void Cp1ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
       break;
   }
   maybe_propose_cleanup(ctx);
+}
+
+void Cp1ReplicaApp::on_batch_end(bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
+  flush_reveals(ctx);
+}
+
+void Cp1ReplicaApp::flush_reveals(bft::ReplicaContext& ctx) {
+  if (reveal_flush_.empty()) return;
+  m_.batch_size->record(reveal_flush_.size());
+  for (auto& d : reveal_flush_) {
+    ctx.charge(Op::kExecute, d.message.size());
+    Bytes result = service_->execute(d.id.client, d.message);
+    // The reply goes to whoever submitted the reveal request (normally the
+    // original client; after amplification the client_seq still matches the
+    // client's reveal round, so its quorum counts these replies).
+    ctx.send_reply(d.id.client, d.reply_seq, std::move(result));
+  }
+  reveal_flush_.clear();
 }
 
 void Cp1ReplicaApp::deliver_schedule(const bft::Request& req,
@@ -177,12 +202,11 @@ void Cp1ReplicaApp::deliver_reveal(const bft::Request& req,
   // is what the client's submit/complete endpoints recorded under.
   tracer_->record(body->id.client, body->id.seq, obs::Phase::kRevealed,
                   ctx.now());
-  ctx.charge(Op::kExecute, body->message.size());
-  Bytes result = service_->execute(body->id.client, body->message);
-  // The reply goes to whoever submitted the reveal request (normally the
-  // original client; after amplification the client_seq still matches the
-  // client's reveal round, so its quorum counts these replies).
-  ctx.send_reply(body->id.client, req.client_seq, std::move(result));
+  // Execution is deferred: consecutive reveals inside one BFT batch flush
+  // together at on_batch_end (or at the next non-reveal delivery),
+  // amortizing the execute/reply path across the run.
+  reveal_flush_.push_back(
+      {body->id, req.client_seq, std::move(body->message)});
 }
 
 void Cp1ReplicaApp::deliver_cleanup(const bft::Request& req,

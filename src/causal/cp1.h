@@ -25,6 +25,7 @@
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "bft/app.h"
 #include "bft/client.h"
@@ -54,6 +55,7 @@ class Cp1ReplicaApp : public bft::ReplicaApp {
                         bft::ReplicaContext& ctx) override;
   void on_deliver(uint64_t seq, const bft::Request& req,
                   bft::ReplicaContext& ctx) override;
+  void on_batch_end(bft::ReplicaContext& ctx) override;
   void on_causal_message(bft::NodeId from, BytesView body,
                          bft::ReplicaContext& ctx) override;
 
@@ -72,9 +74,19 @@ class Cp1ReplicaApp : public bft::ReplicaApp {
     uint64_t scheduled_at_count = 0;  // value of delivered_count_ when scheduled
   };
 
+  /// One verified reveal whose execution is deferred to the batch flush.
+  struct DeferredReveal {
+    RequestId id;
+    uint64_t reply_seq = 0;  // client_seq of the reveal request (reply key)
+    Bytes message;
+  };
+
   void deliver_schedule(const bft::Request& req, bft::ReplicaContext& ctx);
   void deliver_reveal(const bft::Request& req, bft::ReplicaContext& ctx);
   void deliver_cleanup(const bft::Request& req, bft::ReplicaContext& ctx);
+  /// Executes and replies to every deferred reveal in delivery order
+  /// (DESIGN.md §10: consecutive reveals in one BFT batch flush together).
+  void flush_reveals(bft::ReplicaContext& ctx);
   void maybe_propose_cleanup(bft::ReplicaContext& ctx);
   void arm_amplification(const RequestId& id, uint64_t reveal_seq,
                          const Bytes& reveal_payload, bft::ReplicaContext& ctx);
@@ -92,6 +104,7 @@ class Cp1ReplicaApp : public bft::ReplicaApp {
   std::unordered_set<RequestId> cleanup_inflight_;
   uint64_t delivered_count_ = 0;              // requests delivered in order
   uint64_t cleaned_count_ = 0;
+  std::vector<DeferredReveal> reveal_flush_;  // verified, awaiting execution
 
   struct {
     obs::Counter* scheduled = nullptr;
@@ -100,6 +113,7 @@ class Cp1ReplicaApp : public bft::ReplicaApp {
     obs::Counter* openings_rejected = nullptr;
     obs::Counter* amplifications = nullptr;
     obs::Gauge* tentative = nullptr;
+    obs::Histogram* batch_size = nullptr;  // reveals executed per flush
   } m_;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -84,7 +84,10 @@ void Cp2ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
   m_.recovery_attempts = &reg.counter("cp2.recovery_attempts");
   m_.reveal_retries = &reg.counter("cp2.reveal_retries");
   m_.share_rerequests_answered = &reg.counter("cp2.share_rerequests_answered");
+  m_.early_stashed = &reg.counter("cp2.early_stashed");
   m_.pending = &reg.gauge("cp2.pending");
+  m_.early_shares = &reg.gauge("cp2.early_shares");
+  m_.batch_size = &reg.histogram("cp2.batch_size");
   tracer_ = &ctx.tracer();
 }
 
@@ -92,20 +95,62 @@ void Cp2ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
                                bft::ReplicaContext& ctx) {
   bind_metrics(ctx);
   const RequestId id{req.client, req.client_seq};
-  if (completed_.contains(id)) return;
-  Pending& p = pending_[id];
-  if (p.delivered) return;
+  if (completed_.contains(id) || pending_.contains(id)) return;
 
   Reader r(req.payload);
-  p.agreed_commitment = r.bytes();
+  Bytes c = r.bytes();
   if (!r.done()) return;
+  Pending& p = pending_[id];
+  p.agreed_commitment = std::move(c);
   p.delivered = true;
   p.client = req.client;
   p.client_seq = req.client_seq;
   exec_queue_.push_back(id);
   m_.pending->set(static_cast<int64_t>(pending_.size()));
+  adopt_early_shares(id, p, ctx);
   start_reveal(id, p, ctx);
   arm_reveal_retry(id, 0, ctx);
+}
+
+void Cp2ReplicaApp::stash_early_share(NodeId from, const RequestId& id,
+                                      Bytes wire) {
+  auto& stash = early_shares_[from];
+  for (const auto& [stashed_id, unused] : stash) {
+    if (stashed_id == id) return;
+  }
+  if (stash.size() >= kCpMaxEarlySharesPerSender) stash.pop_front();
+  stash.emplace_back(id, std::move(wire));
+  m_.early_stashed->inc();
+  m_.early_shares->set(static_cast<int64_t>(early_share_count()));
+}
+
+void Cp2ReplicaApp::adopt_early_shares(const RequestId& id, Pending& p,
+                                       bft::ReplicaContext& ctx) {
+  for (auto& [sender, stash] : early_shares_) {
+    for (auto sit = stash.begin(); sit != stash.end();) {
+      if (sit->first != id) {
+        ++sit;
+        continue;
+      }
+      if (p.seen_senders.insert(sender).second) {
+        if (auto share = Arss1Share::parse(sit->second)) {
+          if (sender == id.client) {
+            if (!p.own_share) p.own_share = std::move(*share);
+          } else if (sender < ctx.config().n) {
+            p.buffered.push_back(std::move(*share));
+          }
+        }
+      }
+      sit = stash.erase(sit);
+    }
+  }
+  m_.early_shares->set(static_cast<int64_t>(early_share_count()));
+}
+
+std::size_t Cp2ReplicaApp::early_share_count() const {
+  std::size_t count = 0;
+  for (const auto& [sender, stash] : early_shares_) count += stash.size();
+  return count;
 }
 
 void Cp2ReplicaApp::arm_reveal_retry(const RequestId& id, uint32_t attempt,
@@ -182,12 +227,16 @@ void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
     }
   }
 
-  // Feed what we have: our own share first, then anything buffered.  A
-  // feed can cross the reconstruction threshold, which executes the request
-  // and erases this Pending entry (drain_execution) — so move the buffer
-  // out first and re-resolve the entry before every feed instead of
-  // holding `p` across calls that may free it.
+  // Feed what we have: our own share first, then anything adopted from the
+  // early-share stash — one accumulated flush per delivery, whose size is
+  // the reveal batching measure (cp2.batch_size).  A feed can cross the
+  // reconstruction threshold, which executes the request and erases this
+  // Pending entry (drain_execution) — so move the buffer out first and
+  // re-resolve the entry before every feed instead of holding `p` across
+  // calls that may free it.
   std::vector<secretshare::Arss1Share> queued = std::move(p.buffered);
+  const std::size_t flush = queued.size() + (p.own_share ? 1 : 0);
+  if (flush > 0) m_.batch_size->record(flush);
   if (p.own_share) feed_share(id, p, *p.own_share, ctx);
   for (const auto& s : queued) {
     auto it = pending_.find(id);
@@ -206,12 +255,21 @@ void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
   ctx.charge(Op::kAeadOpen, body.size());
   auto opened = open_share(ctx.keys(), ctx.id(), from, body);
   if (!opened) return;
-  const auto& [id, wire] = *opened;
+  auto& [id, wire] = *opened;
   if (completed_.contains(id)) return;
   auto share = Arss1Share::parse(wire);
   if (!share) return;
 
-  Pending& p = pending_[id];
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    // Not delivered yet.  A correct peer (or the client) can legitimately
+    // race ahead of delivery, but a Byzantine sender can also name
+    // RequestIds forever — stash the wire in a bounded per-sender FIFO
+    // instead of creating reveal state keyed by an unauthenticated id.
+    stash_early_share(from, id, std::move(wire));
+    return;
+  }
+  Pending& p = it->second;
   if (!p.seen_senders.insert(from).second) return;
 
   if (from == id.client) {
@@ -221,10 +279,7 @@ void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
   }
   if (from >= ctx.config().n) return;  // only replicas relay shares
 
-  if (!p.delivered) {
-    p.buffered.push_back(std::move(*share));
-    return;
-  }
+  m_.batch_size->record(1);  // post-delivery stragglers feed one at a time
   feed_share(id, p, *share, ctx);
 }
 
@@ -340,7 +395,10 @@ void Cp3ReplicaApp::bind_metrics(bft::ReplicaContext& ctx) {
   m_.recovery_attempts = &reg.counter("cp3.recovery_attempts");
   m_.reveal_retries = &reg.counter("cp3.reveal_retries");
   m_.share_rerequests_answered = &reg.counter("cp3.share_rerequests_answered");
+  m_.early_stashed = &reg.counter("cp3.early_stashed");
   m_.pending = &reg.gauge("cp3.pending");
+  m_.early_shares = &reg.gauge("cp3.early_shares");
+  m_.batch_size = &reg.histogram("cp3.batch_size");
   tracer_ = &ctx.tracer();
 }
 
@@ -348,16 +406,57 @@ void Cp3ReplicaApp::on_deliver(uint64_t /*seq*/, const bft::Request& req,
                                bft::ReplicaContext& ctx) {
   bind_metrics(ctx);
   const RequestId id{req.client, req.client_seq};
-  if (completed_.contains(id)) return;
+  if (completed_.contains(id) || pending_.contains(id)) return;
   Pending& p = pending_[id];
-  if (p.delivered) return;
   p.delivered = true;
   p.client = req.client;
   p.client_seq = req.client_seq;
   exec_queue_.push_back(id);
   m_.pending->set(static_cast<int64_t>(pending_.size()));
+  adopt_early_shares(id, p, ctx);
   start_reveal(id, p, ctx);
   arm_reveal_retry(id, 0, ctx);
+}
+
+void Cp3ReplicaApp::stash_early_share(NodeId from, const RequestId& id,
+                                      Bytes wire) {
+  auto& stash = early_shares_[from];
+  for (const auto& [stashed_id, unused] : stash) {
+    if (stashed_id == id) return;
+  }
+  if (stash.size() >= kCpMaxEarlySharesPerSender) stash.pop_front();
+  stash.emplace_back(id, std::move(wire));
+  m_.early_stashed->inc();
+  m_.early_shares->set(static_cast<int64_t>(early_share_count()));
+}
+
+void Cp3ReplicaApp::adopt_early_shares(const RequestId& id, Pending& p,
+                                       bft::ReplicaContext& ctx) {
+  for (auto& [sender, stash] : early_shares_) {
+    for (auto sit = stash.begin(); sit != stash.end();) {
+      if (sit->first != id) {
+        ++sit;
+        continue;
+      }
+      if (p.seen_senders.insert(sender).second) {
+        if (auto share = ShamirShare::parse(sit->second)) {
+          if (sender == id.client) {
+            if (!p.own_share) p.own_share = std::move(*share);
+          } else if (sender < ctx.config().n) {
+            p.buffered.push_back(std::move(*share));
+          }
+        }
+      }
+      sit = stash.erase(sit);
+    }
+  }
+  m_.early_shares->set(static_cast<int64_t>(early_share_count()));
+}
+
+std::size_t Cp3ReplicaApp::early_share_count() const {
+  std::size_t count = 0;
+  for (const auto& [sender, stash] : early_shares_) count += stash.size();
+  return count;
 }
 
 void Cp3ReplicaApp::arm_reveal_retry(const RequestId& id, uint32_t attempt,
@@ -429,10 +528,15 @@ void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
                                      ctx.rng()));
     }
   }
-  // Any feed can cross the threshold and erase this Pending entry via
+  // Feed everything adopted from the early-share stash as one accumulated
+  // flush (its size is the reveal batching measure, cp3.batch_size; the own
+  // share counts — it entered via the reconstructor's constructor).  Any
+  // feed can cross the threshold and erase this Pending entry via
   // drain_execution, so move the buffer out and re-resolve by id before
   // every feed instead of holding `p` across calls that may free it.
   std::vector<secretshare::ShamirShare> queued = std::move(p.buffered);
+  const std::size_t flush = queued.size() + (p.own_share ? 1 : 0);
+  if (flush > 0) m_.batch_size->record(flush);
   for (const auto& s : queued) {
     auto it = pending_.find(id);
     if (it == pending_.end() || it->second.revealed) break;
@@ -450,12 +554,18 @@ void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,
   ctx.charge(Op::kAeadOpen, body.size());
   auto opened = open_share(ctx.keys(), ctx.id(), from, body);
   if (!opened) return;
-  const auto& [id, wire] = *opened;
+  auto& [id, wire] = *opened;
   if (completed_.contains(id)) return;
   auto share = ShamirShare::parse(wire);
   if (!share) return;
 
-  Pending& p = pending_[id];
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    // Not delivered yet: bounded per-sender stash (see Cp2ReplicaApp).
+    stash_early_share(from, id, std::move(wire));
+    return;
+  }
+  Pending& p = it->second;
   if (!p.seen_senders.insert(from).second) return;
 
   if (from == id.client) {
@@ -464,10 +574,7 @@ void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,
   }
   if (from >= ctx.config().n) return;
 
-  if (!p.delivered) {
-    p.buffered.push_back(std::move(*share));
-    return;
-  }
+  m_.batch_size->record(1);  // post-delivery stragglers feed one at a time
   feed_share(id, p, *share, ctx);
 }
 

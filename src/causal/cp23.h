@@ -20,8 +20,10 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "bft/app.h"
 #include "bft/client.h"
@@ -41,6 +43,11 @@ inline constexpr uint32_t kCpMaxRevealRetries = 8;
 /// Bounded cache of own-share wires for executed requests, kept to answer a
 /// restarted peer re-collecting shares for requests we already finished.
 inline constexpr std::size_t kCpMaxCompletedShareCache = 1024;
+/// Per-sender cap on shares stashed before their request is delivered
+/// (mirrors CP0's kMaxEarlySharesPerSender): reveal state is created only at
+/// BFT delivery, so a Byzantine peer naming made-up RequestIds can occupy at
+/// most this much memory per sender instead of growing `pending_` forever.
+inline constexpr std::size_t kCpMaxEarlySharesPerSender = 32;
 
 // ---------------------------------------------------------------------------
 // CP2
@@ -63,6 +70,10 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
   Service& service() { return *service_; }
   /// Total combination-search attempts across recoveries (bench metric).
   uint64_t recovery_attempts() const { return recovery_attempts_; }
+  /// Diagnostics/tests: reveal entries in flight (all correspond to
+  /// delivered requests) and pre-delivery stashed shares.
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t early_share_count() const;
 
  private:
   struct Pending {
@@ -87,13 +98,21 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
                             bft::ReplicaContext& ctx);
   void arm_reveal_retry(const RequestId& id, uint32_t attempt,
                         bft::ReplicaContext& ctx);
+  void stash_early_share(bft::NodeId from, const RequestId& id, Bytes wire);
+  void adopt_early_shares(const RequestId& id, Pending& p,
+                          bft::ReplicaContext& ctx);
   void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
   crypto::Commitment commitment_;
   bool corrupt_shares_ = false;
 
+  // Reveal state, created only when the BFT layer delivers the request.
   std::unordered_map<RequestId, Pending> pending_;
+  // Shares that arrived before their request was delivered, bounded per
+  // sender (kCpMaxEarlySharesPerSender): never keyed protocol state by an
+  // unauthenticated RequestId.
+  std::map<bft::NodeId, std::deque<std::pair<RequestId, Bytes>>> early_shares_;
   std::unordered_set<RequestId> completed_;
   std::deque<RequestId> exec_queue_;
   // Own-share wires of executed requests (bounded FIFO; see
@@ -107,7 +126,10 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
     obs::Counter* recovery_attempts = nullptr;
     obs::Counter* reveal_retries = nullptr;
     obs::Counter* share_rerequests_answered = nullptr;
+    obs::Counter* early_stashed = nullptr;
     obs::Gauge* pending = nullptr;
+    obs::Gauge* early_shares = nullptr;
+    obs::Histogram* batch_size = nullptr;  // shares fed per flush
   } m_;
   obs::Tracer* tracer_ = nullptr;
 };
@@ -153,6 +175,10 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
 
   Service& service() { return *service_; }
   uint64_t recovery_attempts() const { return recovery_attempts_; }
+  /// Diagnostics/tests: reveal entries in flight (all correspond to
+  /// delivered requests) and pre-delivery stashed shares.
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t early_share_count() const;
 
  private:
   struct Pending {
@@ -176,13 +202,21 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
                             bft::ReplicaContext& ctx);
   void arm_reveal_retry(const RequestId& id, uint32_t attempt,
                         bft::ReplicaContext& ctx);
+  void stash_early_share(bft::NodeId from, const RequestId& id, Bytes wire);
+  void adopt_early_shares(const RequestId& id, Pending& p,
+                          bft::ReplicaContext& ctx);
   void bind_metrics(bft::ReplicaContext& ctx);
 
   std::unique_ptr<Service> service_;
   secretshare::Arss2Mode mode_;
   bool corrupt_shares_ = false;
 
+  // Reveal state, created only when the BFT layer delivers the request.
   std::unordered_map<RequestId, Pending> pending_;
+  // Shares that arrived before their request was delivered, bounded per
+  // sender (kCpMaxEarlySharesPerSender): never keyed protocol state by an
+  // unauthenticated RequestId.
+  std::map<bft::NodeId, std::deque<std::pair<RequestId, Bytes>>> early_shares_;
   std::unordered_set<RequestId> completed_;
   std::deque<RequestId> exec_queue_;
   // Own-share wires of executed requests (bounded FIFO; see
@@ -196,7 +230,10 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
     obs::Counter* recovery_attempts = nullptr;
     obs::Counter* reveal_retries = nullptr;
     obs::Counter* share_rerequests_answered = nullptr;
+    obs::Counter* early_stashed = nullptr;
     obs::Gauge* pending = nullptr;
+    obs::Gauge* early_shares = nullptr;
+    obs::Histogram* batch_size = nullptr;  // shares fed per flush
   } m_;
   obs::Tracer* tracer_ = nullptr;
 };

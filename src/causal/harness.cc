@@ -161,6 +161,19 @@ Cluster::Cluster(ClusterOptions options)
         client_protocols_.back().get(),
         master_rng_.fork(seed_bytes(i, "client")),
         client_metrics_.back().get(), &tracer_);
+    // Pipelined/batched mode (CP0 only: its envelope amortizes a batch
+    // under one KEM header; the other protocols stay strictly closed-loop).
+    if (options_.protocol == Protocol::kCp0 &&
+        (options_.client_inflight > 1 || options_.client_batch > 1)) {
+      client->set_pipeline(
+          [this] {
+            auto p = std::make_unique<Cp0ClientProtocol>(
+                make_cp0_backend(std::nullopt));
+            p->set_batching(true);
+            return p;
+          },
+          options_.client_inflight, options_.client_batch);
+    }
     clients_.push_back(std::move(client));
   }
 }

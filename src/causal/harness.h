@@ -89,6 +89,13 @@ struct ClusterOptions {
   /// sweeps only; see DESIGN.md §3).
   bool cp0_modeled = false;
 
+  /// CP0 client pipelining: up to `client_inflight` operations in flight
+  /// per client, each aggregating `client_batch` logical payloads under one
+  /// amortized TDH2 envelope (DESIGN.md §10).  1/1 = the paper's strict
+  /// closed loop, wire-identical to the pre-batching path.
+  uint32_t client_inflight = 1;
+  uint32_t client_batch = 1;
+
   Cp1Options cp1;
   secretshare::Arss2Mode arss2_mode = secretshare::Arss2Mode::kFast;
 

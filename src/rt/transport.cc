@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -35,6 +36,43 @@ bool write_full(int fd, const uint8_t* buf, std::size_t len) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Gathered write of header + payload in (ideally) one syscall.  Short
+// writes and EINTR advance through the iovec instead of tearing down the
+// connection; falls through to write_full semantics byte for byte.
+bool writev_full(int fd, const uint8_t* hdr, std::size_t hdr_len,
+                 const uint8_t* payload, std::size_t payload_len) {
+  iovec iov[2];
+  iov[0].iov_base = const_cast<uint8_t*>(hdr);
+  iov[0].iov_len = hdr_len;
+  iov[1].iov_base = const_cast<uint8_t*>(payload);
+  iov[1].iov_len = payload_len;
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  std::size_t remaining = hdr_len + payload_len;
+  while (remaining > 0) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    std::size_t done = static_cast<std::size_t>(n);
+    remaining -= done;
+    // Advance the iovec past the bytes the kernel took.
+    while (done > 0 && msg.msg_iovlen > 0) {
+      iovec& v = msg.msg_iov[0];
+      if (done < v.iov_len) {
+        v.iov_base = static_cast<uint8_t*>(v.iov_base) + done;
+        v.iov_len -= done;
+        done = 0;
+      } else {
+        done -= v.iov_len;
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      }
+    }
   }
   return true;
 }
@@ -222,8 +260,7 @@ void SocketTransport::send(NodeId from, NodeId to, Bytes msg) {
   put_u32(header, static_cast<uint32_t>(msg.size()));
   put_u32(header + 4, from);
   put_u32(header + 8, to);
-  if (!write_full(out.fd, header, sizeof(header)) ||
-      !write_full(out.fd, msg.data(), msg.size())) {
+  if (!writev_full(out.fd, header, sizeof(header), msg.data(), msg.size())) {
     ::close(out.fd);
     out.fd = -1;
     note_send_error();

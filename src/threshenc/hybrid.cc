@@ -11,6 +11,26 @@ Bytes derive_aead_key(BytesView seed) {
   return concat(crypto::sha256_tuple({to_bytes("hybrid.enc"), seed}),
                 crypto::sha256_tuple({to_bytes("hybrid.mac"), seed}));
 }
+
+Bytes u32_le(uint32_t v) {
+  Bytes b(4);
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+  return b;
+}
+
+// Per-index AEAD key under the shared batch seed: box i never opens under
+// box j's key even though one KEM carried both.
+Bytes derive_batch_key(BytesView seed, uint32_t index) {
+  const Bytes idx = u32_le(index);
+  return concat(crypto::sha256_tuple({to_bytes("hybrid.batch.enc"), seed, idx}),
+                crypto::sha256_tuple({to_bytes("hybrid.batch.mac"), seed, idx}));
+}
+
+// Associated data binding a box to its (prefix, index) slot.
+Bytes batch_box_ad(BytesView prefix, uint32_t index) {
+  return crypto::sha256_tuple(
+      {to_bytes("hybrid.batch.box"), prefix, u32_le(index)});
+}
 }  // namespace
 
 Bytes HybridCiphertext::serialize(const crypto::ModGroup& group) const {
@@ -55,6 +75,100 @@ std::optional<Bytes> hybrid_open(const HybridCiphertext& ct, BytesView label,
                                  BytesView kem_plaintext) {
   if (kem_plaintext.size() != kTdh2MessageSize) return std::nullopt;
   return crypto::aead_open(derive_aead_key(kem_plaintext), label, ct.box);
+}
+
+// ---------------------------------------------------------------------------
+// Batched envelope
+
+Bytes HybridBatchCiphertext::serialize(const crypto::ModGroup& group) const {
+  Writer w;
+  w.u32(kHybridBatchMagic);
+  w.u32(static_cast<uint32_t>(boxes.size()));
+  w.bytes(kem.serialize(group));
+  for (const auto& box : boxes) w.bytes(box);
+  return std::move(w).take();
+}
+
+std::optional<HybridBatchCiphertext> HybridBatchCiphertext::parse(
+    const crypto::ModGroup& group, BytesView wire) {
+  Reader r(wire);
+  if (r.u32() != kHybridBatchMagic) return std::nullopt;
+  const uint32_t count = r.u32();
+  if (!r.ok() || count < 2 || count > kMaxHybridBatch) return std::nullopt;
+  const Bytes kem_wire = r.bytes();
+  HybridBatchCiphertext out;
+  out.boxes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Bytes box = r.bytes();
+    if (!r.ok() || box.size() < crypto::kAeadOverhead) return std::nullopt;
+    out.boxes.push_back(std::move(box));
+  }
+  if (!r.done()) return std::nullopt;
+  auto kem = Tdh2Ciphertext::parse(group, kem_wire);
+  if (!kem) return std::nullopt;
+  out.kem = std::move(*kem);
+  return out;
+}
+
+bool is_hybrid_batch_wire(BytesView wire) {
+  if (wire.size() < 4) return false;
+  uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= static_cast<uint32_t>(wire[i]) << (8 * i);
+  // Writer::u32 is little-endian, so the raw prefix IS the magic.
+  return magic == kHybridBatchMagic;
+}
+
+Bytes hybrid_batch_label(BytesView prefix, const std::vector<Bytes>& boxes) {
+  crypto::Sha256 h;
+  const Bytes count = u32_le(static_cast<uint32_t>(boxes.size()));
+  h.update(count);
+  for (const auto& box : boxes) {
+    h.update(u32_le(static_cast<uint32_t>(box.size())));
+    h.update(box);
+  }
+  const auto digest = h.digest();
+  return concat(prefix, BytesView(digest.data(), digest.size()));
+}
+
+HybridBatchCiphertext hybrid_encrypt_batch(const Tdh2PublicKey& pk,
+                                           const std::vector<Bytes>& messages,
+                                           BytesView prefix, crypto::Drbg& rng) {
+  const Bytes seed = rng.generate(kTdh2MessageSize);
+  HybridBatchCiphertext out;
+  out.boxes.reserve(messages.size());
+  for (uint32_t i = 0; i < messages.size(); ++i) {
+    out.boxes.push_back(crypto::aead_seal(derive_batch_key(seed, i),
+                                          batch_box_ad(prefix, i), messages[i],
+                                          rng));
+  }
+  const Bytes label = hybrid_batch_label(prefix, out.boxes);
+  out.kem = tdh2_encrypt(pk, seed, label, rng);
+  return out;
+}
+
+bool hybrid_batch_verify(const Tdh2PublicKey& pk,
+                         const HybridBatchCiphertext& ct,
+                         BytesView full_label) {
+  if (ct.boxes.size() < 2 || ct.boxes.size() > kMaxHybridBatch) return false;
+  for (const auto& box : ct.boxes) {
+    if (box.size() < crypto::kAeadOverhead) return false;
+  }
+  return tdh2_verify_ciphertext(pk, ct.kem, full_label);
+}
+
+std::optional<std::vector<Bytes>> hybrid_batch_open(
+    const HybridBatchCiphertext& ct, BytesView prefix, BytesView /*full_label*/,
+    BytesView kem_plaintext) {
+  if (kem_plaintext.size() != kTdh2MessageSize) return std::nullopt;
+  std::vector<Bytes> out;
+  out.reserve(ct.boxes.size());
+  for (uint32_t i = 0; i < ct.boxes.size(); ++i) {
+    auto opened = crypto::aead_open(derive_batch_key(kem_plaintext, i),
+                                    batch_box_ad(prefix, i), ct.boxes[i]);
+    if (!opened) return std::nullopt;
+    out.push_back(std::move(*opened));
+  }
+  return out;
 }
 
 }  // namespace scab::threshenc

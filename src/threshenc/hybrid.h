@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "threshenc/tdh2.h"
 
@@ -37,5 +38,58 @@ bool hybrid_verify(const Tdh2PublicKey& pk, const HybridCiphertext& ct,
 /// by tdh2_combine). Returns nullopt on tag failure.
 std::optional<Bytes> hybrid_open(const HybridCiphertext& ct, BytesView label,
                                  BytesView kem_plaintext);
+
+// ---------------------------------------------------------------------------
+// Batched hybrid envelope (DESIGN.md §10): many payloads amortize ONE KEM.
+//
+// Wire:  u32 magic | u32 count | bytes(kem) | count x bytes(box)
+// The magic can never open a legacy wire, whose first u32 is the (small)
+// KEM length prefix.  The KEM is bound to the FULL label
+//
+//   label = prefix || SHA-256(count, box_0, ..., box_{count-1})
+//
+// so any box tamper (or reorder, or count change) shifts the label and the
+// TDH2 proof check fails before any share is produced.  Each payload sits
+// in its own AEAD box under a per-index key derived from the shared seed;
+// the associated data additionally binds (prefix, index) so boxes cannot be
+// transplanted between positions even under a leaked seed.
+//
+// A batch of one is NOT emitted in this format: callers fall back to
+// hybrid_encrypt so single requests stay bit-identical to the legacy path.
+
+inline constexpr uint32_t kHybridBatchMagic = 0xb47c4b17;
+inline constexpr uint32_t kMaxHybridBatch = 4096;
+
+struct HybridBatchCiphertext {
+  Tdh2Ciphertext kem;        // encapsulates the shared 32-byte key seed
+  std::vector<Bytes> boxes;  // one AEAD box per payload
+
+  Bytes serialize(const crypto::ModGroup& group) const;
+  static std::optional<HybridBatchCiphertext> parse(
+      const crypto::ModGroup& group, BytesView wire);
+};
+
+/// True iff `wire` starts with the batch magic (cheap wire discriminator).
+bool is_hybrid_batch_wire(BytesView wire);
+
+/// The full KEM label for a batch: prefix || SHA-256(count, boxes...).
+Bytes hybrid_batch_label(BytesView prefix, const std::vector<Bytes>& boxes);
+
+/// Encrypts `messages` (>= 2) under one KEM header bound to `prefix`.
+HybridBatchCiphertext hybrid_encrypt_batch(const Tdh2PublicKey& pk,
+                                           const std::vector<Bytes>& messages,
+                                           BytesView prefix, crypto::Drbg& rng);
+
+/// Admission check: KEM proof against the caller-derived full label plus
+/// structural box bounds.  (Box tags can only be checked after combining.)
+bool hybrid_batch_verify(const Tdh2PublicKey& pk,
+                         const HybridBatchCiphertext& ct, BytesView full_label);
+
+/// Opens every box given the recovered seed; nullopt if ANY tag fails
+/// (a correct client never produces a partially-valid batch, and replicas
+/// must not execute a prefix of one).
+std::optional<std::vector<Bytes>> hybrid_batch_open(
+    const HybridBatchCiphertext& ct, BytesView prefix, BytesView full_label,
+    BytesView kem_plaintext);
 
 }  // namespace scab::threshenc
