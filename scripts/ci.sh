@@ -34,6 +34,21 @@ echo "=== fig6 quick slice (writes BENCH_fig6_peak_throughput.json) ==="
 echo "=== bench smoke (metrics JSON vs schema + crypto bench artifact) ==="
 ./build/bench/bench_smoke bench/metrics_schema.json BENCH_crypto.json
 
+echo "=== cluster smoke (multi-process scabd over loopback TCP) ==="
+# keygen -> 4-process cluster -> load, kill -9, restart, catch-up, dump
+# validation.  Exit 77 means the environment forbids sockets: skip, the
+# in-process suites above already covered the protocol logic.
+if ./scripts/run_cluster.sh; then
+  :
+else
+  rc=$?
+  if [ "$rc" -eq 77 ]; then
+    echo "cluster smoke skipped: sockets unavailable"
+  else
+    exit "$rc"
+  fi
+fi
+
 echo "=== chaos smoke (seeded fault schedules, fixed seeds, both runtimes) ==="
 # Re-runs just the chaos/fault-injection suites as an explicit gate: the
 # seeds are fixed in the tests, so a failure here is a real regression, not

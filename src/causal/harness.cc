@@ -9,9 +9,9 @@
 #include "bft/keyring.h"
 #include "bft/replica.h"
 #include "causal/cp0.h"
-#include "causal/cp1.h"
 #include "causal/cp23.h"
 #include "causal/plain.h"
+#include "causal/stack.h"
 #include "rt/runtime.h"
 #include "sim/sim_host.h"
 #include "threshenc/tdh2.h"
@@ -35,11 +35,10 @@ const char* protocol_name(Protocol p) {
 }
 
 namespace {
+// The shared derivation encoding (causal/stack.h): keeps this file's forks
+// bit-identical to the daemon's.
 Bytes seed_bytes(uint64_t seed, std::string_view label) {
-  Writer w;
-  w.u64(seed);
-  w.str(std::string(label));
-  return std::move(w).take();
+  return seed_label(seed, label);
 }
 }  // namespace
 
@@ -71,32 +70,11 @@ Cluster::Cluster(ClusterOptions options)
                                          node_ids);
 
   // Protocol-wide cryptographic setup (the "trusted dealer" of §V-A for
-  // CP0; plain Cgen for the commitment-based protocols).
-  switch (options_.protocol) {
-    case Protocol::kCp0: {
-      if (!options_.group) {
-        crypto::Drbg grng = master_rng_.fork(to_bytes("group"));
-        options_.group = crypto::ModGroup::generate(options_.group_bits, grng);
-      }
-      crypto::Drbg krng = master_rng_.fork(to_bytes("tdh2"));
-      tdh2_ = std::make_unique<threshenc::Tdh2KeyMaterial>(
-          threshenc::tdh2_keygen(*options_.group, cfg.f + 1, cfg.n, krng));
-      break;
-    }
-    case Protocol::kCp1: {
-      crypto::Drbg crng = master_rng_.fork(to_bytes("nmcad"));
-      nmcad_key_ = crypto::NmCadCommitment::cgen(crng);
-      break;
-    }
-    case Protocol::kCp2: {
-      crypto::Drbg crng = master_rng_.fork(to_bytes("commit"));
-      commitment_key_ = crypto::Commitment::cgen(crng);
-      break;
-    }
-    default:
-      break;
-  }
-  if (!tdh2_) tdh2_ = std::make_unique<threshenc::Tdh2KeyMaterial>();
+  // CP0; plain Cgen for the commitment-based protocols) — the construction
+  // seam shared with the standalone daemon (causal/stack.h).
+  material_ = derive_material(options_.protocol, cfg, master_rng_,
+                              std::move(options_.group), options_.group_bits);
+  options_.group = material_.group;
 
   if (options_.engine == Engine::kAsyncEngine) {
     if (!options_.coin_group) {
@@ -132,28 +110,7 @@ Cluster::Cluster(ClusterOptions options)
 
   // Clients.
   for (uint32_t i = 0; i < options_.num_clients; ++i) {
-    std::unique_ptr<bft::ClientProtocol> protocol;
-    switch (options_.protocol) {
-      case Protocol::kPbft:
-        protocol = std::make_unique<PlainClientProtocol>();
-        break;
-      case Protocol::kCp0:
-        protocol = std::make_unique<Cp0ClientProtocol>(
-            make_cp0_backend(std::nullopt));
-        break;
-      case Protocol::kCp1:
-        protocol = std::make_unique<Cp1ClientProtocol>(
-            crypto::NmCadCommitment(nmcad_key_));
-        break;
-      case Protocol::kCp2:
-        protocol = std::make_unique<Cp2ClientProtocol>(
-            crypto::Commitment(commitment_key_));
-        break;
-      case Protocol::kCp3:
-        protocol = std::make_unique<Cp3ClientProtocol>();
-        break;
-    }
-    client_protocols_.push_back(std::move(protocol));
+    client_protocols_.push_back(make_client_protocol(stack_context()));
 
     client_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
     auto client = std::make_unique<bft::Client>(
@@ -167,10 +124,7 @@ Cluster::Cluster(ClusterOptions options)
         (options_.client_inflight > 1 || options_.client_batch > 1)) {
       client->set_pipeline(
           [this] {
-            auto p = std::make_unique<Cp0ClientProtocol>(
-                make_cp0_backend(std::nullopt));
-            p->set_batching(true);
-            return p;
+            return make_client_protocol(stack_context(), /*batching=*/true);
           },
           options_.client_inflight, options_.client_batch);
     }
@@ -218,33 +172,22 @@ obs::MetricsRegistry Cluster::merged_metrics() const {
   return merged;
 }
 
+StackContext Cluster::stack_context() const {
+  StackContext ctx;
+  ctx.protocol = options_.protocol;
+  ctx.material = &material_;
+  ctx.bft = options_.bft;
+  ctx.cp1 = options_.cp1;
+  ctx.arss2_mode = options_.arss2_mode;
+  ctx.cp0_modeled = options_.cp0_modeled;
+  ctx.per_node_lagrange_cache = options_.runtime == RuntimeKind::kThreads;
+  return ctx;
+}
+
 std::unique_ptr<bft::ReplicaApp> Cluster::make_replica_app(uint32_t i) {
   auto service = options_.service_factory();
   Service* raw = service.get();
-
-  std::unique_ptr<bft::ReplicaApp> app;
-  switch (options_.protocol) {
-    case Protocol::kPbft:
-      app = std::make_unique<PlainReplicaApp>(std::move(service));
-      break;
-    case Protocol::kCp0:
-      app = std::make_unique<Cp0ReplicaApp>(std::move(service),
-                                            make_cp0_backend(i));
-      break;
-    case Protocol::kCp1:
-      app = std::make_unique<Cp1ReplicaApp>(std::move(service),
-                                            crypto::NmCadCommitment(nmcad_key_),
-                                            options_.cp1);
-      break;
-    case Protocol::kCp2:
-      app = std::make_unique<Cp2ReplicaApp>(std::move(service),
-                                            crypto::Commitment(commitment_key_));
-      break;
-    case Protocol::kCp3:
-      app = std::make_unique<Cp3ReplicaApp>(std::move(service),
-                                            options_.arss2_mode);
-      break;
-  }
+  auto app = causal::make_replica_app(stack_context(), std::move(service), i);
 
   if (i < services_.size()) {
     services_[i] = raw;  // restart path: replace the dead replica's slot
@@ -281,24 +224,6 @@ void Cluster::restart_replica(uint32_t i) {
   // Only now readmit traffic: the crash flag kept messages away from the
   // half-built endpoint.
   faults().restart(i);
-}
-
-std::unique_ptr<Cp0Backend> Cluster::make_cp0_backend(
-    std::optional<uint32_t> replica_index) const {
-  if (options_.cp0_modeled) {
-    return std::make_unique<ModeledThresholdBackend>(options_.bft.f + 1,
-                                                     options_.bft.n);
-  }
-  std::optional<threshenc::Tdh2KeyShare> key;
-  if (replica_index) key = tdh2_->shares.at(*replica_index);
-  threshenc::Tdh2PublicKey pk = tdh2_->pk;
-  if (options_.runtime == RuntimeKind::kThreads && pk.lagrange_cache) {
-    // The Lagrange-coefficient cache is mutable and documented
-    // single-threaded; under the threaded runtime each backend (= each
-    // node's worker) gets its own instance instead of sharing one.
-    pk.lagrange_cache = std::make_shared<threshenc::Tdh2LagrangeCache>();
-  }
-  return std::make_unique<RealTdh2Backend>(std::move(pk), std::move(key));
 }
 
 void Cluster::corrupt_replica_shares(uint32_t i) {

@@ -20,7 +20,9 @@
 
 #include "bft/config.h"
 #include "causal/cp1_options.h"
+#include "causal/protocol.h"
 #include "causal/service.h"
+#include "causal/stack.h"
 #include "crypto/drbg.h"
 #include "crypto/modgroup.h"
 #include "host/host.h"
@@ -50,23 +52,9 @@ namespace scab::causal {
 
 class Cp0Backend;
 
-enum class Protocol { kPbft, kCp0, kCp1, kCp2, kCp3 };
-
-/// The underlying atomic-broadcast engine: sequencer-based PBFT or the
-/// asynchronous consensus-based engine (RBC + common-coin ABA + ACS).
-/// Every causal protocol runs on either — the paper's generality claim.
-enum class Engine { kPbftEngine, kAsyncEngine };
-
-/// Which host::Host implementation carries the cluster (DESIGN.md §8):
-/// kSim — deterministic virtual-time simulator (bit-reproducible); kThreads
-/// — rt::ThreadHost, one worker thread per node over an in-process loopback
-/// transport, real steady-clock time.
-enum class RuntimeKind { kSim, kThreads };
-
-const char* protocol_name(Protocol p);
-
-/// Replica ids are 0..n-1; client ids start here.
-inline constexpr host::NodeId kClientBase = 100;
+// Protocol, Engine, RuntimeKind, protocol_name, kClientBase live in
+// causal/protocol.h (included above); the replica-stack factories shared
+// with the daemon live in causal/stack.h.
 
 struct ClusterOptions {
   Protocol protocol = Protocol::kPbft;
@@ -168,7 +156,9 @@ class Cluster {
   void shutdown();
 
   /// CP0 key material (empty unless protocol == kCp0).
-  const threshenc::Tdh2KeyMaterial& tdh2_keys() const { return *tdh2_; }
+  const threshenc::Tdh2KeyMaterial& tdh2_keys() const {
+    return *material_.tdh2;
+  }
 
   // --- observability ---
   /// Network-layer metrics ("net.*": drops by fault, egress wait, bytes).
@@ -187,8 +177,10 @@ class Cluster {
   obs::MetricsRegistry merged_metrics() const;
 
  private:
-  std::unique_ptr<Cp0Backend> make_cp0_backend(
-      std::optional<uint32_t> replica_index) const;
+  /// The StackContext view of this cluster's options + material, handed to
+  /// the causal/stack.h factories (the construction code shared with the
+  /// daemon).
+  StackContext stack_context() const;
   /// Builds replica i's service + protocol app (registers the service in
   /// services_); shared by the constructor and restart_replica.
   std::unique_ptr<bft::ReplicaApp> make_replica_app(uint32_t i);
@@ -204,10 +196,8 @@ class Cluster {
   std::unique_ptr<bft::KeyRing> keys_;
   crypto::Drbg master_rng_;
 
-  // Shared crypto material.
-  std::unique_ptr<threshenc::Tdh2KeyMaterial> tdh2_;  // CP0
-  Bytes nmcad_key_;                                   // CP1
-  Bytes commitment_key_;                              // CP2
+  /// Shared crypto material (the dealer's tape; causal/stack.h).
+  StackMaterial material_;
 
   std::unique_ptr<abft::CoinKeyMaterial> coin_;  // async engine
 

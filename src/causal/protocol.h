@@ -1,0 +1,38 @@
+// Protocol/runtime selectors shared by every deployment surface: the
+// in-process harness (causal/harness.h), the construction seam
+// (causal/stack.h), and the standalone daemon (daemon/).  Split out so the
+// daemon can name a protocol without dragging the whole cluster-assembly
+// header in.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "host/time.h"
+
+namespace scab::causal {
+
+enum class Protocol { kPbft, kCp0, kCp1, kCp2, kCp3 };
+
+/// The underlying atomic-broadcast engine: sequencer-based PBFT or the
+/// asynchronous consensus-based engine (RBC + common-coin ABA + ACS).
+/// Every causal protocol runs on either — the paper's generality claim.
+enum class Engine { kPbftEngine, kAsyncEngine };
+
+/// Which host::Host implementation carries the cluster (DESIGN.md §8):
+/// kSim — deterministic virtual-time simulator (bit-reproducible); kThreads
+/// — rt::ThreadHost, one worker thread per node over an in-process loopback
+/// transport, real steady-clock time.
+enum class RuntimeKind { kSim, kThreads };
+
+const char* protocol_name(Protocol p);
+
+/// Parses a lowercase protocol name ("pbft", "cp0".."cp3"); nullopt on
+/// anything else.  The daemon config parser and tools share this one
+/// mapping so config files and diagnostics cannot disagree.
+std::optional<Protocol> protocol_from_name(std::string_view name);
+
+/// Replica ids are 0..n-1; client ids start here.
+inline constexpr host::NodeId kClientBase = 100;
+
+}  // namespace scab::causal

@@ -1,0 +1,93 @@
+// Cluster configuration for the standalone daemon (scabd / scab-client).
+//
+// A deployment is described by two small text files, both emitted by
+// scab-keygen:
+//
+//   cluster.conf — topology and protocol parameters.  Line-based
+//     `key = value`; `replica <id> = ip:port` and `client <id> = ip:port`
+//     lines build the peer tables.  Replica ids must be 0..n-1; client ids
+//     must be >= causal::kClientBase (each scab-client invocation owns one
+//     provisioned id — replica-side dedup is keyed on (client, seq), so a
+//     fresh process must not reuse a previous run's id).
+//
+//   cluster.keys — the trusted dealer's tape: a single u64 seed
+//     (`dealer_seed = N`).  Every process derives the entire key universe
+//     (session/signing keys, TDH2 shares, commitment keys) from this seed
+//     through causal::seed_label + causal::derive_material, exactly like
+//     the in-process harness with ClusterOptions{seed = N}.  Anyone
+//     holding this file holds every secret of the cluster; scab-keygen
+//     writes it 0600.
+//
+// Parsing never exits or throws: parse/load return nullopt and a
+// "<line>: message" diagnostic, and the CLIs turn that into a clean
+// non-zero exit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "bft/config.h"
+#include "causal/protocol.h"
+
+namespace scab::daemon {
+
+struct Endpoint {
+  std::string ip;  // dotted quad
+  uint16_t port = 0;
+};
+
+struct ClusterConfig {
+  causal::Protocol protocol = causal::Protocol::kPbft;
+  /// n is derived from the replica lines; f, batching, and checkpoint
+  /// knobs come from the file (defaults = BftConfig's).
+  bft::BftConfig bft;
+  /// CP0 threshold group: "modp_1024", "modp_512" (default), or
+  /// "generate:<bits>" (deterministically generated from the dealer seed).
+  std::string group = "modp_512";
+  std::size_t group_bits = 0;  // parsed from "generate:<bits>"
+  /// CP0 client pipelining (DESIGN.md §10); 1/1 = strict closed loop.
+  uint32_t client_inflight = 1;
+  uint32_t client_batch = 1;
+  /// Path of the dealer-seed file, as written in the config (resolved
+  /// relative to the config file's directory by load_cluster_config).
+  std::string keys_file;
+  std::map<uint32_t, Endpoint> replicas;
+  std::map<uint32_t, Endpoint> clients;
+
+  /// Populated by load_cluster_config (not by parse_cluster_config).
+  uint64_t dealer_seed = 0;
+
+  uint32_t n() const { return static_cast<uint32_t>(replicas.size()); }
+};
+
+/// Parses and validates a cluster.conf body.  On failure returns nullopt
+/// and sets *err to "line <k>: <message>".
+std::optional<ClusterConfig> parse_cluster_config(std::string_view text,
+                                                  std::string* err);
+
+/// Parses a cluster.keys body ("dealer_seed = N").
+std::optional<uint64_t> parse_dealer_seed(std::string_view text,
+                                          std::string* err);
+
+/// Reads and parses `path`, then the dealer-seed file it references
+/// (relative paths resolve against `path`'s directory).  Diagnostics are
+/// prefixed with the offending file name.
+std::optional<ClusterConfig> load_cluster_config(const std::string& path,
+                                                 std::string* err);
+
+/// Renders a config (scab-keygen's output format; parse round-trips it).
+std::string format_cluster_config(const ClusterConfig& cfg);
+std::string format_dealer_seed(uint64_t seed);
+
+/// Writes `content` to `path` atomically (same-directory tmp + rename), so
+/// a reader never observes a torn file.  Returns false on I/O failure.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
+/// Reads a whole file; nullopt (and *err) on failure.
+std::optional<std::string> read_file(const std::string& path,
+                                     std::string* err);
+
+}  // namespace scab::daemon

@@ -1,0 +1,151 @@
+// scab-metrics-check — validates a scabd/scab-client metrics dump.
+//
+//   scab-metrics-check <dump.json> --schema bench/metrics_schema.json
+//       --section required_daemon
+//       [--min <path>=<value>]... [--eq <path>=<value>]...
+//
+// Checks, in order: the dump parses as JSON; every '/'-separated path in
+// the schema section exists; each --min path is a number >= value; each
+// --eq path is a number == value.  Exit 0 on success, 1 on any failed
+// check, 2 on usage / unreadable input.  run_cluster.sh leans on --min/--eq
+// for its no-loss/no-duplication and catch-up assertions.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "daemon/config.h"
+#include "obs/json.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump.json> [--schema <schema.json> --section "
+               "<name>] [--min <path>=<num>]... [--eq <path>=<num>]...\n",
+               argv0);
+  return 2;
+}
+
+struct Bound {
+  std::string path;
+  double value;
+  bool exact;
+};
+
+bool parse_bound(const char* spec, bool exact, Bound* out) {
+  const char* eq = std::strrchr(spec, '=');
+  if (eq == nullptr || eq == spec) return false;
+  char* end = nullptr;
+  const double v = std::strtod(eq + 1, &end);
+  if (end == nullptr || *end != '\0' || end == eq + 1) return false;
+  out->path.assign(spec, static_cast<std::size_t>(eq - spec));
+  out->value = v;
+  out->exact = exact;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dump_path;
+  std::string schema_path;
+  std::string section;
+  std::vector<Bound> bounds;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schema" && i + 1 < argc) {
+      schema_path = argv[++i];
+    } else if (arg == "--section" && i + 1 < argc) {
+      section = argv[++i];
+    } else if ((arg == "--min" || arg == "--eq") && i + 1 < argc) {
+      Bound b;
+      if (!parse_bound(argv[++i], arg == "--eq", &b)) {
+        std::fprintf(stderr, "scab-metrics-check: bad bound '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      bounds.push_back(std::move(b));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else if (dump_path.empty()) {
+      dump_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (dump_path.empty() || (schema_path.empty() != section.empty())) {
+    return usage(argv[0]);
+  }
+
+  std::string err;
+  const auto dump_body = scab::daemon::read_file(dump_path, &err);
+  if (!dump_body) {
+    std::fprintf(stderr, "scab-metrics-check: %s\n", err.c_str());
+    return 2;
+  }
+  const auto dump = scab::obs::json::parse(*dump_body);
+  if (!dump) {
+    std::fprintf(stderr, "scab-metrics-check: %s: not valid JSON\n",
+                 dump_path.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  if (!schema_path.empty()) {
+    const auto schema_body = scab::daemon::read_file(schema_path, &err);
+    if (!schema_body) {
+      std::fprintf(stderr, "scab-metrics-check: %s\n", err.c_str());
+      return 2;
+    }
+    const auto schema = scab::obs::json::parse(*schema_body);
+    if (!schema) {
+      std::fprintf(stderr, "scab-metrics-check: %s: not valid JSON\n",
+                   schema_path.c_str());
+      return 2;
+    }
+    const auto* paths = schema->get(section);
+    if (paths == nullptr || !paths->is_array()) {
+      std::fprintf(stderr,
+                   "scab-metrics-check: %s has no array section '%s'\n",
+                   schema_path.c_str(), section.c_str());
+      return 2;
+    }
+    for (const auto& p : paths->as_array()) {
+      if (!p.is_string()) continue;
+      if (scab::obs::json::find_path(*dump, p.as_string()) == nullptr) {
+        std::fprintf(stderr, "scab-metrics-check: missing path '%s'\n",
+                     p.as_string().c_str());
+        ++failures;
+      }
+    }
+  }
+
+  for (const Bound& b : bounds) {
+    const auto* v = scab::obs::json::find_path(*dump, b.path);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr,
+                   "scab-metrics-check: bound path '%s' missing or not a "
+                   "number\n",
+                   b.path.c_str());
+      ++failures;
+      continue;
+    }
+    const double got = v->as_number();
+    const bool pass = b.exact ? got == b.value : got >= b.value;
+    if (!pass) {
+      std::fprintf(stderr, "scab-metrics-check: %s = %g, want %s %g\n",
+                   b.path.c_str(), got, b.exact ? "==" : ">=", b.value);
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "scab-metrics-check: %s: %d check(s) failed\n",
+                 dump_path.c_str(), failures);
+    return 1;
+  }
+  std::printf("scab-metrics-check: %s OK\n", dump_path.c_str());
+  return 0;
+}

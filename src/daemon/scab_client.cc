@@ -1,0 +1,184 @@
+// scab-client — closed-loop load driver against a running scabd cluster.
+//
+//   scab-client --config cluster.conf --id 100 --ops 50
+//               [--op-size 32] [--timeout-s 60] [--metrics-out path]
+//
+// The client id must be one of the config's provisioned `client` lines —
+// it determines the listen port replies arrive on, the keyring identity,
+// and the DRBG fork.  Each invocation needs a FRESH id: replica-side
+// request dedup is keyed on (client, seq) and a new process restarts its
+// sequence numbers at 1, so reusing an id would make the cluster silently
+// swallow the run as replays.
+//
+// Drives bft::Client::run_closed_loop on the client's own executor (the
+// controlling thread only polls completed_ops), honouring the config's
+// client_inflight/client_batch pipelining knobs for CP0.  On success
+// prints a one-line JSON summary to stdout and exits 0; incomplete after
+// --timeout-s exits 1.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bft/client.h"
+#include "causal/stack.h"
+#include "daemon/config.h"
+#include "daemon/node.h"
+#include "host/cost_model.h"
+#include "rt/runtime.h"
+#include "rt/transport.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config <cluster.conf> --id <client-id> "
+               "--ops <count> [--op-size <bytes>] [--timeout-s <s>] "
+               "[--metrics-out <path>]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_long(const char* s, long* out) {
+  char* end = nullptr;
+  *out = std::strtol(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string metrics_out;
+  long client_id = -1;
+  long ops = -1;
+  long op_size = 32;
+  long timeout_s = 60;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long* slot = nullptr;
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+      continue;
+    }
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    if (arg == "--id") slot = &client_id;
+    else if (arg == "--ops") slot = &ops;
+    else if (arg == "--op-size") slot = &op_size;
+    else if (arg == "--timeout-s") slot = &timeout_s;
+    if (slot == nullptr || i + 1 >= argc || !parse_long(argv[++i], slot)) {
+      return usage(argv[0]);
+    }
+  }
+  if (config_path.empty() || client_id < 0 || ops <= 0 || op_size < 0 ||
+      timeout_s <= 0) {
+    return usage(argv[0]);
+  }
+
+  std::string err;
+  const auto cfg = scab::daemon::load_cluster_config(config_path, &err);
+  if (!cfg) {
+    std::fprintf(stderr, "scab-client: %s\n", err.c_str());
+    return 3;
+  }
+  const uint32_t id = static_cast<uint32_t>(client_id);
+  const auto self = cfg->clients.find(id);
+  if (self == cfg->clients.end()) {
+    std::fprintf(stderr, "scab-client: client %u not provisioned in %s\n",
+                 id, config_path.c_str());
+    return 3;
+  }
+
+  // Same dealer tape as every replica; peers = the replicas (replies come
+  // back over their own connections to our listen port).
+  scab::daemon::StackBundle bundle(*cfg);
+  std::map<scab::host::NodeId, scab::rt::SocketTransport::Peer> peers;
+  for (const auto& [rid, ep] : cfg->replicas) peers[rid] = {ep.ip, ep.port};
+  auto transport = std::make_unique<scab::rt::SocketTransport>(
+      self->second.port, std::move(peers),
+      /*jitter_seed=*/cfg->dealer_seed ^ id, self->second.ip);
+  if (!transport->ok()) {
+    std::fprintf(stderr, "scab-client: cannot bind %s:%u\n",
+                 self->second.ip.c_str(), self->second.port);
+    return 4;
+  }
+  scab::obs::MetricsRegistry metrics;
+  scab::obs::Tracer tracer;
+  transport->bind_metrics(&metrics);
+  scab::rt::ThreadHost host(std::move(transport), &metrics);
+
+  const scab::causal::StackContext ctx = bundle.context();
+  auto protocol = scab::causal::make_client_protocol(ctx);
+  scab::bft::Client client(host, id, cfg->bft, bundle.keys(),
+                           scab::host::CostModel::zero(), protocol.get(),
+                           bundle.client_rng(id), &metrics, &tracer);
+  if (cfg->protocol == scab::causal::Protocol::kCp0 &&
+      (cfg->client_inflight > 1 || cfg->client_batch > 1)) {
+    client.set_pipeline(
+        [&bundle] {
+          return scab::causal::make_client_protocol(bundle.context(),
+                                                    /*batching=*/true);
+        },
+        cfg->client_inflight, cfg->client_batch);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t want = static_cast<uint64_t>(ops);
+  const std::size_t body = static_cast<std::size_t>(op_size);
+  host.post(id, [&client, want, body] {
+    client.run_closed_loop(
+        [body](uint64_t index) {
+          scab::Bytes op(body, 0x5c);
+          // Stamp the op with its index so every payload is distinct.
+          for (std::size_t i = 0; i < sizeof(uint64_t) && i < op.size();
+               ++i) {
+            op[i] = static_cast<uint8_t>(index >> (8 * i));
+          }
+          return op;
+        },
+        want);
+  });
+  const auto deadline = t0 + std::chrono::seconds(timeout_s);
+  while (client.completed_ops() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const uint64_t done = client.completed_ops();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  host.stop();
+
+  const double mean_latency_ms =
+      done > 0 ? static_cast<double>(client.total_latency()) / 1e6 /
+                     static_cast<double>(done)
+               : 0.0;
+  std::printf(
+      "{\"client\":%u,\"ops\":%llu,\"completed\":%llu,"
+      "\"elapsed_ms\":%.3f,\"mean_latency_ms\":%.3f}\n",
+      id, static_cast<unsigned long long>(want),
+      static_cast<unsigned long long>(done), elapsed_ms, mean_latency_ms);
+  if (!metrics_out.empty()) {
+    scab::daemon::write_file_atomic(
+        metrics_out,
+        scab::daemon::format_dump_record(id, cfg->protocol, 0, done, metrics,
+                                         tracer) +
+            "\n");
+  }
+  if (done < want) {
+    std::fprintf(stderr,
+                 "scab-client: timed out with %llu/%llu ops completed\n",
+                 static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(want));
+    return 1;
+  }
+  return 0;
+}

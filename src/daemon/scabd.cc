@@ -1,0 +1,126 @@
+// scabd — one scab replica as a standalone process.
+//
+//   scabd --config cluster.conf --replica 2 [--metrics-out path]
+//
+// Lifecycle is signal-driven (the process has no stdin protocol):
+//   SIGUSR1  dump the metrics + trace record as one JSON document to
+//            --metrics-out (atomic tmp+rename) or stderr
+//   SIGTERM / SIGINT  clean shutdown: join every worker, exit 0
+//
+// Signals are blocked on every thread (the mask is set before the stack —
+// and thus every worker thread — exists) and consumed synchronously by the
+// main thread via sigwait, so a dump never interrupts protocol code
+// mid-handler; the worst it can do is bounce accept(2) with EINTR, which
+// the transport's accept loop survives by design.
+//
+// Exit codes: 0 clean shutdown, 2 usage, 3 bad config, 4 cannot bind the
+// listen socket.  `scabd --probe` binds one ephemeral loopback socket and
+// exits 0/77 — scripts use it to detect socketless sandboxes.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bft/config.h"
+#include "daemon/config.h"
+#include "daemon/node.h"
+#include "rt/transport.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config <cluster.conf> --replica <id> "
+               "[--metrics-out <path>]\n       %s --probe\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string metrics_out;
+  long replica_id = -1;
+  bool probe = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--probe") {
+      probe = true;
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--replica" && i + 1 < argc) {
+      char* end = nullptr;
+      replica_id = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || replica_id < 0) {
+        std::fprintf(stderr, "scabd: invalid --replica '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (probe) {
+    scab::rt::SocketTransport t(0);
+    return t.ok() ? 0 : 77;
+  }
+  if (config_path.empty() || replica_id < 0) return usage(argv[0]);
+
+  std::string err;
+  const auto cfg = scab::daemon::load_cluster_config(config_path, &err);
+  if (!cfg) {
+    std::fprintf(stderr, "scabd: %s\n", err.c_str());
+    return 3;
+  }
+  if (cfg->replicas.count(static_cast<uint32_t>(replica_id)) == 0) {
+    std::fprintf(stderr, "scabd: replica %ld not in %s (n = %u)\n",
+                 replica_id, config_path.c_str(), cfg->n());
+    return 3;
+  }
+
+  // Block the control signals BEFORE any thread is spawned: every worker
+  // inherits the mask, leaving sigwait below as the only consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGUSR1);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  scab::daemon::ReplicaDaemon daemon(*cfg,
+                                     static_cast<uint32_t>(replica_id));
+  if (!daemon.ok()) {
+    const auto& ep = cfg->replicas.at(static_cast<uint32_t>(replica_id));
+    std::fprintf(stderr, "scabd: replica %ld cannot bind %s:%u\n",
+                 replica_id, ep.ip.c_str(), ep.port);
+    return 4;
+  }
+  std::fprintf(stderr,
+               "scabd: replica %ld up (protocol %s, n=%u f=%u) on port %u\n",
+               replica_id, scab::causal::protocol_name(cfg->protocol),
+               cfg->bft.n, cfg->bft.f, daemon.port());
+
+  for (;;) {
+    int sig = 0;
+    if (sigwait(&mask, &sig) != 0) continue;
+    if (sig == SIGUSR1) {
+      if (metrics_out.empty()) {
+        const std::string dump = daemon.dump_json();
+        std::fprintf(stderr, "%s\n", dump.c_str());
+      } else if (!daemon.dump_to(metrics_out)) {
+        std::fprintf(stderr, "scabd: cannot write %s\n",
+                     metrics_out.c_str());
+      }
+    } else {  // SIGTERM / SIGINT
+      daemon.stop();
+      std::fprintf(stderr, "scabd: replica %ld stopped (executed %llu)\n",
+                   replica_id,
+                   static_cast<unsigned long long>(
+                       daemon.executed_requests()));
+      return 0;
+    }
+  }
+}

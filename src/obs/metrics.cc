@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace scab::obs {
@@ -189,6 +190,13 @@ void append_escaped(std::string& out, std::string_view s) {
 }
 
 void append_double(std::string& out, double v) {
+  // JSON has no NaN/Infinity literal; "%.6g" would happily print "nan" or
+  // "inf" and corrupt the whole dump (a SIGUSR1 metrics dump must ALWAYS
+  // be machine-readable, whatever state the instruments are in).
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   out += buf;

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 namespace scab::rt {
 
@@ -29,20 +30,9 @@ bool read_full(int fd, uint8_t* buf, std::size_t len) {
   return true;
 }
 
-bool write_full(int fd, const uint8_t* buf, std::size_t len) {
-  std::size_t put = 0;
-  while (put < len) {
-    const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    put += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 // Gathered write of header + payload in (ideally) one syscall.  Short
 // writes and EINTR advance through the iovec instead of tearing down the
-// connection; falls through to write_full semantics byte for byte.
+// connection, delivering every byte or failing.
 bool writev_full(int fd, const uint8_t* hdr, std::size_t hdr_len,
                  const uint8_t* payload, std::size_t payload_len) {
   iovec iov[2];
@@ -97,7 +87,8 @@ constexpr uint32_t kMaxFrame = 64u << 20;
 
 SocketTransport::SocketTransport(uint16_t listen_port,
                                  std::map<NodeId, Peer> peers,
-                                 uint64_t jitter_seed)
+                                 uint64_t jitter_seed,
+                                 const std::string& bind_ip)
     : peers_(std::move(peers)),
       jitter_state_((jitter_seed * 0x9e3779b97f4a7c15ULL +
                      0x2545f4914f6cdd1dULL) |
@@ -108,7 +99,11 @@ SocketTransport::SocketTransport(uint16_t listen_port,
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, bind_ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
   addr.sin_port = htons(listen_port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
@@ -133,19 +128,13 @@ void SocketTransport::start() {
 }
 
 void SocketTransport::stop() {
+  int listen_fd = -1;
+  std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_) return;
     stopping_ = true;
-  }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  std::vector<std::thread> readers;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
+    listen_fd = listen_fd_;
     for (auto& [id, out] : conns_) {
       if (out.fd >= 0) {
         ::shutdown(out.fd, SHUT_RDWR);
@@ -153,23 +142,82 @@ void SocketTransport::stop() {
       }
     }
     conns_.clear();
+    // Unblock readers parked in recv on connections whose far end is still
+    // alive (remote peers that outlive this process).  shutdown only — the
+    // owning read_loop erases the fd from this set and closes it.
+    for (int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
     readers.swap(reader_threads_);
   }
+  // shutdown(2) unblocks accept(2); the close (and the listen_fd_ reset)
+  // waits until the accept thread has joined so the fd number cannot be
+  // recycled under a still-blocked accept.
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   for (auto& t : readers) {
     if (t.joinable()) t.join();
   }
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+    std::lock_guard<std::mutex> lk(mu_);
+    listen_fd_ = -1;
+  }
+}
+
+SocketTransport::AcceptAction SocketTransport::classify_accept_error(int err) {
+  switch (err) {
+    case EINTR:         // signal landed mid-accept (SIGUSR1 metrics dumps!)
+    case ECONNABORTED:  // peer reset while queued in the backlog
+#ifdef EPROTO
+    case EPROTO:        // ditto, reported as a protocol error on some stacks
+#endif
+      return AcceptAction::kRetry;
+    // Resource exhaustion and anything unexpected: sleep first, so a
+    // persistent condition (fd limit under a connection storm) throttles
+    // to a slow retry loop instead of spinning a core.
+    default:
+      return AcceptAction::kRetrySleep;
+  }
 }
 
 void SocketTransport::accept_loop() {
+  // listen_fd_ is stable for this thread's whole lifetime: stop() only
+  // shuts the socket down (unblocking accept) and defers close/reset until
+  // after this thread joins.  Snapshot once to keep the reads race-free.
+  int listen_fd;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    listen_fd = listen_fd_;
+  }
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // listen socket closed by stop()
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      const int err = errno;
+      {
+        // stop() closed the listen socket — the ONLY way out of this loop.
+        // Any other failure (EINTR, ECONNABORTED, EMFILE, ...) is survived:
+        // returning here used to kill the accept thread forever, leaving
+        // the node unable to receive new connections for the rest of its
+        // life.
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_) return;
+      }
+      note_accept_error();
+      if (classify_accept_error(err) == AcceptAction::kRetrySleep) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      continue;
+    }
+    // Nagle stalls the small length-prefixed protocol frames (~40 ms
+    // latency steps); disable it on accepted sockets just as connect_to
+    // does on outbound ones.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_) {
       ::close(fd);
       return;
     }
+    inbound_fds_.insert(fd);
     reader_threads_.emplace_back([this, fd] { read_loop(fd); });
   }
 }
@@ -191,6 +239,10 @@ void SocketTransport::read_loop(int fd) {
       deliver = deliver_;
     }
     if (deliver) deliver(from, to, std::move(payload));
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    inbound_fds_.erase(fd);
   }
   ::close(fd);
 }
@@ -214,6 +266,11 @@ int SocketTransport::connect_to(const Peer& peer) {
 void SocketTransport::note_send_error() {
   send_errors_.fetch_add(1, std::memory_order_relaxed);
   if (send_errors_counter_) send_errors_counter_->inc();
+}
+
+void SocketTransport::note_accept_error() {
+  accept_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (accept_errors_counter_) accept_errors_counter_->inc();
 }
 
 void SocketTransport::arm_backoff(OutState& out) {

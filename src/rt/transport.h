@@ -26,6 +26,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.h"
@@ -75,13 +76,29 @@ class SocketTransport final : public Transport {
     uint16_t port = 0;
   };
 
-  /// Binds and listens on `listen_port` (0 = ephemeral; see port()).
-  /// Check ok() before use — binding can fail in sandboxed environments.
-  /// `jitter_seed` feeds the deterministic reconnect-backoff jitter.
+  /// Binds and listens on `bind_ip`:`listen_port` (0 = ephemeral; see
+  /// port()).  Check ok() before use — binding can fail in sandboxed
+  /// environments.  `jitter_seed` feeds the deterministic
+  /// reconnect-backoff jitter.  The default bind address stays loopback
+  /// (tests, single-host clusters); the daemon passes "0.0.0.0" for real
+  /// deployments.
   explicit SocketTransport(uint16_t listen_port,
                            std::map<NodeId, Peer> peers = {},
-                           uint64_t jitter_seed = 0);
+                           uint64_t jitter_seed = 0,
+                           const std::string& bind_ip = "127.0.0.1");
   ~SocketTransport() override;
+
+  /// How accept(2) errors are handled (classification is a pure function
+  /// so the retry policy is unit-testable): transient conditions retry —
+  /// a signal mid-accept (EINTR) or a peer that reset before we picked the
+  /// connection up (ECONNABORTED, EPROTO) immediately; resource
+  /// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) after a short sleep so the
+  /// process can shed load.  Everything else also sleeps briefly and
+  /// retries — the accept loop only exits when stop() closes the listen
+  /// socket.  Exiting on a transient error (the old behaviour) killed the
+  /// accept thread forever and silently partitioned the node.
+  enum class AcceptAction : uint8_t { kRetry, kRetrySleep };
+  static AcceptAction classify_accept_error(int err);
 
   bool ok() const { return listen_fd_ >= 0; }
   uint16_t port() const { return port_; }
@@ -89,15 +106,24 @@ class SocketTransport final : public Transport {
   /// Adds/replaces a remote route (before start(); not thread-safe after).
   void add_peer(NodeId id, Peer peer) { peers_[id] = std::move(peer); }
 
-  /// Publishes "net.rt.send_errors" into `m` (before start(); not
-  /// thread-safe after).  Without this, errors still count locally.
+  /// Publishes "net.rt.send_errors" and "net.rt.accept_errors" into `m`
+  /// (before start(); not thread-safe after).  Without this, errors still
+  /// count locally.
   void bind_metrics(obs::MetricsRegistry* m) {
-    if (m) send_errors_counter_ = &m->counter("net.rt.send_errors");
+    if (m) {
+      send_errors_counter_ = &m->counter("net.rt.send_errors");
+      accept_errors_counter_ = &m->counter("net.rt.accept_errors");
+    }
   }
   /// Sends dropped on this transport: connect failures, mid-frame write
   /// failures, and sends suppressed while a peer's backoff gate is closed.
   uint64_t send_errors() const {
     return send_errors_.load(std::memory_order_relaxed);
+  }
+  /// accept(2) failures survived by the accept loop (EINTR, aborted
+  /// handshakes, fd exhaustion, ...); each was retried, never fatal.
+  uint64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
   }
 
   void start() override;
@@ -118,20 +144,31 @@ class SocketTransport final : public Transport {
   void accept_loop();
   void read_loop(int fd);
   void note_send_error();
+  void note_accept_error();
   void arm_backoff(OutState& out);  // call with mu_ held
 
   std::map<NodeId, Peer> peers_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
-  std::mutex mu_;  // guards conns_, reader_threads_, stopping_, jitter_state_
+  std::mutex mu_;  // guards conns_, reader_threads_, inbound_fds_,
+                   // stopping_, jitter_state_
   std::unordered_map<NodeId, OutState> conns_;  // outbound, keyed by dest
   std::vector<std::thread> reader_threads_;
+  // Accepted connections currently owned by a read_loop.  stop() must
+  // shutdown(2) these: a reader blocked in recv on a connection whose far
+  // end is still alive (a remote process that outlives us) would otherwise
+  // never unblock and stop() would hang on the join.  Each read_loop
+  // erases its fd before closing it, so a recycled fd number can never be
+  // shut down by mistake.
+  std::unordered_set<int> inbound_fds_;
   bool started_ = false;
   bool stopping_ = false;
   uint64_t jitter_state_;
   std::atomic<uint64_t> send_errors_{0};
+  std::atomic<uint64_t> accept_errors_{0};
   obs::Counter* send_errors_counter_ = nullptr;
+  obs::Counter* accept_errors_counter_ = nullptr;
 };
 
 }  // namespace scab::rt

@@ -1,0 +1,189 @@
+// rt::SocketTransport hardening regressions:
+//
+//  * classify_accept_error — the accept-loop retry policy as a pure
+//    function (the errnos themselves are hard to force deterministically);
+//  * a connection storm of aborted handshakes (RST before accept) must
+//    not kill the accept loop: later well-behaved peers still connect —
+//    the old loop returned on ANY accept(2) failure and silently
+//    partitioned the node forever;
+//  * shutdown with a still-alive remote peer: stop() must unblock reader
+//    threads parked in recv on accepted connections (a hang here was
+//    exactly how the first multi-process scab-client run died);
+//  * loopback round-trip latency stays in the no-Nagle regime: with
+//    TCP_NODELAY on both accepted and outbound sockets the median RTT is
+//    far below the ~40 ms delayed-ACK interaction the option avoids.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "rt/transport.h"
+
+namespace scab::rt {
+namespace {
+
+using AcceptAction = SocketTransport::AcceptAction;
+
+TEST(AcceptErrorPolicy, TransientErrorsRetryImmediately) {
+  EXPECT_EQ(SocketTransport::classify_accept_error(EINTR),
+            AcceptAction::kRetry);
+  EXPECT_EQ(SocketTransport::classify_accept_error(ECONNABORTED),
+            AcceptAction::kRetry);
+#ifdef EPROTO
+  EXPECT_EQ(SocketTransport::classify_accept_error(EPROTO),
+            AcceptAction::kRetry);
+#endif
+}
+
+TEST(AcceptErrorPolicy, ResourceExhaustionAndUnknownErrorsSleepFirst) {
+  EXPECT_EQ(SocketTransport::classify_accept_error(EMFILE),
+            AcceptAction::kRetrySleep);
+  EXPECT_EQ(SocketTransport::classify_accept_error(ENFILE),
+            AcceptAction::kRetrySleep);
+  EXPECT_EQ(SocketTransport::classify_accept_error(ENOBUFS),
+            AcceptAction::kRetrySleep);
+  EXPECT_EQ(SocketTransport::classify_accept_error(ENOMEM),
+            AcceptAction::kRetrySleep);
+  // Anything unexpected must also retry (after the sleep) — only stop()
+  // may end the accept loop.
+  EXPECT_EQ(SocketTransport::classify_accept_error(EINVAL),
+            AcceptAction::kRetrySleep);
+}
+
+// Connects to `port` and immediately resets (SO_LINGER{1,0} -> RST on
+// close).  Races accept(2) on purpose: connections reset while queued in
+// the backlog surface as ECONNABORTED from accept on Linux.
+void connect_and_reset(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }
+  ::close(fd);
+}
+
+TEST(SocketTransportStorm, AcceptLoopSurvivesAbortedHandshakes) {
+  SocketTransport server(0);
+  if (!server.ok()) {
+    GTEST_SKIP() << "cannot bind loopback sockets in this environment";
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  Bytes got;
+  server.set_deliver([&](host::NodeId, host::NodeId, Bytes msg) {
+    std::lock_guard<std::mutex> lk(mu);
+    got = std::move(msg);
+    cv.notify_one();
+  });
+  server.start();
+
+  // Storm of handshakes reset before (or just after) accept picks them up.
+  for (int i = 0; i < 64; ++i) connect_and_reset(server.port());
+
+  // A well-behaved peer connecting afterwards must still get through.
+  SocketTransport client(0);
+  ASSERT_TRUE(client.ok());
+  client.add_peer(1, {"127.0.0.1", server.port()});
+  client.start();
+  const Bytes payload = to_bytes("still-accepting");
+  client.send(7, 1, payload);
+
+  std::unique_lock<std::mutex> lk(mu);
+  const bool delivered = cv.wait_for(lk, std::chrono::seconds(5),
+                                     [&] { return !got.empty(); });
+  ASSERT_TRUE(delivered)
+      << "accept loop died during the storm; accept_errors = "
+      << server.accept_errors();
+  EXPECT_EQ(got, payload);
+}
+
+// stop() with a LIVE remote peer: the server's reader threads sit in recv
+// on accepted connections the client keeps open.  Before inbound fds were
+// tracked and shutdown(2), this join hung forever.
+TEST(SocketTransportStop, UnblocksReadersWithLivePeer) {
+  SocketTransport server(0);
+  SocketTransport client(0);
+  if (!server.ok() || !client.ok()) {
+    GTEST_SKIP() << "cannot bind loopback sockets in this environment";
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  int received = 0;
+  server.set_deliver([&](host::NodeId, host::NodeId, Bytes) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++received;
+    cv.notify_one();
+  });
+  server.start();
+  client.start();
+  client.add_peer(1, {"127.0.0.1", server.port()});
+  client.send(7, 1, to_bytes("hold the connection open"));
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(5),
+                            [&] { return received == 1; }));
+  }
+  // The client still holds its side open; stop() must return regardless.
+  // (A regression hangs the test into its global timeout.)
+  server.stop();
+  client.stop();
+}
+
+TEST(SocketTransportLatency, LoopbackRoundTripStaysSubDelayedAck) {
+  SocketTransport a(0);
+  SocketTransport b(0);
+  if (!a.ok() || !b.ok()) {
+    GTEST_SKIP() << "cannot bind loopback sockets in this environment";
+  }
+  a.add_peer(2, {"127.0.0.1", b.port()});
+  b.add_peer(1, {"127.0.0.1", a.port()});
+  std::mutex mu;
+  std::condition_variable cv;
+  int pongs = 0;
+  b.set_deliver([&](host::NodeId from, host::NodeId to, Bytes msg) {
+    b.send(to, from, std::move(msg));  // echo
+  });
+  a.set_deliver([&](host::NodeId, host::NodeId, Bytes) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++pongs;
+    cv.notify_one();
+  });
+  a.start();
+  b.start();
+
+  const Bytes ping(64, 0x42);
+  std::vector<double> rtt_ms;
+  for (int i = 0; i < 50; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    a.send(1, 2, ping);
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(5),
+                            [&] { return pongs == i + 1; }))
+        << "lost ping " << i;
+    rtt_ms.push_back(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+  }
+  std::sort(rtt_ms.begin(), rtt_ms.end());
+  const double median = rtt_ms[rtt_ms.size() / 2];
+  // Delayed-ACK + Nagle interaction steps RTT to ~40 ms; with TCP_NODELAY
+  // on both directions loopback stays well under a generous CI bound.
+  EXPECT_LT(median, 20.0) << "median RTT suggests Nagle is back";
+}
+
+}  // namespace
+}  // namespace scab::rt
