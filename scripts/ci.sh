@@ -20,6 +20,24 @@ echo "=== crypto microbench (batch-verification amortization) ==="
 ./build/bench/bench_micro_crypto > BENCH_crypto.json
 cat BENCH_crypto.json
 
+echo "=== parallel crypto bench (worker-pool scaling sweep) ==="
+# TDH2 batch verification over the rt::ThreadHost worker pool at T in
+# {1,2,4,8}; enforces >=3x speedup at 8 threads when the machine has >=8
+# hardware threads, exit 77 (skip) otherwise.  Self-validates the record
+# against the schema's required_parallel paths.
+if ./build/bench/bench_parallel_crypto bench/metrics_schema.json \
+     > BENCH_parallel.json; then
+  cat BENCH_parallel.json
+else
+  rc=$?
+  if [ "$rc" -eq 77 ]; then
+    cat BENCH_parallel.json
+    echo "parallel crypto gate skipped: fewer than 8 hardware threads"
+  else
+    exit "$rc"
+  fi
+fi
+
 echo "=== pipeline bench (batched CP0 envelopes; writes BENCH_pipeline.json) ==="
 # Full batch x inflight sweep on the calibrated-cost oracle; exits non-zero
 # unless the best batched configuration at (near-)equal median latency is

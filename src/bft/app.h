@@ -15,6 +15,7 @@
 #include "bft/types.h"
 #include "crypto/drbg.h"
 #include "host/cost_model.h"
+#include "host/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -59,6 +60,15 @@ class ReplicaContext {
 
   /// CPU cost charging and utilities.
   virtual void charge(host::Op op, std::size_t bytes) = 0;
+
+  /// Hands a self-contained job to the host's crypto worker pool; the
+  /// continuation the job returns runs back on this replica's sequential
+  /// executor (host/worker_pool.h contract).  The default runs everything
+  /// inline, which is exactly what the deterministic simulator does.
+  virtual void offload(host::PoolJob job) {
+    if (!job) return;
+    if (auto cont = job()) cont();
+  }
   virtual crypto::Drbg& rng() = 0;
   virtual const KeyRing& keys() const = 0;
 

@@ -107,6 +107,61 @@ void Client::run_closed_loop(OpGenerator gen, uint64_t max_ops,
   if (!in_flight_) begin_next();
 }
 
+void Client::run_open_loop(OpGenerator gen, uint64_t max_ops,
+                           host::Time interval, CompletionHook hook) {
+  generator_ = std::move(gen);
+  hook_ = std::move(hook);
+  max_ops_ = max_ops == 0 ? 0 : issued_ + max_ops;
+  open_loop_ = true;
+  open_interval_ = std::max<host::Time>(1, interval);
+  if (m_.shed == nullptr) m_.shed = &metrics_.counter("client.shed");
+  open_tick();
+}
+
+void Client::open_tick() {
+  if (!open_loop_ || generator_ == nullptr) return;
+  if (max_ops_ != 0 && issued_ >= max_ops_) return;  // done issuing
+  issue_one();
+  if (max_ops_ != 0 && issued_ >= max_ops_) return;
+  // Deterministic pacing: the base interval plus a DRBG draw of up to an
+  // eighth, so many open-loop clients sharing a cluster desynchronize while
+  // seeded runs stay bit-identical.
+  host::Time delay = open_interval_;
+  delay += rng_.uniform(open_interval_ / 8 + 1);
+  schedule(delay, [this] { open_tick(); });
+}
+
+void Client::issue_one() {
+  if (pipelined()) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = *slots_[i];
+      if (slot.in_flight) continue;
+      // One logical op per tick: the open loop paces individual requests,
+      // so slot batching stays at one regardless of pipeline_batch_.
+      slot.index_base = issued_;
+      slot.logical = 1;
+      slot.op = generator_(issued_);
+      ++issued_;
+      slot.seq = next_seq();
+      slot.in_flight = true;
+      slot.retries = 0;
+      slot.start = now();
+      m_.submitted->inc();
+      tracer_.record(id(), slot.seq, obs::Phase::kSubmit, now());
+      slot.protocol->start(slot.seq, slot.op, *slot.ctx);
+      arm_slot_retry(i);
+      return;
+    }
+    m_.shed->inc();
+    return;
+  }
+  if (in_flight_) {
+    m_.shed->inc();
+    return;
+  }
+  begin_next();
+}
+
 void Client::fill_slots() {
   if (generator_ == nullptr) return;
   // Occupancy after refill, recorded on early exits too.
@@ -188,7 +243,9 @@ void Client::complete_slot(std::size_t slot_index, Bytes result) {
       hook_(slot.index_base + j, slot.start, end);
     }
   }
-  fill_slots();
+  // Open loop: the timer chain — not completions — decides when the next
+  // operation starts; refilling here would collapse back into closed loop.
+  if (!open_loop_) fill_slots();
 }
 
 void Client::submit(Bytes op, CompletionHook hook) {
@@ -290,7 +347,7 @@ void Client::complete(Bytes result) {
   m_.latency_ns->record(now() - inflight_start_);
   tracer_.record(id(), inflight_seq_, obs::Phase::kCompleted, now());
   if (hook_) hook_(inflight_index_, inflight_start_, now());
-  begin_next();
+  if (!open_loop_) begin_next();
 }
 
 void Client::on_message(NodeId /*from*/, BytesView msg) {

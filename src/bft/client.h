@@ -121,6 +121,17 @@ class Client : public host::HostBound<ClientContext> {
   void run_closed_loop(OpGenerator gen, uint64_t max_ops,
                        CompletionHook hook = nullptr);
 
+  /// Open-loop workload: issues one operation per `interval` nanoseconds
+  /// (paced with deterministic DRBG jitter) regardless of completions.  A
+  /// tick that finds every slot busy SHEDS its operation — counted in
+  /// "client.shed", never queued — so the achieved rate degrades visibly
+  /// instead of building an unbounded backlog.  `max_ops` bounds the number
+  /// of operations ISSUED (0 = unbounded; shed ticks do not count).
+  /// Composes with set_pipeline for more than one in-flight slot (use
+  /// batch = 1: open loop paces logical ops individually).
+  void run_open_loop(OpGenerator gen, uint64_t max_ops, host::Time interval,
+                     CompletionHook hook = nullptr);
+
   /// Issues a single operation.
   void submit(Bytes op, CompletionHook hook = nullptr);
 
@@ -199,6 +210,8 @@ class Client : public host::HostBound<ClientContext> {
   void fill_slots();
   void arm_slot_retry(std::size_t slot_index);
   void complete_slot(std::size_t slot_index, Bytes result);
+  void open_tick();
+  void issue_one();  // open-loop: one op into a free slot, or shed
 
   BftConfig config_;
   const KeyRing& keys_;
@@ -215,6 +228,9 @@ class Client : public host::HostBound<ClientContext> {
   std::vector<std::unique_ptr<Slot>> slots_;  // empty = legacy single-flight
   uint32_t pipeline_inflight_ = 1;
   uint32_t pipeline_batch_ = 1;
+
+  bool open_loop_ = false;       // completions do NOT trigger the next op
+  host::Time open_interval_ = 0;  // ns between open-loop ticks
 
   bool in_flight_ = false;
   uint64_t inflight_index_ = 0;
@@ -240,6 +256,9 @@ class Client : public host::HostBound<ClientContext> {
     // each refill — how much of the inflight window the workload keeps
     // busy.
     obs::Histogram* inflight_slots = nullptr;
+    // Open-loop mode only (bound in run_open_loop): ticks that found no
+    // free slot and dropped their operation.
+    obs::Counter* shed = nullptr;
   } m_;
 };
 

@@ -25,6 +25,25 @@ std::vector<uint8_t> Cp0Backend::batch_verify_shares(
   return verdicts;
 }
 
+std::function<Cp0Backend::BatchVerifyResult()>
+Cp0Backend::make_batch_share_verifier(BytesView ct, BytesView label,
+                                      std::vector<Bytes> shares,
+                                      crypto::Drbg& rng) {
+  // The fork gives the job an independent deterministic stream: the
+  // protocol thread's rng advances exactly one fork draw regardless of how
+  // (or when) the job runs.
+  return [this, ct = Bytes(ct.begin(), ct.end()),
+          label = Bytes(label.begin(), label.end()),
+          shares = std::move(shares),
+          rng = rng.fork(to_bytes("cp0-batch-verify"))]() mutable {
+    BatchVerifyResult out;
+    out.verdicts = batch_verify_shares(ct, label, shares, rng,
+                                       &out.fallback_splits);
+    out.shares = std::move(shares);
+    return out;
+  };
+}
+
 // ---------------------------------------------------------------------------
 // RealTdh2Backend
 
@@ -123,6 +142,48 @@ std::vector<uint8_t> RealTdh2Backend::batch_verify_shares(
   }
   if (fallback_splits != nullptr) *fallback_splits = verdict.bisection_splits;
   return verdicts;
+}
+
+std::function<Cp0Backend::BatchVerifyResult()>
+RealTdh2Backend::make_batch_share_verifier(BytesView ct, BytesView label,
+                                           std::vector<Bytes> shares,
+                                           crypto::Drbg& rng) {
+  // Everything stateful happens HERE, on the protocol thread: the
+  // parsed-ciphertext LRU lookup (not thread-safe) and the rng fork.  The
+  // job closes over a copy of the public key — cheap: the vk fixed-base
+  // tables ride a shared_ptr, and share verification never touches the
+  // (combine-only) mutable Lagrange cache — plus the KEM ciphertext, so it
+  // is free of references into this backend.
+  const ParsedWire* parsed = parsed_ct(ct);
+  std::optional<threshenc::Tdh2Ciphertext> kem;
+  if (parsed != nullptr) kem = parsed->kem();
+  return [pk = pk_, kem = std::move(kem),
+          label = Bytes(label.begin(), label.end()),
+          shares = std::move(shares),
+          rng = rng.fork(to_bytes("cp0-batch-verify"))]() mutable {
+    BatchVerifyResult out;
+    out.verdicts.assign(shares.size(), 0);
+    if (kem) {
+      std::vector<threshenc::Tdh2DecryptionShare> batch;
+      std::vector<std::size_t> positions;
+      batch.reserve(shares.size());
+      positions.reserve(shares.size());
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        auto ps = threshenc::Tdh2DecryptionShare::parse(pk.group, shares[i]);
+        if (!ps) continue;
+        batch.push_back(std::move(*ps));
+        positions.push_back(i);
+      }
+      const threshenc::Tdh2BatchVerdict verdict =
+          threshenc::tdh2_batch_verify_shares(pk, *kem, label, batch, rng);
+      for (std::size_t j = 0; j < positions.size(); ++j) {
+        out.verdicts[positions[j]] = verdict.valid[j];
+      }
+      out.fallback_splits = verdict.bisection_splits;
+    }
+    out.shares = std::move(shares);
+    return out;
+  };
 }
 
 std::optional<Bytes> RealTdh2Backend::combine(BytesView ct, BytesView label,
@@ -673,8 +734,14 @@ void Cp0ReplicaApp::try_reveal(const RequestId& id, bft::ReplicaContext& ctx) {
   // possibly complete the threshold, then ALL of them go through one
   // randomized batch verification (amortized to one merged equation in the
   // real backend — DESIGN.md §4.3).  Waiting costs nothing: the combine
-  // cannot proceed before the threshold is reachable anyway.
-  if (p.valid.size() < t && !p.unverified.empty() &&
+  // cannot proceed before the threshold is reachable anyway.  The batch
+  // runs as a worker-pool job (DESIGN.md §12): the protocol thread charges
+  // and submits, the continuation adopts the verdicts back on this
+  // replica's executor.  Under the inline pool (simulator, threads=0) the
+  // continuation runs before offload() returns — identical sequencing to
+  // calling batch_verify_shares here.  While a flush is in flight, new
+  // shares keep accumulating in p.unverified for the next flush.
+  if (!p.verify_inflight && p.valid.size() < t && !p.unverified.empty() &&
       p.valid.size() + p.unverified.size() >= t) {
     std::vector<NodeId> senders;
     std::vector<Bytes> wires;
@@ -687,22 +754,44 @@ void Cp0ReplicaApp::try_reveal(const RequestId& id, bft::ReplicaContext& ctx) {
     p.unverified.clear();
     // bytes = k·1024 by convention: per_byte prices the per-share cost.
     ctx.charge(Op::kTdh2BatchVerifyShare, wires.size() * 1024);
-    uint32_t splits = 0;
-    const std::vector<uint8_t> verdicts = backend_->batch_verify_shares(
-        p.ciphertext, label, wires, ctx.rng(), &splits);
-    bool any_rejected = false;
-    for (std::size_t i = 0; i < wires.size(); ++i) {
-      if (verdicts[i]) {
-        p.valid_from.insert(senders[i]);
-        p.valid.push_back(std::move(wires[i]));
-        m_.shares_verified->inc();
-      } else {
-        m_.shares_rejected->inc();
-        any_rejected = true;
-      }
-    }
-    m_.batch_size->record(wires.size());
-    if (any_rejected || splits > 0) m_.batch_fallbacks->inc();
+    p.verify_inflight = true;
+    auto job = backend_->make_batch_share_verifier(p.ciphertext, label,
+                                                   std::move(wires), ctx.rng());
+    ctx.offload([this, &ctx, id, senders = std::move(senders),
+                 job = std::move(job)]() mutable -> std::function<void()> {
+      // Pool thread: only the self-contained job runs here.
+      auto result = job();
+      return [this, &ctx, id, senders = std::move(senders),
+              result = std::move(result)]() mutable {
+        // Back on the protocol thread.  The pending entry can only have
+        // disappeared with the whole app (combine is gated on this very
+        // flush), but stay defensive.
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;
+        PendingReveal& p = it->second;
+        p.verify_inflight = false;
+        if (p.revealed) return;
+        bool any_rejected = false;
+        for (std::size_t i = 0; i < result.shares.size(); ++i) {
+          if (result.verdicts[i]) {
+            p.valid_from.insert(senders[i]);
+            p.valid.push_back(std::move(result.shares[i]));
+            m_.shares_verified->inc();
+          } else {
+            m_.shares_rejected->inc();
+            any_rejected = true;
+          }
+        }
+        m_.batch_size->record(result.shares.size());
+        if (any_rejected || result.fallback_splits > 0) {
+          m_.batch_fallbacks->inc();
+        }
+        // Re-enter: combine if the threshold is met, or flush the shares
+        // that accumulated while this batch was on the pool.
+        try_reveal(id, ctx);
+      };
+    });
+    return;
   }
 
   if (p.valid.size() < t) return;

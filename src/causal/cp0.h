@@ -63,6 +63,25 @@ class Cp0Backend {
                                        const std::vector<Bytes>& shares) = 0;
   virtual uint32_t threshold() const = 0;
 
+  /// Result of an offloaded batch-share verification: the input wires
+  /// travel through the job (moved, not copied) so the caller can adopt
+  /// the valid ones without touching the backend again.
+  struct BatchVerifyResult {
+    std::vector<Bytes> shares;
+    std::vector<uint8_t> verdicts;  // one per share, 1 = valid
+    uint32_t fallback_splits = 0;
+  };
+  /// Packages batch_verify_shares as a self-contained callable safe to run
+  /// on a worker-pool thread (host/worker_pool.h): inputs are copied in,
+  /// `rng` is forked, and the returned job touches no backend mutable
+  /// state.  The base version closes over `this` and is pool-safe only for
+  /// stateless backends (the modeled one qualifies); RealTdh2Backend
+  /// overrides it to resolve its parsed-ciphertext LRU up front on the
+  /// protocol thread.
+  virtual std::function<BatchVerifyResult()> make_batch_share_verifier(
+      BytesView ct, BytesView label, std::vector<Bytes> shares,
+      crypto::Drbg& rng);
+
   /// Reveal-pipeline variants for a ciphertext the caller has ALREADY
   /// verified (CP0 verifies once at request admission, so the reveal step
   /// must not pay the proof check again — and again at combine).  Defaults
@@ -134,6 +153,9 @@ class RealTdh2Backend : public Cp0Backend {
   std::vector<uint8_t> batch_verify_shares(
       BytesView ct, BytesView label, const std::vector<Bytes>& shares,
       crypto::Drbg& rng, uint32_t* fallback_splits = nullptr) override;
+  std::function<BatchVerifyResult()> make_batch_share_verifier(
+      BytesView ct, BytesView label, std::vector<Bytes> shares,
+      crypto::Drbg& rng) override;
   std::optional<Bytes> combine(BytesView ct, BytesView label,
                                const std::vector<Bytes>& shares) override;
   std::optional<Bytes> decryption_share_preverified(uint32_t index,
@@ -285,6 +307,9 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
     std::vector<Bytes> valid;
     bool delivered = false;
     bool revealed = false;
+    // A batch-share verification job is in flight on the worker pool; new
+    // shares keep accumulating in `unverified` and flush when it lands.
+    bool verify_inflight = false;
     host::Time delivered_at = 0;  // reveal-round duration measurement
     std::vector<Bytes> plaintexts;  // one per payload, execution order
     Bytes own_share_wire;  // uncorrupted; serves re-requests

@@ -212,7 +212,7 @@ void Cp2ReplicaApp::answer_share_request(const RequestId& id, NodeId from,
 
 void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
                                  bft::ReplicaContext& ctx) {
-  p.reconstructor = std::make_unique<secretshare::Arss1Reconstructor>(
+  p.reconstructor = std::make_shared<secretshare::Arss1Reconstructor>(
       commitment_, ctx.config().f, p.agreed_commitment);
 
   // Broadcast our own share to the other replicas over private channels.
@@ -229,20 +229,15 @@ void Cp2ReplicaApp::start_reveal(const RequestId& id, Pending& p,
 
   // Feed what we have: our own share first, then anything adopted from the
   // early-share stash — one accumulated flush per delivery, whose size is
-  // the reveal batching measure (cp2.batch_size).  A feed can cross the
-  // reconstruction threshold, which executes the request and erases this
-  // Pending entry (drain_execution) — so move the buffer out first and
-  // re-resolve the entry before every feed instead of holding `p` across
-  // calls that may free it.
-  std::vector<secretshare::Arss1Share> queued = std::move(p.buffered);
-  const std::size_t flush = queued.size() + (p.own_share ? 1 : 0);
-  if (flush > 0) m_.batch_size->record(flush);
-  if (p.own_share) feed_share(id, p, *p.own_share, ctx);
-  for (const auto& s : queued) {
-    auto it = pending_.find(id);
-    if (it == pending_.end() || it->second.revealed) break;
-    feed_share(id, it->second, s, ctx);
-  }
+  // the reveal batching measure (cp2.batch_size).  The whole batch rides a
+  // single worker-pool job; the continuation applies the reveal.
+  std::vector<secretshare::Arss1Share> batch;
+  batch.reserve(p.buffered.size() + 1);
+  if (p.own_share) batch.push_back(*p.own_share);
+  for (auto& s : p.buffered) batch.push_back(std::move(s));
+  p.buffered.clear();
+  if (!batch.empty()) m_.batch_size->record(batch.size());
+  feed_shares_async(id, p, std::move(batch), ctx);
 }
 
 void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
@@ -280,30 +275,69 @@ void Cp2ReplicaApp::on_causal_message(NodeId from, BytesView body,
   if (from >= ctx.config().n) return;  // only replicas relay shares
 
   m_.batch_size->record(1);  // post-delivery stragglers feed one at a time
-  feed_share(id, p, *share, ctx);
+  std::vector<Arss1Share> batch;
+  batch.push_back(std::move(*share));
+  feed_shares_async(id, p, std::move(batch), ctx);
 }
 
-void Cp2ReplicaApp::feed_share(const RequestId& id, Pending& p,
-                               const Arss1Share& share,
-                               bft::ReplicaContext& ctx) {
-  if (p.revealed || !p.reconstructor) return;
-  const std::size_t before = p.reconstructor->attempts();
-  auto secret = p.reconstructor->add(share);
-  const std::size_t attempts = p.reconstructor->attempts() - before;
-  recovery_attempts_ += attempts;
-  m_.recovery_attempts->inc(attempts);
-  for (std::size_t i = 0; i < attempts; ++i) {
-    ctx.charge(Op::kShamirRec, share.inner.secret_len);
-    ctx.charge(Op::kCommitOpen, share.inner.secret_len);
+void Cp2ReplicaApp::feed_shares_async(const RequestId& id, Pending& p,
+                                      std::vector<Arss1Share> batch,
+                                      bft::ReplicaContext& ctx) {
+  if (p.revealed || batch.empty()) return;
+  if (p.reveal_inflight || !p.reconstructor) {
+    // A batch is already on the pool (the reconstructor travels with it):
+    // queue behind it; the landing continuation feeds the backlog.
+    for (auto& s : batch) p.buffered.push_back(std::move(s));
+    return;
   }
-  if (secret) {
-    p.revealed = true;
-    p.plaintext = std::move(*secret);
-    m_.reconstructions->inc();
-    tracer_->record(p.client, p.client_seq, obs::Phase::kRevealed, ctx.now());
-    drain_execution(ctx);
-  }
-  (void)id;
+  p.reveal_inflight = true;
+  // The reconstructor is handed to the job; `commitment_` is only read
+  // (const) through it, which is safe off-thread — nothing mutates a
+  // Commitment after construction.
+  auto rec = std::move(p.reconstructor);
+  ctx.offload([this, &ctx, id, rec = std::move(rec),
+               batch = std::move(batch)]() mutable -> std::function<void()> {
+    // Per-share attempt deltas, so the continuation can charge the modeled
+    // costs exactly as the synchronous path did.
+    std::vector<std::pair<std::size_t, std::size_t>> fed;  // (attempts, len)
+    std::optional<Bytes> secret;
+    for (const auto& s : batch) {
+      const std::size_t before = rec->attempts();
+      secret = rec->add(s);
+      fed.emplace_back(rec->attempts() - before, s.inner.secret_len);
+      if (secret) break;
+    }
+    return [this, &ctx, id, rec = std::move(rec), fed = std::move(fed),
+            secret = std::move(secret)]() mutable {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;  // safety: cannot complete in flight
+      Pending& p = it->second;
+      p.reveal_inflight = false;
+      p.reconstructor = std::move(rec);
+      for (const auto& [attempts, len] : fed) {
+        recovery_attempts_ += attempts;
+        m_.recovery_attempts->inc(attempts);
+        for (std::size_t i = 0; i < attempts; ++i) {
+          ctx.charge(Op::kShamirRec, len);
+          ctx.charge(Op::kCommitOpen, len);
+        }
+      }
+      if (secret) {
+        p.revealed = true;
+        p.plaintext = std::move(*secret);
+        m_.reconstructions->inc();
+        tracer_->record(p.client, p.client_seq, obs::Phase::kRevealed,
+                        ctx.now());
+        drain_execution(ctx);
+        return;
+      }
+      if (!p.buffered.empty()) {
+        std::vector<Arss1Share> next = std::move(p.buffered);
+        p.buffered.clear();
+        feed_shares_async(id, p, std::move(next), ctx);
+      }
+    };
+  });
 }
 
 void Cp2ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
@@ -515,7 +549,7 @@ void Cp3ReplicaApp::answer_share_request(const RequestId& id, NodeId from,
 
 void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
                                  bft::ReplicaContext& ctx) {
-  p.reconstructor = std::make_unique<secretshare::Arss2Reconstructor>(
+  p.reconstructor = std::make_shared<secretshare::Arss2Reconstructor>(
       ctx.config().f, p.own_share, mode_);
 
   if (p.own_share) {
@@ -530,18 +564,13 @@ void Cp3ReplicaApp::start_reveal(const RequestId& id, Pending& p,
   }
   // Feed everything adopted from the early-share stash as one accumulated
   // flush (its size is the reveal batching measure, cp3.batch_size; the own
-  // share counts — it entered via the reconstructor's constructor).  Any
-  // feed can cross the threshold and erase this Pending entry via
-  // drain_execution, so move the buffer out and re-resolve by id before
-  // every feed instead of holding `p` across calls that may free it.
-  std::vector<secretshare::ShamirShare> queued = std::move(p.buffered);
-  const std::size_t flush = queued.size() + (p.own_share ? 1 : 0);
+  // share counts — it entered via the reconstructor's constructor).  The
+  // whole batch rides a single worker-pool job.
+  std::vector<secretshare::ShamirShare> batch = std::move(p.buffered);
+  p.buffered.clear();
+  const std::size_t flush = batch.size() + (p.own_share ? 1 : 0);
   if (flush > 0) m_.batch_size->record(flush);
-  for (const auto& s : queued) {
-    auto it = pending_.find(id);
-    if (it == pending_.end() || it->second.revealed) break;
-    feed_share(id, it->second, s, ctx);
-  }
+  feed_shares_async(id, p, std::move(batch), ctx);
 }
 
 void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,
@@ -575,29 +604,61 @@ void Cp3ReplicaApp::on_causal_message(NodeId from, BytesView body,
   if (from >= ctx.config().n) return;
 
   m_.batch_size->record(1);  // post-delivery stragglers feed one at a time
-  feed_share(id, p, *share, ctx);
+  std::vector<ShamirShare> batch;
+  batch.push_back(std::move(*share));
+  feed_shares_async(id, p, std::move(batch), ctx);
 }
 
-void Cp3ReplicaApp::feed_share(const RequestId& id, Pending& p,
-                               const ShamirShare& share,
-                               bft::ReplicaContext& ctx) {
-  if (p.revealed || !p.reconstructor) return;
-  const std::size_t before = p.reconstructor->attempts();
-  auto secret = p.reconstructor->add(share);
-  const std::size_t attempts = p.reconstructor->attempts() - before;
-  recovery_attempts_ += attempts;
-  m_.recovery_attempts->inc(attempts);
-  for (std::size_t i = 0; i < attempts; ++i) {
-    ctx.charge(Op::kShamirRec, share.secret_len);
+void Cp3ReplicaApp::feed_shares_async(const RequestId& id, Pending& p,
+                                      std::vector<ShamirShare> batch,
+                                      bft::ReplicaContext& ctx) {
+  if (p.revealed || batch.empty()) return;
+  if (p.reveal_inflight || !p.reconstructor) {
+    for (auto& s : batch) p.buffered.push_back(std::move(s));
+    return;
   }
-  if (secret) {
-    p.revealed = true;
-    p.plaintext = std::move(*secret);
-    m_.reconstructions->inc();
-    tracer_->record(p.client, p.client_seq, obs::Phase::kRevealed, ctx.now());
-    drain_execution(ctx);
-  }
-  (void)id;
+  p.reveal_inflight = true;
+  auto rec = std::move(p.reconstructor);
+  ctx.offload([this, &ctx, id, rec = std::move(rec),
+               batch = std::move(batch)]() mutable -> std::function<void()> {
+    std::vector<std::pair<std::size_t, std::size_t>> fed;  // (attempts, len)
+    std::optional<Bytes> secret;
+    for (const auto& s : batch) {
+      const std::size_t before = rec->attempts();
+      secret = rec->add(s);
+      fed.emplace_back(rec->attempts() - before, s.secret_len);
+      if (secret) break;
+    }
+    return [this, &ctx, id, rec = std::move(rec), fed = std::move(fed),
+            secret = std::move(secret)]() mutable {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;  // safety: cannot complete in flight
+      Pending& p = it->second;
+      p.reveal_inflight = false;
+      p.reconstructor = std::move(rec);
+      for (const auto& [attempts, len] : fed) {
+        recovery_attempts_ += attempts;
+        m_.recovery_attempts->inc(attempts);
+        for (std::size_t i = 0; i < attempts; ++i) {
+          ctx.charge(Op::kShamirRec, len);
+        }
+      }
+      if (secret) {
+        p.revealed = true;
+        p.plaintext = std::move(*secret);
+        m_.reconstructions->inc();
+        tracer_->record(p.client, p.client_seq, obs::Phase::kRevealed,
+                        ctx.now());
+        drain_execution(ctx);
+        return;
+      }
+      if (!p.buffered.empty()) {
+        std::vector<ShamirShare> next = std::move(p.buffered);
+        p.buffered.clear();
+        feed_shares_async(id, p, std::move(next), ctx);
+      }
+    };
+  });
 }
 
 void Cp3ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {

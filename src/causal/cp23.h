@@ -82,16 +82,26 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
     uint64_t client_seq = 0;
     bool delivered = false;
     bool revealed = false;
+    // A feed batch is running on the worker pool; the reconstructor travels
+    // with the job (reconstructor == nullptr while set), and newly arriving
+    // shares queue into `buffered` until the continuation re-attaches it.
+    bool reveal_inflight = false;
     Bytes plaintext;
     std::optional<secretshare::Arss1Share> own_share;
-    std::vector<secretshare::Arss1Share> buffered;  // arrived pre-delivery
+    // Shares awaiting a feed: pre-delivery arrivals and anything received
+    // while a feed batch was in flight.
+    std::vector<secretshare::Arss1Share> buffered;
     std::unordered_set<bft::NodeId> seen_senders;
-    std::unique_ptr<secretshare::Arss1Reconstructor> reconstructor;
+    // shared_ptr (not unique_ptr): the pool job closure must stay copyable
+    // for std::function while owning the reconstructor for the batch.
+    std::shared_ptr<secretshare::Arss1Reconstructor> reconstructor;
   };
 
-  void feed_share(const RequestId& id, Pending& p,
-                  const secretshare::Arss1Share& share,
-                  bft::ReplicaContext& ctx);
+  /// Feeds a batch of shares to the reconstructor ON THE WORKER POOL; the
+  /// continuation charges per-attempt costs and applies the reveal.
+  void feed_shares_async(const RequestId& id, Pending& p,
+                         std::vector<secretshare::Arss1Share> batch,
+                         bft::ReplicaContext& ctx);
   void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
   void answer_share_request(const RequestId& id, bft::NodeId from,
@@ -186,16 +196,20 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
     uint64_t client_seq = 0;
     bool delivered = false;
     bool revealed = false;
+    // See Cp2ReplicaApp::Pending — reconstructor travels with the pool job.
+    bool reveal_inflight = false;
     Bytes plaintext;
     std::optional<secretshare::ShamirShare> own_share;
     std::vector<secretshare::ShamirShare> buffered;
     std::unordered_set<bft::NodeId> seen_senders;
-    std::unique_ptr<secretshare::Arss2Reconstructor> reconstructor;
+    std::shared_ptr<secretshare::Arss2Reconstructor> reconstructor;
   };
 
-  void feed_share(const RequestId& id, Pending& p,
-                  const secretshare::ShamirShare& share,
-                  bft::ReplicaContext& ctx);
+  /// Feeds a batch of shares to the reconstructor ON THE WORKER POOL; the
+  /// continuation charges per-attempt costs and applies the reveal.
+  void feed_shares_async(const RequestId& id, Pending& p,
+                         std::vector<secretshare::ShamirShare> batch,
+                         bft::ReplicaContext& ctx);
   void start_reveal(const RequestId& id, Pending& p, bft::ReplicaContext& ctx);
   void drain_execution(bft::ReplicaContext& ctx);
   void answer_share_request(const RequestId& id, bft::NodeId from,

@@ -58,7 +58,8 @@ Cluster::Cluster(ClusterOptions options)
   } else {
     // In-process loopback; fault-filter drop counters land in net_metrics_
     // so "net.drops.*" reads the same on either runtime.
-    host_ = std::make_unique<rt::ThreadHost>(nullptr, &net_metrics_);
+    host_ = std::make_unique<rt::ThreadHost>(nullptr, &net_metrics_,
+                                             options_.worker_threads);
   }
 
   std::vector<host::NodeId> node_ids;

@@ -87,6 +87,15 @@ struct ClusterOptions {
   Cp1Options cp1;
   secretshare::Arss2Mode arss2_mode = secretshare::Arss2Mode::kFast;
 
+  /// Crypto worker-pool threads per host (DESIGN.md §12).  0 = inline
+  /// completion on the submitting node's executor — the default, and the
+  /// only behavior under kSim (SimHost always completes inline, so a sim
+  /// run is bit-identical for every value of this knob).  Under kThreads
+  /// the pool is shared by all nodes on the host; verify-side crypto
+  /// (CP0 share verification, CP1 opens, CP2/CP3 reconstruction) runs on
+  /// pool threads with results marshalled back to each node's executor.
+  uint32_t worker_threads = 0;
+
   /// Async engine: the common-coin group (defaults to a small generated
   /// group in tests; benches install modp_512 to price the coin honestly).
   std::optional<crypto::ModGroup> coin_group;

@@ -192,6 +192,17 @@ std::optional<ClusterConfig> parse_cluster_config(std::string_view text,
         *err = at_line(lineno, "invalid client_batch '" + value + "'");
         return std::nullopt;
       }
+    } else if (key == "threads") {
+      if (!parse_u32(value, &cfg.threads)) {
+        *err = at_line(lineno, "invalid threads '" + value + "'");
+        return std::nullopt;
+      }
+    } else if (key == "io_threads") {
+      if (!parse_u32(value, &cfg.io_threads) || cfg.io_threads == 0) {
+        *err = at_line(lineno, "invalid io_threads '" + value +
+                                   "' (want >= 1)");
+        return std::nullopt;
+      }
     } else if (key == "keys") {
       cfg.keys_file = value;
     } else {
@@ -332,6 +343,8 @@ std::string format_cluster_config(const ClusterConfig& cfg) {
       << "max_inflight_batches = " << cfg.bft.max_inflight_batches << "\n"
       << "client_inflight = " << cfg.client_inflight << "\n"
       << "client_batch = " << cfg.client_batch << "\n"
+      << "threads = " << cfg.threads << "\n"
+      << "io_threads = " << cfg.io_threads << "\n"
       << "keys = " << cfg.keys_file << "\n";
   for (const auto& [id, ep] : cfg.replicas) {
     out << "replica " << id << " = " << ep.ip << ":" << ep.port << "\n";

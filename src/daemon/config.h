@@ -51,6 +51,11 @@ struct ClusterConfig {
   /// CP0 client pipelining (DESIGN.md §10); 1/1 = strict closed loop.
   uint32_t client_inflight = 1;
   uint32_t client_batch = 1;
+  /// Crypto worker-pool threads per replica (DESIGN.md §12); 0 = inline
+  /// (single-threaded protocol + crypto, the deterministic default).
+  uint32_t threads = 0;
+  /// Epoll event-loop threads for the socket transport (>= 1).
+  uint32_t io_threads = 1;
   /// Path of the dealer-seed file, as written in the config (resolved
   /// relative to the config file's directory by load_cluster_config).
   std::string keys_file;

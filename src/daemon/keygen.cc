@@ -30,6 +30,7 @@ int usage(const char* argv0) {
       "          [--seed <u64>] [--clients <count>] [--host <ip>]\n"
       "          [--checkpoint-interval <n>] [--max-batch <n>]\n"
       "          [--client-inflight <n>] [--client-batch <n>]\n"
+      "          [--threads <n>] [--io-threads <n>]\n"
       "          [--group modp_1024|modp_512|generate:<bits>] [--out <dir>]\n",
       argv0);
   return 2;
@@ -127,6 +128,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.client_batch = static_cast<uint32_t>(u);
+    } else if (arg == "--threads") {
+      if (!parse_u64_arg(val, &u) || u > 256) {
+        std::fprintf(stderr, "scab-keygen: invalid --threads '%s'\n", val);
+        return 2;
+      }
+      cfg.threads = static_cast<uint32_t>(u);
+    } else if (arg == "--io-threads") {
+      if (!parse_u64_arg(val, &u) || u < 1 || u > 64) {
+        std::fprintf(stderr, "scab-keygen: invalid --io-threads '%s'\n", val);
+        return 2;
+      }
+      cfg.io_threads = static_cast<uint32_t>(u);
     } else if (arg == "--group") {
       group = val;
     } else {

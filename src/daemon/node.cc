@@ -87,11 +87,13 @@ ReplicaDaemon::ReplicaDaemon(const ClusterConfig& cfg, uint32_t replica_id)
   for (const auto& [cid, ep] : cfg_.clients) peers[cid] = {ep.ip, ep.port};
   auto transport = std::make_unique<rt::SocketTransport>(
       self.port, std::move(peers),
-      /*jitter_seed=*/cfg_.dealer_seed ^ id_, self.ip);
+      /*jitter_seed=*/cfg_.dealer_seed ^ id_, self.ip,
+      /*io_threads=*/cfg_.io_threads);
   if (!transport->ok()) return;  // caller checks ok()
   transport->bind_metrics(&metrics_);  // before ThreadHost starts it
   port_ = transport->port();
-  host_ = std::make_unique<rt::ThreadHost>(std::move(transport), &metrics_);
+  host_ = std::make_unique<rt::ThreadHost>(std::move(transport), &metrics_,
+                                           /*pool_threads=*/cfg_.threads);
   app_ = causal::make_replica_app(bundle_.context(),
                                   std::make_unique<causal::EchoService>(0),
                                   id_);

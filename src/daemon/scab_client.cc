@@ -1,7 +1,14 @@
-// scab-client — closed-loop load driver against a running scabd cluster.
+// scab-client — load driver against a running scabd cluster.
 //
 //   scab-client --config cluster.conf --id 100 --ops 50
 //               [--op-size 32] [--timeout-s 60] [--metrics-out path]
+//               [--open-loop RATE]
+//
+// Default is the paper's closed loop (one op in flight per slot, the next
+// starts when the previous completes).  --open-loop RATE instead issues
+// ops at RATE per second regardless of completions — ticks that find every
+// slot busy SHED their op (counted, never queued) — and the summary adds
+// the achieved rate plus exact p50/p99 latency.
 //
 // The client id must be one of the config's provisioned `client` lines —
 // it determines the listen port replies arrive on, the keyring identity,
@@ -15,14 +22,17 @@
 // client_inflight/client_batch pipelining knobs for CP0.  On success
 // prints a one-line JSON summary to stdout and exits 0; incomplete after
 // --timeout-s exits 1.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bft/client.h"
 #include "causal/stack.h"
@@ -38,7 +48,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --config <cluster.conf> --id <client-id> "
                "--ops <count> [--op-size <bytes>] [--timeout-s <s>] "
-               "[--metrics-out <path>]\n",
+               "[--metrics-out <path>] [--open-loop <ops-per-sec>]\n",
                argv0);
   return 2;
 }
@@ -58,6 +68,7 @@ int main(int argc, char** argv) {
   long ops = -1;
   long op_size = 32;
   long timeout_s = 60;
+  long open_rate = 0;  // ops/sec; 0 = closed loop
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     long* slot = nullptr;
@@ -73,12 +84,13 @@ int main(int argc, char** argv) {
     else if (arg == "--ops") slot = &ops;
     else if (arg == "--op-size") slot = &op_size;
     else if (arg == "--timeout-s") slot = &timeout_s;
+    else if (arg == "--open-loop") slot = &open_rate;
     if (slot == nullptr || i + 1 >= argc || !parse_long(argv[++i], slot)) {
       return usage(argv[0]);
     }
   }
   if (config_path.empty() || client_id < 0 || ops <= 0 || op_size < 0 ||
-      timeout_s <= 0) {
+      timeout_s <= 0 || open_rate < 0) {
     return usage(argv[0]);
   }
 
@@ -103,7 +115,8 @@ int main(int argc, char** argv) {
   for (const auto& [rid, ep] : cfg->replicas) peers[rid] = {ep.ip, ep.port};
   auto transport = std::make_unique<scab::rt::SocketTransport>(
       self->second.port, std::move(peers),
-      /*jitter_seed=*/cfg->dealer_seed ^ id, self->second.ip);
+      /*jitter_seed=*/cfg->dealer_seed ^ id, self->second.ip,
+      /*io_threads=*/cfg->io_threads);
   if (!transport->ok()) {
     std::fprintf(stderr, "scab-client: cannot bind %s:%u\n",
                  self->second.ip.c_str(), self->second.port);
@@ -132,19 +145,33 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   const uint64_t want = static_cast<uint64_t>(ops);
   const std::size_t body = static_cast<std::size_t>(op_size);
-  host.post(id, [&client, want, body] {
-    client.run_closed_loop(
-        [body](uint64_t index) {
-          scab::Bytes op(body, 0x5c);
-          // Stamp the op with its index so every payload is distinct.
-          for (std::size_t i = 0; i < sizeof(uint64_t) && i < op.size();
-               ++i) {
-            op[i] = static_cast<uint8_t>(index >> (8 * i));
-          }
-          return op;
-        },
-        want);
-  });
+  auto gen = [body](uint64_t index) {
+    scab::Bytes op(body, 0x5c);
+    // Stamp the op with its index so every payload is distinct.
+    for (std::size_t i = 0; i < sizeof(uint64_t) && i < op.size(); ++i) {
+      op[i] = static_cast<uint8_t>(index >> (8 * i));
+    }
+    return op;
+  };
+  // Open loop: record per-op latency exactly (the registry histogram is
+  // log2-bucketed — good for dashboards, too coarse for a p99 report).
+  std::mutex lat_mu;
+  std::vector<double> lat_ms;
+  if (open_rate > 0) {
+    const auto interval =
+        static_cast<scab::host::Time>(1e9 / static_cast<double>(open_rate));
+    host.post(id, [&client, &lat_mu, &lat_ms, gen, want, interval] {
+      client.run_open_loop(
+          gen, want, interval,
+          [&lat_mu, &lat_ms](uint64_t, scab::host::Time s,
+                             scab::host::Time e) {
+            std::lock_guard<std::mutex> lk(lat_mu);
+            lat_ms.push_back(static_cast<double>(e - s) / 1e6);
+          });
+    });
+  } else {
+    host.post(id, [&client, gen, want] { client.run_closed_loop(gen, want); });
+  }
   const auto deadline = t0 + std::chrono::seconds(timeout_s);
   while (client.completed_ops() < want &&
          std::chrono::steady_clock::now() < deadline) {
@@ -161,11 +188,34 @@ int main(int argc, char** argv) {
       done > 0 ? static_cast<double>(client.total_latency()) / 1e6 /
                      static_cast<double>(done)
                : 0.0;
-  std::printf(
-      "{\"client\":%u,\"ops\":%llu,\"completed\":%llu,"
-      "\"elapsed_ms\":%.3f,\"mean_latency_ms\":%.3f}\n",
-      id, static_cast<unsigned long long>(want),
-      static_cast<unsigned long long>(done), elapsed_ms, mean_latency_ms);
+  if (open_rate > 0) {
+    std::sort(lat_ms.begin(), lat_ms.end());
+    auto pct = [&lat_ms](double p) {
+      if (lat_ms.empty()) return 0.0;
+      const std::size_t rank = static_cast<std::size_t>(
+          p * static_cast<double>(lat_ms.size() - 1));
+      return lat_ms[rank];
+    };
+    const double achieved =
+        elapsed_ms > 0.0 ? static_cast<double>(done) / (elapsed_ms / 1e3)
+                         : 0.0;
+    std::printf(
+        "{\"client\":%u,\"mode\":\"open\",\"target_rate\":%ld,"
+        "\"ops\":%llu,\"completed\":%llu,\"shed\":%llu,"
+        "\"elapsed_ms\":%.3f,\"achieved_rate\":%.1f,"
+        "\"mean_latency_ms\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+        id, open_rate, static_cast<unsigned long long>(want),
+        static_cast<unsigned long long>(done),
+        static_cast<unsigned long long>(
+            metrics.counter_value("client.shed")),
+        elapsed_ms, achieved, mean_latency_ms, pct(0.50), pct(0.99));
+  } else {
+    std::printf(
+        "{\"client\":%u,\"ops\":%llu,\"completed\":%llu,"
+        "\"elapsed_ms\":%.3f,\"mean_latency_ms\":%.3f}\n",
+        id, static_cast<unsigned long long>(want),
+        static_cast<unsigned long long>(done), elapsed_ms, mean_latency_ms);
+  }
   if (!metrics_out.empty()) {
     scab::daemon::write_file_atomic(
         metrics_out,

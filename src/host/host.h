@@ -35,6 +35,7 @@
 #include "host/cost_model.h"
 #include "host/fault.h"
 #include "host/time.h"
+#include "host/worker_pool.h"
 
 namespace scab::host {
 
@@ -78,9 +79,15 @@ class Executor {
   virtual void post(NodeId node, std::function<void()> fn) = 0;
 };
 
-/// A complete runtime: clock + timers + transport + per-node executors,
-/// plus endpoint registration and the cost-charging hook.
-class Host : public Clock, public Timers, public Transport, public Executor {
+/// A complete runtime: clock + timers + transport + per-node executors +
+/// crypto worker pool, plus endpoint registration and the cost-charging
+/// hook.  The WorkerPool default (inline submit) is what the deterministic
+/// simulator keeps; rt::ThreadHost overrides it with real threads.
+class Host : public Clock,
+             public Timers,
+             public Transport,
+             public Executor,
+             public WorkerPool {
  public:
   /// Registers `endpoint` as node `id`.  Must complete before any traffic
   /// or timers target the node.
@@ -130,6 +137,9 @@ class HostBound : public Base, public Node {
   void charge(Op op, std::size_t bytes) {
     host_.charge(id_, costs_.cost(op, bytes));
   }
+  /// Hands `job` to the host's worker pool; the continuation it returns is
+  /// posted back to this node's executor (host/worker_pool.h contract).
+  void offload(PoolJob job) { host_.submit(id_, std::move(job)); }
 
   Host& host() const { return host_; }
 

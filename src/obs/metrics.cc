@@ -7,13 +7,17 @@
 
 namespace scab::obs {
 
-Histogram::Shard& Histogram::local_shard() {
+std::size_t Histogram::thread_shard_slot() {
   // Threads are striped across shards round-robin by first touch; a sim run
-  // is single-threaded and always lands on shard 0.
+  // is single-threaded and always lands on one shard.
   static std::atomic<std::size_t> next_thread{0};
   thread_local const std::size_t idx =
       next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
-  return shards_[idx];
+  return idx;
+}
+
+Histogram::Shard& Histogram::local_shard() {
+  return shards_[thread_shard_slot()];
 }
 
 void Histogram::record(uint64_t value) {

@@ -106,6 +106,13 @@ class Histogram {
 
   void merge_from(const Histogram& other);
 
+  /// Shard index the CALLING thread writes to (assigned round-robin by
+  /// first touch, stable for the thread's lifetime, shared by every
+  /// Histogram instance).  Exposed so tests can assert the contention
+  /// structure — concurrent recorders land on distinct cache lines —
+  /// without poking at Shard internals.
+  static std::size_t thread_shard_slot();
+
  private:
   // Writers hit a per-thread shard (cache-line aligned, relaxed atomics);
   // readers aggregate across shards.  Aggregation is a sum, so the merged

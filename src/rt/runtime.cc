@@ -148,7 +148,7 @@ ThreadHost::Faults::Verdict ThreadHost::Faults::filter(host::NodeId from,
 // ThreadHost
 
 ThreadHost::ThreadHost(std::unique_ptr<rt::Transport> transport,
-                       obs::MetricsRegistry* metrics)
+                       obs::MetricsRegistry* metrics, std::size_t pool_threads)
     : epoch_(SteadyClock::now()),
       transport_(transport ? std::move(transport)
                            : std::make_unique<ChannelTransport>()),
@@ -156,6 +156,10 @@ ThreadHost::ThreadHost(std::unique_ptr<rt::Transport> transport,
   m_.drops_crash = &metrics_.counter("net.drops.crash");
   m_.drops_cut = &metrics_.counter("net.drops.cut");
   m_.drops_tamper = &metrics_.counter("net.drops.tamper");
+  pool_workers_.reserve(pool_threads);
+  for (std::size_t i = 0; i < pool_threads; ++i) {
+    pool_workers_.emplace_back([this] { pool_loop(); });
+  }
   transport_->set_deliver([this](host::NodeId from, host::NodeId to,
                                  Bytes msg) { deliver(from, to, std::move(msg)); });
   transport_->start();
@@ -189,6 +193,7 @@ void ThreadHost::bind(host::NodeId id, host::Node* endpoint) {
 
   std::lock_guard<std::mutex> lk(mu_);
   if (stopped_) return;
+  ++generations_[id];  // pool completions for the old incarnation are stale
   auto w = std::make_shared<Worker>(endpoint);
   Worker* raw = w.get();
   raw->thread = std::thread([raw] { raw->loop(); });
@@ -201,6 +206,7 @@ void ThreadHost::unbind(host::NodeId id) {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = workers_.find(id);
     if (it == workers_.end()) return;
+    ++generations_[id];  // in-flight pool jobs for this node must not land
     w = std::move(it->second);
     workers_.erase(it);
   }
@@ -229,6 +235,62 @@ void ThreadHost::post(host::NodeId node, std::function<void()> fn) {
 
 void ThreadHost::send(host::NodeId from, host::NodeId to, Bytes msg) {
   transport_->send(from, to, std::move(msg));
+}
+
+void ThreadHost::submit(host::NodeId owner, host::PoolJob job) {
+  if (!job) return;
+  if (pool_workers_.empty()) {
+    // No pool: the WorkerPool contract degenerates to inline execution on
+    // the caller (which IS the owner's executor — see host/worker_pool.h).
+    if (auto cont = job()) cont();
+    return;
+  }
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    generation = generations_[owner];
+  }
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (pool_stopping_) return;
+    pool_tasks_.push_back(PoolTask{owner, generation, std::move(job)});
+  }
+  pool_cv_.notify_one();
+}
+
+void ThreadHost::pool_loop() {
+  for (;;) {
+    PoolTask task;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk, [this] { return pool_stopping_ || !pool_tasks_.empty(); });
+      if (pool_stopping_) return;  // remaining jobs are dropped by stop()
+      task = std::move(pool_tasks_.front());
+      pool_tasks_.pop_front();
+    }
+    // Stale check BEFORE running: if the owner was unbound (crash/restart)
+    // since submit, the work is for a dead incarnation — skip it entirely.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopped_ || generations_[task.owner] != task.generation) continue;
+    }
+    auto cont = task.job();
+    if (!cont) continue;
+    // Post the continuation back to the owner's mailbox, re-checking the
+    // generation under mu_ so a completion cannot land on a node that
+    // crashed (or was replaced) while the job ran.  push_task on a stopping
+    // worker no-ops, closing the remaining race.
+    std::shared_ptr<Worker> w;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopped_ || generations_[task.owner] != task.generation) continue;
+      auto it = workers_.find(task.owner);
+      if (it == workers_.end()) continue;
+      w = it->second;
+    }
+    w->push_task(std::move(cont));
+  }
 }
 
 void ThreadHost::deliver(host::NodeId from, host::NodeId to, Bytes msg) {
@@ -270,6 +332,18 @@ void ThreadHost::stop() {
     stopped_ = true;
   }
   transport_->stop();  // no new inbound deliveries
+  // Pool next: queued jobs are dropped, running jobs finish (their
+  // completions no-op against stopped_), threads join before the per-node
+  // workers so no pool thread can touch a dead Worker.
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_stopping_ = true;
+    pool_tasks_.clear();
+  }
+  pool_cv_.notify_all();
+  for (auto& t : pool_workers_) {
+    if (t.joinable()) t.join();
+  }
   std::vector<std::shared_ptr<Worker>> ws;
   {
     std::lock_guard<std::mutex> lk(mu_);

@@ -13,6 +13,10 @@
 //   send       delegated to an rt::Transport (in-process ChannelTransport
 //              by default; SocketTransport for multi-process runs)
 //   post       enqueue onto the node's mailbox
+//   submit     shared crypto worker pool (DESIGN.md §12): jobs fan out over
+//              `pool_threads` real threads; each completion is posted back
+//              to the owning node's mailbox.  0 threads = inline (the
+//              WorkerPool default, same sequencing as the simulator).
 //   charge     NO-OP: real time is measured, not modeled (DESIGN.md §8)
 //   stop       joins every worker; pending timers and tasks are dropped
 //
@@ -47,8 +51,11 @@ class ThreadHost final : public host::Host {
  public:
   /// `transport` defaults to an in-process ChannelTransport.  `metrics`
   /// (optional) receives the fault filter's "net.drops.*" counters.
+  /// `pool_threads` sizes the shared crypto worker pool (0 = run submit()
+  /// jobs inline on the caller).
   explicit ThreadHost(std::unique_ptr<rt::Transport> transport = nullptr,
-                      obs::MetricsRegistry* metrics = nullptr);
+                      obs::MetricsRegistry* metrics = nullptr,
+                      std::size_t pool_threads = 0);
   ~ThreadHost() override;
 
   host::Time now() const override;
@@ -59,6 +66,8 @@ class ThreadHost final : public host::Host {
                 std::function<void()> fn) override;
   void post(host::NodeId node, std::function<void()> fn) override;
   void send(host::NodeId from, host::NodeId to, Bytes msg) override;
+  void submit(host::NodeId owner, host::PoolJob job) override;
+  std::size_t pool_threads() const override { return pool_workers_.size(); }
   void charge(host::NodeId node, host::Time cost) override {
     (void)node;
     (void)cost;  // real hosts measure; they do not model
@@ -125,6 +134,7 @@ class ThreadHost final : public host::Host {
 
   std::shared_ptr<Worker> worker(host::NodeId id) const;
   void deliver(host::NodeId from, host::NodeId to, Bytes msg);
+  void pool_loop();
 
   const SteadyClock::time_point epoch_;
   std::unique_ptr<rt::Transport> transport_;
@@ -135,6 +145,22 @@ class ThreadHost final : public host::Host {
   mutable std::mutex mu_;  // guards workers_ (bind/unbind vs lookups)
   std::unordered_map<host::NodeId, std::shared_ptr<Worker>> workers_;
   bool stopped_ = false;
+  // Bind generation per node id, bumped on bind AND unbind (under mu_): a
+  // pool completion for an earlier incarnation of the id is stale and must
+  // be dropped, exactly like a message to a crashed node.
+  std::unordered_map<host::NodeId, uint64_t> generations_;
+
+  /// A queued pool job with the owner snapshot taken at submit time.
+  struct PoolTask {
+    host::NodeId owner;
+    uint64_t generation;
+    host::PoolJob job;
+  };
+  std::mutex pool_mu_;  // guards pool_tasks_/pool_stopping_ only
+  std::condition_variable pool_cv_;
+  std::deque<PoolTask> pool_tasks_;
+  bool pool_stopping_ = false;
+  std::vector<std::thread> pool_workers_;
 
   obs::MetricsRegistry& metrics_;
   struct {

@@ -8,6 +8,13 @@
 //    nodes; remote node ids are routed by a peer table.  Frame format
 //    (little-endian): u32 payload_len | u32 from | u32 to | payload.
 //
+//    Internally an EPOLL EVENT LOOP, not thread-per-connection: each of the
+//    `io_threads` loops multiplexes its share of the connections through one
+//    epoll fd with nonblocking accept/read/write, so thousands of inbound
+//    connections cost one thread, not one thread each.  Cross-thread sends
+//    are handed to the owning loop via a task queue + eventfd wakeup;
+//    per-connection write queues toggle EPOLLOUT interest for backpressure.
+//
 // Transports are dumb pipes: no retries, no ordering guarantees beyond TCP
 // per-connection FIFO, no authentication (the protocol layer MACs every
 // message; see bft/envelope.h).  Failures are never silent, though: every
@@ -20,13 +27,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.h"
@@ -81,11 +89,13 @@ class SocketTransport final : public Transport {
   /// environments.  `jitter_seed` feeds the deterministic
   /// reconnect-backoff jitter.  The default bind address stays loopback
   /// (tests, single-host clusters); the daemon passes "0.0.0.0" for real
-  /// deployments.
+  /// deployments.  `io_threads` is the number of epoll event loops
+  /// (clamped to >= 1); connections are spread across them.
   explicit SocketTransport(uint16_t listen_port,
                            std::map<NodeId, Peer> peers = {},
                            uint64_t jitter_seed = 0,
-                           const std::string& bind_ip = "127.0.0.1");
+                           const std::string& bind_ip = "127.0.0.1",
+                           std::size_t io_threads = 1);
   ~SocketTransport() override;
 
   /// How accept(2) errors are handled (classification is a pure function
@@ -102,6 +112,7 @@ class SocketTransport final : public Transport {
 
   bool ok() const { return listen_fd_ >= 0; }
   uint16_t port() const { return port_; }
+  std::size_t io_threads() const { return loops_.size(); }
 
   /// Adds/replaces a remote route (before start(); not thread-safe after).
   void add_peer(NodeId id, Peer peer) { peers_[id] = std::move(peer); }
@@ -131,40 +142,76 @@ class SocketTransport final : public Transport {
   void send(NodeId from, NodeId to, Bytes msg) override;
 
  private:
-  /// Outbound connection state for one peer.  fd < 0 means disconnected;
-  /// after a failure, reconnect attempts are gated by next_attempt with
-  /// capped exponential backoff (plus jitter) keyed on consecutive failures.
+  /// One connection's state, owned exclusively by the event loop it is
+  /// registered with — no lock needed on any per-connection field.
+  struct Conn {
+    int fd = -1;
+    bool outbound = false;    // we opened it (has a dest); else accepted
+    bool connecting = false;  // nonblocking connect awaiting EPOLLOUT
+    bool want_write = false;  // EPOLLOUT currently armed
+    NodeId dest = 0;          // valid when outbound
+    // Inbound ring: bytes appended on read, frames consumed from in_off
+    // (compacted periodically instead of erasing per frame).
+    Bytes inbuf;
+    std::size_t in_off = 0;
+    // Outbound queue of fully framed messages; out_off is the write cursor
+    // into the front frame.  Bounded by kMaxOutqBytes (backpressure: excess
+    // sends are dropped and counted, never buffered unboundedly).
+    std::deque<Bytes> outq;
+    std::size_t out_off = 0;
+    std::size_t outq_bytes = 0;
+  };
+
+  /// Outbound reconnect gate for one peer (loop-thread-only state).
+  /// fd < 0 means disconnected; after a failure, reconnect attempts are
+  /// gated by next_attempt with capped exponential backoff (plus jitter)
+  /// keyed on consecutive failures.
   struct OutState {
     int fd = -1;
     uint32_t failures = 0;
     std::chrono::steady_clock::time_point next_attempt{};
   };
 
-  int connect_to(const Peer& peer);
-  void accept_loop();
-  void read_loop(int fd);
-  void note_send_error();
+  /// One epoll event loop.  Everything except `mu`/`tasks`/`wake_armed`
+  /// (the cross-thread handoff) is touched only by the loop's own thread.
+  struct Loop {
+    std::size_t idx = 0;
+    int epfd = -1;
+    int wake_fd = -1;  // eventfd: cross-thread task handoff
+    std::thread thread;
+    std::mutex mu;  // guards tasks + wake_armed only
+    std::deque<std::function<void()>> tasks;
+    bool wake_armed = false;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;  // by fd
+    std::unordered_map<NodeId, OutState> outs;             // by dest
+    uint64_t jitter_state = 0;
+  };
+
+  Loop& loop_for(NodeId to) { return *loops_[to % loops_.size()]; }
+  void loop_run(Loop& loop);
+  void loop_post(Loop& loop, std::function<void()> task);
+  void loop_send(Loop& loop, NodeId to, Bytes frame);
+  void adopt_inbound(Loop& loop, int fd);
+  void handle_accept(Loop& loop);
+  void handle_wake(Loop& loop);
+  /// Returns false if the connection was killed.
+  bool handle_read(Loop& loop, int fd);
+  bool flush_writes(Loop& loop, int fd);
+  void kill_conn(Loop& loop, int fd);
+  void set_write_interest(Loop& loop, Conn& c, bool on);
+  void note_send_error(uint64_t n = 1);
   void note_accept_error();
-  void arm_backoff(OutState& out);  // call with mu_ held
+  void arm_backoff(Loop& loop, OutState& out);
 
   std::map<NodeId, Peer> peers_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
-  std::mutex mu_;  // guards conns_, reader_threads_, inbound_fds_,
-                   // stopping_, jitter_state_
-  std::unordered_map<NodeId, OutState> conns_;  // outbound, keyed by dest
-  std::vector<std::thread> reader_threads_;
-  // Accepted connections currently owned by a read_loop.  stop() must
-  // shutdown(2) these: a reader blocked in recv on a connection whose far
-  // end is still alive (a remote process that outlives us) would otherwise
-  // never unblock and stop() would hang on the join.  Each read_loop
-  // erases its fd before closing it, so a recycled fd number can never be
-  // shut down by mistake.
-  std::unordered_set<int> inbound_fds_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::size_t accept_rr_ = 0;  // round-robin for accepted fds; loop 0 only
+  std::mutex lifecycle_mu_;    // guards started_/stop_done_ transitions
   bool started_ = false;
-  bool stopping_ = false;
-  uint64_t jitter_state_;
+  bool stop_done_ = false;
+  std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> send_errors_{0};
   std::atomic<uint64_t> accept_errors_{0};
   obs::Counter* send_errors_counter_ = nullptr;

@@ -459,13 +459,17 @@ std::vector<Bytes> run_batched_workload(RuntimeKind runtime) {
       if (cluster.client(c).completed_ops() < kOpsPerClient) return false;
     }
     // The client completes on an f+1 quorum; wait for the stragglers too.
+    // The BFT-layer executed counter is not enough here: CP0 executes the
+    // payloads only after the reveal, so a straggler can match replica 0's
+    // ordered-request count while its last envelope is still collecting
+    // shares — poll the service log (payload granularity) instead.
     for (uint32_t r = 0; r < cluster.n(); ++r) {
-      if (cluster.replica_executed(r) !=
-          cluster.replica_executed(0)) {
+      if (dynamic_cast<LogService&>(cluster.service(r)).log().size() !=
+          kClients * kOpsPerClient) {
         return false;
       }
     }
-    return cluster.replica_executed(0) > 0;
+    return true;
   };
   EXPECT_TRUE(run_until(cluster, all_done, 60 * host::kSecond))
       << "batched workload did not complete on "

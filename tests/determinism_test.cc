@@ -24,7 +24,8 @@ struct RunSignature {
   bool operator==(const RunSignature&) const = default;
 };
 
-RunSignature run_stack(Protocol protocol, Engine engine, uint64_t seed) {
+RunSignature run_stack(Protocol protocol, Engine engine, uint64_t seed,
+                       uint32_t worker_threads = 0) {
   ClusterOptions opts;
   opts.protocol = protocol;
   opts.engine = engine;
@@ -33,6 +34,7 @@ RunSignature run_stack(Protocol protocol, Engine engine, uint64_t seed) {
   opts.costs = sim::CostModel::default_symmetric_era();
   opts.num_clients = 2;
   opts.seed = seed;
+  opts.worker_threads = worker_threads;
   opts.service_factory = [] { return std::make_unique<apps::KvStore>(); };
   Cluster cluster(opts);
 
@@ -67,6 +69,21 @@ class DeterminismTest : public ::testing::TestWithParam<Protocol> {};
 TEST_P(DeterminismTest, SameSeedSameExecutionToTheNanosecond) {
   const RunSignature a = run_stack(GetParam(), Engine::kPbftEngine, 77);
   const RunSignature b = run_stack(GetParam(), Engine::kPbftEngine, 77);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.completed, 12u);
+}
+
+TEST_P(DeterminismTest, WorkerThreadKnobDoesNotPerturbSimRuns) {
+  // The crypto worker-pool knob (ClusterOptions::worker_threads, DESIGN.md
+  // §12) is a no-op under the simulator: SimHost keeps the WorkerPool
+  // default, which runs offloaded jobs and their continuations inline on
+  // the owner's executor.  A sim run with threads=8 must therefore replay
+  // BIT-IDENTICALLY against threads=0 — the property that lets the same
+  // protocol sources run deterministic repro and multicore deployment.
+  const RunSignature a = run_stack(GetParam(), Engine::kPbftEngine, 77,
+                                   /*worker_threads=*/0);
+  const RunSignature b = run_stack(GetParam(), Engine::kPbftEngine, 77,
+                                   /*worker_threads=*/8);
   EXPECT_EQ(a, b);
   EXPECT_EQ(a.completed, 12u);
 }

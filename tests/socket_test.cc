@@ -13,14 +13,18 @@
 //    TCP_NODELAY on both accepted and outbound sockets the median RTT is
 //    far below the ~40 ms delayed-ACK interaction the option avoids.
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -183,6 +187,150 @@ TEST(SocketTransportLatency, LoopbackRoundTripStaysSubDelayedAck) {
   // Delayed-ACK + Nagle interaction steps RTT to ~40 ms; with TCP_NODELAY
   // on both directions loopback stays well under a generous CI bound.
   EXPECT_LT(median, 20.0) << "median RTT suggests Nagle is back";
+}
+
+// Raises the soft RLIMIT_NOFILE toward `want` (capped by the hard limit);
+// returns the resulting soft limit, or 0 if it cannot even be read.
+std::size_t raise_nofile(rlim_t want) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 0;
+  if (rl.rlim_cur < want) {
+    rlimit raised = rl;
+    raised.rlim_cur = std::min<rlim_t>(want, rl.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) rl = raised;
+  }
+  return static_cast<std::size_t>(rl.rlim_cur);
+}
+
+// Blocking loopback connect; returns the fd or -1.
+int connect_loopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// The event-loop claim, tested at the scale thread-per-connection cannot
+// reach: ~1000 concurrent inbound connections served by ONE io thread,
+// every connection's frame delivered while all of them stay open.  The
+// connection count shrinks to the process's fd budget when the rlimit is
+// tight (this binary holds both ends of every connection).
+TEST(EpollSoak, ThousandConnectionsOnOneIoThread) {
+  const std::size_t nofile = raise_nofile(4096);
+  // Both ends live here: 2 fds per connection, plus generous headroom for
+  // the transport's own fds, gtest, and stdio.
+  const std::size_t budget = nofile > 256 ? (nofile - 256) / 2 : 0;
+  const std::size_t conns = std::min<std::size_t>(1000, budget);
+  if (conns < 64) {
+    GTEST_SKIP() << "fd limit " << nofile << " leaves no room for a soak";
+  }
+
+  SocketTransport server(0, {}, 0, "127.0.0.1", /*io_threads=*/1);
+  if (!server.ok()) {
+    GTEST_SKIP() << "cannot bind loopback sockets in this environment";
+  }
+  ASSERT_EQ(server.io_threads(), 1u);
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> payload_sum{0};
+  server.set_deliver([&](host::NodeId from, host::NodeId to, Bytes msg) {
+    if (to == 1 && msg.size() == 16) {
+      payload_sum.fetch_add(from, std::memory_order_relaxed);
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  server.start();
+
+  // Phase 1: open every connection before sending anything, so the epoll
+  // loop really multiplexes `conns` live fds at once.
+  std::vector<int> fds;
+  fds.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    const int fd = connect_loopback(server.port());
+    if (fd < 0) break;  // fd budget mis-estimated: soak what we got
+    fds.push_back(fd);
+  }
+  ASSERT_GE(fds.size(), 64u) << "could not open enough connections";
+
+  // Phase 2: one frame per connection (u32 len | u32 from | u32 to | 16B).
+  uint64_t expect_sum = 0;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const uint32_t from = static_cast<uint32_t>(100 + i);
+    expect_sum += from;
+    uint8_t frame[12 + 16] = {};
+    const uint32_t len = 16, to = 1;
+    std::memcpy(frame, &len, 4);
+    std::memcpy(frame + 4, &from, 4);
+    std::memcpy(frame + 8, &to, 4);
+    std::memset(frame + 12, 0x5d, 16);
+    ASSERT_EQ(::send(fds[i], frame, sizeof(frame), 0),
+              static_cast<ssize_t>(sizeof(frame)));
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (delivered.load(std::memory_order_relaxed) < fds.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(delivered.load(), fds.size())
+      << "epoll loop lost frames; accept_errors = " << server.accept_errors();
+  EXPECT_EQ(payload_sum.load(), expect_sum) << "from-ids corrupted in flight";
+
+  for (int fd : fds) ::close(fd);
+  server.stop();  // must unwind ~1000 registered conns promptly
+}
+
+// Same soak sharded over several io threads: accepted connections are
+// spread round-robin, and every loop's share must deliver.
+TEST(EpollSoak, ConnectionsSpreadAcrossIoThreads) {
+  const std::size_t nofile = raise_nofile(2048);
+  const std::size_t budget = nofile > 256 ? (nofile - 256) / 2 : 0;
+  const std::size_t conns = std::min<std::size_t>(256, budget);
+  if (conns < 32) {
+    GTEST_SKIP() << "fd limit " << nofile << " leaves no room for a soak";
+  }
+  SocketTransport server(0, {}, 0, "127.0.0.1", /*io_threads=*/4);
+  if (!server.ok()) {
+    GTEST_SKIP() << "cannot bind loopback sockets in this environment";
+  }
+  ASSERT_EQ(server.io_threads(), 4u);
+  std::atomic<uint64_t> delivered{0};
+  server.set_deliver([&](host::NodeId, host::NodeId, Bytes) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  server.start();
+
+  std::vector<int> fds;
+  for (std::size_t i = 0; i < conns; ++i) {
+    const int fd = connect_loopback(server.port());
+    if (fd < 0) break;
+    fds.push_back(fd);
+    const uint32_t len = 4, from = static_cast<uint32_t>(i), to = 1;
+    uint8_t frame[16] = {};
+    std::memcpy(frame, &len, 4);
+    std::memcpy(frame + 4, &from, 4);
+    std::memcpy(frame + 8, &to, 4);
+    ASSERT_EQ(::send(fd, frame, sizeof(frame), 0),
+              static_cast<ssize_t>(sizeof(frame)));
+  }
+  ASSERT_GE(fds.size(), 32u);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (delivered.load() < fds.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(delivered.load(), fds.size());
+  for (int fd : fds) ::close(fd);
+  server.stop();
 }
 
 }  // namespace
