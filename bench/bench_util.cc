@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "crypto/aead.h"
@@ -349,7 +350,12 @@ void open_json_artifact(bool enabled, const std::string& name) {
     g_artifact = nullptr;
   }
   if (!enabled) return;
-  const std::string path = "BENCH_" + name + ".json";
+  // Artifacts land in $SCAB_BENCH_DIR when set (CI points it at
+  // build/bench/ so JSON dumps never litter the source tree), else cwd.
+  std::string path = "BENCH_" + name + ".json";
+  if (const char* dir = std::getenv("SCAB_BENCH_DIR"); dir != nullptr && *dir) {
+    path = std::string(dir) + "/" + path;
+  }
   g_artifact = std::fopen(path.c_str(), "w");
   if (!g_artifact) {
     std::fprintf(stderr, "warning: cannot open %s for writing\n", path.c_str());

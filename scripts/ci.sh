@@ -14,11 +14,18 @@ cmake --build --preset default -j"$JOBS"
 echo "=== test suite ==="
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+# All JSON bench artifacts (BENCH_*.json) collect under build/bench/ —
+# both the shell redirections below and the files the benches write
+# themselves (via SCAB_BENCH_DIR) — so the source tree stays clean.
+BENCH_DIR="build/bench"
+mkdir -p "$BENCH_DIR"
+export SCAB_BENCH_DIR="$BENCH_DIR"
+
 echo "=== crypto microbench (batch-verification amortization) ==="
 # Optimized build only: emits per-op ns for single vs batch verification at
 # k in {4,16,64} and exits non-zero if batch at k=16 is not >=4x cheaper.
-./build/bench/bench_micro_crypto > BENCH_crypto.json
-cat BENCH_crypto.json
+./build/bench/bench_micro_crypto > "$BENCH_DIR/BENCH_crypto.json"
+cat "$BENCH_DIR/BENCH_crypto.json"
 
 echo "=== parallel crypto bench (worker-pool scaling sweep) ==="
 # TDH2 batch verification over the rt::ThreadHost worker pool at T in
@@ -26,12 +33,12 @@ echo "=== parallel crypto bench (worker-pool scaling sweep) ==="
 # hardware threads, exit 77 (skip) otherwise.  Self-validates the record
 # against the schema's required_parallel paths.
 if ./build/bench/bench_parallel_crypto bench/metrics_schema.json \
-     > BENCH_parallel.json; then
-  cat BENCH_parallel.json
+     > "$BENCH_DIR/BENCH_parallel.json"; then
+  cat "$BENCH_DIR/BENCH_parallel.json"
 else
   rc=$?
   if [ "$rc" -eq 77 ]; then
-    cat BENCH_parallel.json
+    cat "$BENCH_DIR/BENCH_parallel.json"
     echo "parallel crypto gate skipped: fewer than 8 hardware threads"
   else
     exit "$rc"
@@ -45,12 +52,12 @@ echo "=== pipeline bench (batched CP0 envelopes; writes BENCH_pipeline.json) ===
 ./build/bench/bench_peak_pipeline --json > /dev/null
 
 echo "=== fig6 quick slice (writes BENCH_fig6_peak_throughput.json) ==="
-# f=1 column only: keeps a fresh JSON trajectory artifact at the repo root
+# f=1 column only: keeps a fresh JSON trajectory artifact under $BENCH_DIR
 # without paying for the full three-column sweep on every CI run.
 ./build/bench/bench_fig6_peak_throughput --json --quick > /dev/null
 
 echo "=== bench smoke (metrics JSON vs schema + crypto bench artifact) ==="
-./build/bench/bench_smoke bench/metrics_schema.json BENCH_crypto.json
+./build/bench/bench_smoke bench/metrics_schema.json "$BENCH_DIR/BENCH_crypto.json"
 
 echo "=== cluster smoke (multi-process scabd over loopback TCP) ==="
 # keygen -> 4-process cluster -> load, kill -9, restart, catch-up, dump
@@ -72,6 +79,11 @@ echo "=== chaos smoke (seeded fault schedules, fixed seeds, both runtimes) ==="
 # seeds are fixed in the tests, so a failure here is a real regression, not
 # flakiness.  Budget is ~30 s (the threaded sweep dominates).
 ctest --test-dir build --output-on-failure -j"$JOBS" -R "Chaos|Faults"
+
+echo "=== durability smoke (WAL / snapshot storage + power-loss recovery) ==="
+# The storage-layer unit suites (CRC framing, torn-tail truncation, bit-flip
+# fuzz) plus the full-cluster crash/recovery drills on both runtimes.
+ctest --test-dir build --output-on-failure -j"$JOBS" -R "Storage|Durability"
 
 echo "=== sanitizer build (ASan + UBSan) ==="
 cmake --preset sanitize

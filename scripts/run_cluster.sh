@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Multi-process cluster smoke: keygen -> n scabd processes -> three
+# Multi-process cluster smoke: keygen -> n scabd processes (durability =
+# fsync, so every replica keeps a WAL + snapshots on disk) -> three
 # scab-client phases with a kill -9 + restart in between -> metrics dumps
-# validated with scab-metrics-check.
+# validated with scab-metrics-check -> a full-cluster power loss (kill -9
+# of EVERY replica mid-traffic, restart all from their data directories).
 #
 # Asserts, end to end over real TCP:
 #   * every phase's ops commit (no loss; scab-client exits non-zero on
@@ -11,6 +13,10 @@
 #   * the kill -9'd replica, restarted as a fresh process, caught up via
 #     the checkpoint protocol (bft.recovery.catchups_completed >= 1) and
 #     converged to the same executed count;
+#   * after the power loss, every replica recovered from snapshot + WAL
+#     (bft.recovery.snapshot_loaded >= 1, required_durability section) and
+#     converged to EXACTLY the grand-total count — nothing lost, nothing
+#     re-executed;
 #   * every dump is schema-valid JSON (required_daemon section).
 #
 # Env knobs: BUILD (build dir, default ./build), PROTOCOL (default cp0),
@@ -26,11 +32,16 @@ F="${F:-1}"
 N=$((3 * F + 1))
 SEED="${SEED:-42}"
 BASE_PORT="${BASE_PORT:-$((20000 + RANDOM % 40000))}"
-OPS_A=20 OPS_B=20 OPS_C=40
+OPS_A=20 OPS_B=20 OPS_C=40 OPS_D=60
 TOTAL=$((OPS_A + OPS_B + OPS_C))
+GRAND_TOTAL=$((TOTAL + OPS_D))
 # CP1 runs each logical op as two BFT requests (commit + reveal).
 EXPECTED=$TOTAL
-[ "$PROTOCOL" = "cp1" ] && EXPECTED=$((2 * TOTAL))
+EXPECTED_D=$GRAND_TOTAL
+if [ "$PROTOCOL" = "cp1" ]; then
+  EXPECTED=$((2 * TOTAL))
+  EXPECTED_D=$((2 * GRAND_TOTAL))
+fi
 
 for tool in scabd scab-client scab-keygen scab-metrics-check; do
   if [ ! -x "$BIN/$tool" ]; then
@@ -50,8 +61,11 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# durability=fsync + a data dir: replicas WAL every acceptance/execution
+# and snapshot at stable checkpoints, which is what phase D recovers from.
 "$BIN/scab-keygen" --f "$F" --protocol "$PROTOCOL" --seed "$SEED" \
-  --base-port "$BASE_PORT" --clients 3 --checkpoint-interval 8 --out "$DIR"
+  --base-port "$BASE_PORT" --clients 4 --checkpoint-interval 8 \
+  --durability fsync --data-dir data --out "$DIR"
 
 start_replica() {
   local i=$1
@@ -127,6 +141,49 @@ for i in $(seq 0 $((N - 2))); do
     --eq metrics/counters/bft.requests_executed=$EXPECTED
 done
 
+echo "== phase D: power loss — kill -9 ALL replicas mid-traffic, restart all"
+# The client keeps retrying across the outage; the replicas come back as
+# brand-new processes whose only state is the data directory.
+"$BIN/scab-client" --config "$DIR/cluster.conf" --id 103 --ops "$OPS_D" \
+  --timeout-s 120 &
+CLIENT_PID=$!
+sleep 0.3
+for i in $(seq 0 $((N - 1))); do kill -9 "${PIDS[$i]}" 2>/dev/null || true; done
+sleep 0.5
+for i in $(seq 0 $((N - 1))); do start_replica "$i"; done
+if ! wait "$CLIENT_PID"; then
+  echo "run_cluster: phase D client did not complete after the power loss" >&2
+  exit 1
+fi
+
+# Every replica must converge to EXACTLY the grand total (fewer = loss,
+# more = re-execution after recovery) having loaded its snapshot, with the
+# durability instruments present (required_durability section).  Laggards
+# finish WAL replay + catch-up asynchronously; poll like phase C.
+for i in $(seq 0 $((N - 1))); do
+  RECOVERED=0
+  for attempt in $(seq 1 40); do
+    kill -USR1 "${PIDS[$i]}" 2>/dev/null || true
+    sleep 0.25
+    if "$BIN/scab-metrics-check" "$DIR/metrics-$i.json" \
+         --schema bench/metrics_schema.json --section required_durability \
+         --eq metrics/counters/bft.requests_executed=$EXPECTED_D \
+         --min metrics/counters/bft.recovery.snapshot_loaded=1 \
+         >/dev/null 2>&1; then
+      RECOVERED=1
+      break
+    fi
+  done
+  if [ "$RECOVERED" != 1 ]; then
+    echo "run_cluster: replica $i did not recover exactly after the power loss" >&2
+    "$BIN/scab-metrics-check" "$DIR/metrics-$i.json" \
+      --schema bench/metrics_schema.json --section required_durability \
+      --eq metrics/counters/bft.requests_executed=$EXPECTED_D \
+      --min metrics/counters/bft.recovery.snapshot_loaded=1 || true
+    exit 1
+  fi
+done
+
 echo "== clean shutdown"
 for i in $(seq 0 $((N - 1))); do kill -TERM "${PIDS[$i]}" 2>/dev/null || true; done
 for i in $(seq 0 $((N - 1))); do
@@ -137,4 +194,4 @@ for i in $(seq 0 $((N - 1))); do
 done
 PIDS=()
 
-echo "run_cluster: OK — $TOTAL ops, kill -9 + restart + catch-up, protocol $PROTOCOL, n=$N"
+echo "run_cluster: OK — $GRAND_TOTAL ops, kill -9 + restart + catch-up + full-cluster power loss, protocol $PROTOCOL, n=$N"

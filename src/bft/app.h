@@ -58,6 +58,13 @@ class ReplicaContext {
   /// Schedules an app-level timer (amplification delays, cleanup checks).
   virtual void schedule(host::Time delay, std::function<void()> fn) = 0;
 
+  /// Appends an application-level record to the replica's durable WAL
+  /// (DESIGN.md §13).  The causal engines log "request X executed" here so
+  /// a post-crash replay never runs a revealed operation twice.  Records
+  /// are replayed, in append order interleaved with the BFT records, via
+  /// ReplicaApp::on_wal_record.  No-op on a replica without storage.
+  virtual void wal_append(BytesView record) { (void)record; }
+
   /// CPU cost charging and utilities.
   virtual void charge(host::Op op, std::size_t bytes) = 0;
 
@@ -117,6 +124,33 @@ class ReplicaApp {
   /// The replica moved to a new view.
   virtual void on_new_view(uint64_t view, ReplicaContext& ctx) {
     (void)view;
+    (void)ctx;
+  }
+
+  // --- durability (DESIGN.md §13) ---
+  // The replica snapshots itself at every stable checkpoint; the app's
+  // contribution rides along as an opaque blob.  serialize_state must be a
+  // pure function of the app's current state: no RNG draws, no charges, no
+  // sends — a replica with storage must stay bit-identical to one without.
+
+  /// The app's durable state (service contents + causal pending/reveal
+  /// state) as of now.  Default: stateless app, empty blob.
+  virtual Bytes serialize_state(ReplicaContext& ctx) {
+    (void)ctx;
+    return {};
+  }
+  /// Restores a blob produced by serialize_state.  Called once, before WAL
+  /// replay, on a freshly constructed app.  Returns false on a malformed
+  /// blob (recovery then proceeds from empty app state — the BFT layer
+  /// still replays deliveries).  Default accepts only the empty blob.
+  virtual bool restore_state(BytesView blob, ReplicaContext& ctx) {
+    (void)ctx;
+    return blob.empty();
+  }
+  /// Replays one record the app logged via ReplicaContext::wal_append,
+  /// in append order relative to the replayed deliveries.
+  virtual void on_wal_record(BytesView record, ReplicaContext& ctx) {
+    (void)record;
     (void)ctx;
   }
 };

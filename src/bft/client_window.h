@@ -28,6 +28,7 @@
 #include <set>
 
 #include "common/bytes.h"
+#include "common/serialize.h"
 
 namespace scab::bft {
 
@@ -55,6 +56,22 @@ class ClientExecWindow {
       drain();
     }
     return true;
+  }
+
+  /// Snapshot support (DESIGN.md §13): the window is part of the replica's
+  /// durable state — losing it across a restart would turn every replayed
+  /// client seq into a fresh execution.
+  void serialize(Writer& w) const {
+    w.u64(next_unexecuted_);
+    w.u32(static_cast<uint32_t>(sparse_.size()));
+    for (uint64_t s : sparse_) w.u64(s);
+  }
+  bool restore(Reader& r) {
+    next_unexecuted_ = r.u64();
+    const uint32_t n = r.u32();
+    sparse_.clear();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) sparse_.insert(r.u64());
+    return r.ok();
   }
 
  private:
@@ -89,6 +106,25 @@ class ClientReplyCache {
   const Bytes* find(uint64_t seq) const {
     auto it = replies_.find(seq);
     return it == replies_.end() ? nullptr : &it->second;
+  }
+
+  /// Snapshot support: cached replies answer post-restart retransmissions
+  /// of operations whose execution the snapshot already covers.
+  void serialize(Writer& w) const {
+    w.u32(static_cast<uint32_t>(replies_.size()));
+    for (const auto& [seq, wire] : replies_) {
+      w.u64(seq);
+      w.bytes(wire);
+    }
+  }
+  bool restore(Reader& r) {
+    const uint32_t n = r.u32();
+    replies_.clear();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      const uint64_t seq = r.u64();
+      replies_[seq] = r.bytes();
+    }
+    return r.ok();
   }
 
  private:

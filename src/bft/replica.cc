@@ -28,6 +28,10 @@ Replica::Replica(host::Host& host, NodeId id, BftConfig config,
   m_.view_changes_completed = &metrics_.counter("bft.view_changes_completed");
   m_.replays_suppressed = &metrics_.counter("bft.replays_suppressed");
   m_.catchups_completed = &metrics_.counter("bft.recovery.catchups_completed");
+  m_.wal_replayed = &metrics_.counter("bft.recovery.wal_replayed");
+  m_.snapshot_loaded = &metrics_.counter("bft.recovery.snapshot_loaded");
+  m_.snapshots_written = &metrics_.counter("bft.recovery.snapshots_written");
+  m_.wal_append_bytes = &metrics_.histogram("storage.wal_append_bytes");
   m_.catchup_ms = &metrics_.histogram("bft.recovery.catchup_ms");
   m_.batch_size = &metrics_.histogram("bft.batch_size");
   m_.inflight_batches = &metrics_.histogram("bft.inflight_batches");
@@ -36,6 +40,9 @@ Replica::Replica(host::Host& host, NodeId id, BftConfig config,
   m_.view_change_votes_tracked = &metrics_.gauge("bft.view_change_votes_tracked");
   m_.slots_tracked = &metrics_.gauge("bft.slots_tracked");
   m_.checkpoint_lag = &metrics_.gauge("bft.checkpoint_lag");
+
+  storage_ = host.storage(id);
+  if (storage_ != nullptr) storage_->bind_metrics(&metrics_);
 }
 
 void Replica::update_state_gauges() {
@@ -56,6 +63,243 @@ void Replica::start() {
   if (started_) return;
   started_ = true;
   schedule(config_.watchdog_period, [this] { watchdog_tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Durability (DESIGN.md §13)
+
+void Replica::wal_append_record(BytesView rec) {
+  storage_->append(rec);
+  m_.wal_append_bytes->record(rec.size());
+}
+
+void Replica::wal_append(BytesView record) {
+  // App-level record (causal execution).  Inside execute_batch the sync is
+  // deferred to the batch-end group commit; outside (a reveal completing on
+  // share arrival) it is the record's own commit point.
+  if (storage_ == nullptr || replaying_) return;
+  Bytes rec;
+  rec.reserve(1 + record.size());
+  rec.push_back(static_cast<uint8_t>(WalTag::kApp));
+  scab::append(rec, record);
+  wal_append_record(rec);
+  if (in_execute_batch_) {
+    app_wal_dirty_ = true;
+  } else {
+    storage_->sync();
+  }
+}
+
+void Replica::recover() {
+  if (storage_ == nullptr) return;
+  replaying_ = true;
+  if (auto blob = storage_->get("snapshot")) {
+    if (restore_snapshot(*blob)) m_.snapshot_loaded->inc();
+  }
+  const std::size_t replayed =
+      storage_->replay([this](BytesView rec) { apply_wal_record(rec); });
+  if (replayed > 0) m_.wal_replayed->inc(replayed);
+  replaying_ = false;
+  // Replayed acceptance records may already hold a commit quorum recorded
+  // before the crash (our own vote); anything still short completes through
+  // live traffic or the kFetch catch-up once peers answer.
+  try_execute();
+}
+
+void Replica::apply_wal_record(BytesView rec) {
+  Reader r(rec);
+  const auto tag = static_cast<WalTag>(r.u8());
+  if (!r.ok()) return;
+  switch (tag) {
+    case WalTag::kExec: {
+      const uint64_t seq = r.u64();
+      const Bytes wire = r.bytes();
+      if (!r.ok() || !r.done()) return;
+      if (seq < next_exec_) return;  // subsumed by the snapshot
+      if (seq != next_exec_) return;  // gap — cannot safely skip ahead
+      auto pp = PrePrepare::parse(wire);
+      if (!pp) return;
+      Slot& s = slot(seq);
+      s.digest = pp->batch_digest();
+      s.view = pp->view;
+      s.pre_prepare = std::move(*pp);
+      s.executed = true;
+      execute_batch(seq, *s.pre_prepare);
+      next_exec_ = seq + 1;
+      next_seq_ = std::max(next_seq_, seq + 1);
+      break;
+    }
+    case WalTag::kAccept: {
+      const Bytes wire = r.bytes();
+      if (!r.ok() || !r.done()) return;
+      auto pp = PrePrepare::parse(wire);
+      if (!pp || pp->seq < next_exec_) return;
+      // Restore the slot exactly as accept_pre_prepare left it, minus the
+      // broadcasts: we already voted PREPARE before the crash, so the vote
+      // stands (re-sending it is what peers' retransmission paths cover).
+      Slot& s = slot(pp->seq);
+      s.digest = pp->batch_digest();
+      s.view = pp->view;
+      s.pre_prepare = std::move(*pp);
+      s.prepares[id()] = {s.view, s.digest};
+      s.sent_prepare = true;
+      next_seq_ = std::max(next_seq_, s.pre_prepare->seq + 1);
+      break;
+    }
+    case WalTag::kVote: {
+      const uint64_t seq = r.u64();
+      const uint64_t view = r.u64();
+      const Bytes digest = r.bytes();
+      if (!r.ok() || !r.done() || seq < next_exec_) return;
+      auto it = slots_.find(seq);
+      if (it == slots_.end()) return;
+      Slot& s = it->second;
+      if (!s.pre_prepare || s.view != view || s.digest != digest) return;
+      s.commits[id()] = {view, digest};
+      s.sent_commit = true;
+      break;
+    }
+    case WalTag::kView: {
+      const uint64_t v = r.u64();
+      if (!r.ok() || !r.done()) return;
+      view_ = std::max(view_, v);
+      break;
+    }
+    case WalTag::kApp: {
+      const Bytes payload = r.raw(r.remaining());
+      if (r.ok()) app_->on_wal_record(payload, *this);
+      break;
+    }
+  }
+}
+
+Bytes Replica::serialize_snapshot() {
+  Writer w;
+  w.u32(0x53434231);  // "SCB1"
+  w.u64(view_);
+  w.u64(next_seq_);
+  w.u64(next_exec_);
+  w.u64(low_watermark_);
+  w.u64(local_seq_);
+  w.u64(executed_requests_.load());
+  w.bytes(exec_chain_digest_);
+
+  // Per-client execution windows + reply caches, in sorted client order so
+  // the blob is independent of hash-map iteration order.
+  std::vector<NodeId> clients;
+  clients.reserve(executed_window_.size());
+  for (const auto& [c, _] : executed_window_) clients.push_back(c);
+  std::sort(clients.begin(), clients.end());
+  w.u32(static_cast<uint32_t>(clients.size()));
+  for (NodeId c : clients) {
+    w.u32(c);
+    executed_window_.at(c).serialize(w);
+  }
+  clients.clear();
+  for (const auto& [c, _] : reply_cache_) clients.push_back(c);
+  std::sort(clients.begin(), clients.end());
+  w.u32(static_cast<uint32_t>(clients.size()));
+  for (NodeId c : clients) {
+    w.u32(c);
+    reply_cache_.at(c).serialize(w);
+  }
+
+  // Batch history so a recovered replica can still answer kFetch.
+  w.u32(static_cast<uint32_t>(history_.size()));
+  for (const auto& [seq, wire] : history_) {
+    w.u64(seq);
+    w.bytes(wire);
+  }
+
+  w.bytes(app_->serialize_state(*this));
+  return std::move(w).take();
+}
+
+bool Replica::restore_snapshot(BytesView blob) {
+  Reader r(blob);
+  if (r.u32() != 0x53434231 || !r.ok()) return false;
+  const uint64_t view = r.u64();
+  const uint64_t next_seq = r.u64();
+  const uint64_t next_exec = r.u64();
+  const uint64_t low_watermark = r.u64();
+  const uint64_t local_seq = r.u64();
+  const uint64_t executed = r.u64();
+  Bytes chain = r.bytes();
+  if (!r.ok() || chain.size() != 32) return false;
+
+  std::unordered_map<NodeId, ClientExecWindow> windows;
+  const uint32_t n_windows = r.u32();
+  for (uint32_t i = 0; i < n_windows && r.ok(); ++i) {
+    const NodeId c = r.u32();
+    if (!windows[c].restore(r)) return false;
+  }
+  std::unordered_map<NodeId, ClientReplyCache> replies;
+  const uint32_t n_replies = r.u32();
+  for (uint32_t i = 0; i < n_replies && r.ok(); ++i) {
+    const NodeId c = r.u32();
+    if (!replies[c].restore(r)) return false;
+  }
+  std::map<uint64_t, Bytes> history;
+  const uint32_t n_history = r.u32();
+  for (uint32_t i = 0; i < n_history && r.ok(); ++i) {
+    const uint64_t seq = r.u64();
+    history[seq] = r.bytes();
+  }
+  const Bytes app_blob = r.bytes();
+  if (!r.ok() || !r.done()) return false;
+
+  view_ = view;
+  next_seq_ = next_seq;
+  next_exec_ = next_exec;
+  low_watermark_ = low_watermark;
+  local_seq_ = local_seq;
+  executed_requests_.store(executed);
+  m_.requests_executed->inc(executed);  // fresh registry: counter catches up
+  exec_chain_digest_ = std::move(chain);
+  executed_window_ = std::move(windows);
+  reply_cache_ = std::move(replies);
+  history_ = std::move(history);
+  // The BFT state above is intact regardless of the app blob's verdict: a
+  // malformed app blob only loses causal pending state, which the
+  // reveal-retry protocol rebuilds post-recovery.
+  app_->restore_state(app_blob, *this);
+  return true;
+}
+
+void Replica::write_snapshot() {
+  // Called at each stable checkpoint (garbage_collect).  put() installs
+  // atomically, so a crash between put and truncate is safe: replay skips
+  // every record the new snapshot subsumes (seq < next_exec_).
+  storage_->put("snapshot", serialize_snapshot());
+  m_.snapshots_written->inc();
+  storage_->truncate_log();
+  // Re-log the live tail the truncation dropped: the current view and the
+  // acceptance/vote state of every still-unexecuted slot.  The window
+  // between truncate and this re-append is a documented torn window — a
+  // crash inside it loses only votes, never executions, and the view-change
+  // protocol recovers those.
+  {
+    Writer w;
+    w.u8(static_cast<uint8_t>(WalTag::kView));
+    w.u64(view_);
+    wal_append_record(w.data());
+  }
+  for (const auto& [seq, s] : slots_) {
+    if (seq < next_exec_ || !s.pre_prepare || s.executed) continue;
+    Writer w;
+    w.u8(static_cast<uint8_t>(WalTag::kAccept));
+    w.bytes(s.pre_prepare->serialize());
+    wal_append_record(w.data());
+    if (s.sent_commit) {
+      Writer v;
+      v.u8(static_cast<uint8_t>(WalTag::kVote));
+      v.u64(seq);
+      v.u64(s.view);
+      v.bytes(s.digest);
+      wal_append_record(v.data());
+    }
+  }
+  storage_->sync();
 }
 
 // ---------------------------------------------------------------------------
@@ -248,7 +492,10 @@ void Replica::admit_request(NodeId client, ClientRequestMsg msg,
 }
 
 void Replica::submit_local_request(Bytes payload) {
-  if (!is_primary()) return;
+  // During WAL replay a self-assigned batch would race the very slots the
+  // replay is about to rebuild; the app re-proposes on the next live
+  // delivery (CP1 cleanups are retried from maybe_propose_cleanup).
+  if (!is_primary() || replaying_) return;
   Request req;
   req.client = id();  // replicas use their own id as the virtual client
   req.client_seq = local_seq_++;
@@ -328,6 +575,15 @@ void Replica::accept_pre_prepare(PrePrepare pp) {
     }
   }
 
+  // WAL the acceptance BEFORE the PREPARE leaves: a recovered replica must
+  // never vote for a different batch at the same (view, seq).
+  if (storage_ != nullptr && !replaying_) {
+    Writer w;
+    w.u8(static_cast<uint8_t>(WalTag::kAccept));
+    w.bytes(s.pre_prepare->serialize());
+    wal_append_record(w.data());
+  }
+
   // Every replica broadcasts PREPARE and counts its own vote (the primary's
   // pre-prepare doubles as its prepare).
   PhaseVote vote;
@@ -370,6 +626,17 @@ void Replica::check_prepared(uint64_t seq) {
     if (!r.is_null()) {
       tracer_.record(r.client, r.client_seq, obs::Phase::kPrepared, now());
     }
+  }
+
+  // WAL our COMMIT vote before it leaves (group-committed by the next
+  // execution sync; see DESIGN.md §13 on the fsync discipline).
+  if (storage_ != nullptr && !replaying_) {
+    Writer w;
+    w.u8(static_cast<uint8_t>(WalTag::kVote));
+    w.u64(seq);
+    w.u64(s.view);
+    w.bytes(s.digest);
+    wal_append_record(w.data());
   }
 
   PhaseVote vote;
@@ -423,6 +690,17 @@ void Replica::try_execute() {
 }
 
 void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
+  // Commit point: the execution record is durable BEFORE any app effect
+  // (replies, causal shares) escapes this replica.  One fsync per batch.
+  if (storage_ != nullptr && !replaying_) {
+    Writer w;
+    w.u8(static_cast<uint8_t>(WalTag::kExec));
+    w.u64(seq);
+    w.bytes(pp.serialize());
+    wal_append_record(w.data());
+    storage_->sync();
+  }
+  in_execute_batch_ = true;
   for (const auto& req : pp.batch) {
     if (req.is_null()) continue;
     // Replay dedup over the exact executed set (client_window.h): a
@@ -441,6 +719,13 @@ void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
     tracer_.record(req.client, req.client_seq, obs::Phase::kExecuted, now());
   }
   app_->on_batch_end(*this);
+  in_execute_batch_ = false;
+  if (app_wal_dirty_) {
+    // Group commit for whatever the app logged during this batch (causal
+    // executions that completed inline).
+    app_wal_dirty_ = false;
+    storage_->sync();
+  }
   m_.pending_requests->set(static_cast<int64_t>(pending_requests_.size()));
 
   // Chain digest for checkpoints, plus batch history for catch-up fetches.
@@ -457,8 +742,13 @@ void Replica::execute_batch(uint64_t seq, const PrePrepare& pp) {
     own_checkpoints_[seq] = cp.state_digest;
     checkpoint_votes_[seq][id()] = cp.state_digest;
     m_.checkpoints_emitted->inc();
-    broadcast_bft(BftMsgType::kCheckpoint, cp.serialize());
-    maybe_stabilize(seq);
+    // During WAL replay the vote bookkeeping is rebuilt but nothing is
+    // broadcast: stability needs live peer votes, which arrive (for newer
+    // checkpoints) once traffic resumes.
+    if (!replaying_) {
+      broadcast_bft(BftMsgType::kCheckpoint, cp.serialize());
+      maybe_stabilize(seq);
+    }
   }
   update_state_gauges();
 }
@@ -564,6 +854,9 @@ void Replica::garbage_collect(uint64_t stable_seq) {
   own_checkpoints_.erase(own_checkpoints_.begin(),
                          own_checkpoints_.upper_bound(stable_seq));
   update_state_gauges();
+  // Stable checkpoint = snapshot point: persist the full replica state and
+  // truncate the WAL behind it (DESIGN.md §13).
+  if (storage_ != nullptr && !replaying_) write_snapshot();
   // Watermark window moved: drain the queue, rearming the fallback timer
   // for whatever the in-flight window still blocks.
   if (is_primary()) maybe_send_batch();
@@ -607,7 +900,15 @@ void Replica::start_view_change(uint64_t target_view, const char* /*reason*/) {
     for (const auto& [_, vd] : s.prepares) {
       if (vd.first == s.view && vd.second == s.digest) ++matching;
     }
-    if (matching < config_.quorum()) continue;
+    // A slot we voted COMMIT on (or executed) necessarily held a 2f+1
+    // prepared certificate at the time — even when the peer votes
+    // themselves are gone.  That matters after a WAL recovery: only our
+    // own votes are replayed (kVote/kExec prove the certificate existed),
+    // and dropping these slots would let the new view re-propose a
+    // DIFFERENT batch at a seq some replica already executed.
+    if (matching < config_.quorum() && !s.sent_commit && !s.executed) {
+      continue;
+    }
     PreparedProof proof;
     proof.seq = seq;
     proof.view = s.view;
@@ -769,6 +1070,15 @@ void Replica::handle_new_view(NodeId from, BytesView body) {
 }
 
 void Replica::enter_view(uint64_t target_view, std::vector<PrePrepare> reproposals) {
+  // Pin the view before acting in it: a recovered replica must never
+  // accept messages under an older view it already left.
+  if (storage_ != nullptr && !replaying_) {
+    Writer w;
+    w.u8(static_cast<uint8_t>(WalTag::kView));
+    w.u64(target_view);
+    wal_append_record(w.data());
+    storage_->sync();
+  }
   view_ = target_view;
   view_change_active_ = false;
   ++view_changes_completed_;

@@ -40,6 +40,14 @@ class Replica : public host::HostBound<ReplicaContext> {
   /// Arms the watchdog; call once after construction.
   void start();
 
+  /// Recovers durable state (DESIGN.md §13): loads the latest snapshot,
+  /// then replays the WAL — acceptance records rebuild in-flight slots,
+  /// execution records re-run delivery (with broadcasts suppressed), app
+  /// records replay causal executions.  Call once, after construction and
+  /// BEFORE start(), while the node is still shielded from traffic (the
+  /// harness/daemon crash-flag idiom).  No-op without attached storage.
+  void recover();
+
   // --- host::Node ---
   void on_message(NodeId from, BytesView msg) override;
 
@@ -53,6 +61,7 @@ class Replica : public host::HostBound<ReplicaContext> {
   void broadcast_causal(Bytes body) override;
   void submit_local_request(Bytes payload) override;
   void request_view_change(const char* reason) override;
+  void wal_append(BytesView record) override;
   void admit_foreign_request(NodeId client, uint64_t client_seq,
                              Bytes payload) override;
   crypto::Drbg& rng() override { return rng_; }
@@ -66,6 +75,7 @@ class Replica : public host::HostBound<ReplicaContext> {
   uint64_t low_watermark() const { return low_watermark_; }
   uint64_t view_changes_completed() const { return view_changes_completed_; }
   bool in_view_change() const { return view_change_active_; }
+  bool has_storage() const { return storage_ != nullptr; }
 
  private:
   struct Slot {
@@ -113,6 +123,23 @@ class Replica : public host::HostBound<ReplicaContext> {
   void note_catchup_target(uint64_t seq);
   void maybe_finish_catchup();
 
+  // --- durability (DESIGN.md §13) ---
+  /// WAL record tags.  kAccept/kVote protect against post-recovery
+  /// equivocation, kExec makes committed executions durable, kView pins
+  /// the view, kApp carries opaque app records (causal executions).
+  enum class WalTag : uint8_t {
+    kExec = 1,
+    kAccept = 2,
+    kVote = 3,
+    kView = 4,
+    kApp = 5,
+  };
+  void wal_append_record(BytesView rec);
+  void apply_wal_record(BytesView rec);
+  void write_snapshot();
+  Bytes serialize_snapshot();
+  bool restore_snapshot(BytesView blob);
+
   // --- view change ---
   void watchdog_tick();
   void start_view_change(uint64_t target_view, const char* reason);
@@ -132,6 +159,14 @@ class Replica : public host::HostBound<ReplicaContext> {
   const KeyRing& keys_;
   ReplicaApp* app_;
   crypto::Drbg rng_;
+
+  // Durability: borrowed from the host (host owns, survives rebind);
+  // nullptr when the replica runs without storage.  replaying_ gates every
+  // side effect during recover(): no WAL appends, no broadcasts.
+  host::Storage* storage_ = nullptr;
+  bool replaying_ = false;
+  bool in_execute_batch_ = false;  // defers app-record syncs to batch end
+  bool app_wal_dirty_ = false;
 
   uint64_t view_ = 0;
   uint64_t next_seq_ = 1;   // primary: next sequence number to assign
@@ -201,6 +236,10 @@ class Replica : public host::HostBound<ReplicaContext> {
     obs::Counter* view_changes_completed;
     obs::Counter* replays_suppressed;
     obs::Counter* catchups_completed;
+    obs::Counter* wal_replayed;
+    obs::Counter* snapshot_loaded;
+    obs::Counter* snapshots_written;
+    obs::Histogram* wal_append_bytes;
     obs::Histogram* catchup_ms;
     obs::Histogram* batch_size;
     obs::Histogram* inflight_batches;

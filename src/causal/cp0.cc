@@ -828,6 +828,20 @@ void Cp0ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     }
     PendingReveal& p = it->second;
     if (!p.revealed) return;  // total order: block on the oldest reveal
+    // Durable execution marker (DESIGN.md §13): logged before the service
+    // runs so a post-crash replay applies the operation from the record
+    // instead of re-running the reveal.  Plaintext logging is safe here —
+    // secrecy only holds until the schedule step commits, and this request
+    // was revealed by a correct quorum already.
+    {
+      Writer w;
+      id.write(w);
+      w.u32(p.count);
+      w.u32(static_cast<uint32_t>(p.plaintexts.size()));
+      for (const Bytes& pt : p.plaintexts) w.bytes(pt);
+      const Bytes rec = std::move(w).take();
+      ctx.wal_append(rec);
+    }
     // Every payload in the envelope executes in its batch position; the
     // reply frames the per-payload results for count > 1 and stays the raw
     // result (bit-identical to the unbatched path) for count == 1.
@@ -857,6 +871,169 @@ void Cp0ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     pending_.erase(it);
     exec_queue_.pop_front();
   }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Cp0ReplicaApp durability (DESIGN.md §13)
+
+namespace {
+constexpr uint32_t kCp0StateVersion = 1;
+}  // namespace
+
+Bytes Cp0ReplicaApp::serialize_state(bft::ReplicaContext& /*ctx*/) {
+  Writer w;
+  w.u32(kCp0StateVersion);
+  w.bytes(service_->serialize());
+  // Completed set, sorted for a deterministic blob (the map iteration order
+  // is not).  Transient reveal state — unverified shares, in-flight verify
+  // jobs, cached validate_request verdicts, early stashes — is deliberately
+  // dropped: the retry protocol rebuilds all of it.
+  std::vector<RequestId> completed(completed_.begin(), completed_.end());
+  std::sort(completed.begin(), completed.end());
+  w.u32(static_cast<uint32_t>(completed.size()));
+  for (const RequestId& id : completed) id.write(w);
+  // Completed own-share cache, FIFO order preserved so post-restore
+  // eviction continues where it left off.
+  w.u32(static_cast<uint32_t>(completed_shares_order_.size()));
+  for (const RequestId& id : completed_shares_order_) {
+    id.write(w);
+    auto it = completed_shares_.find(id);
+    w.bytes(it != completed_shares_.end() ? BytesView(it->second)
+                                          : BytesView{});
+  }
+  w.u32(static_cast<uint32_t>(exec_queue_.size()));
+  for (const RequestId& id : exec_queue_) id.write(w);
+  std::vector<RequestId> pend;
+  pend.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) pend.push_back(id);
+  std::sort(pend.begin(), pend.end());
+  w.u32(static_cast<uint32_t>(pend.size()));
+  for (const RequestId& id : pend) {
+    const PendingReveal& p = pending_.at(id);
+    id.write(w);
+    w.bytes(p.ciphertext);
+    w.bytes(p.label);
+    w.u32(p.count);
+    w.u32(p.client);
+    w.u64(p.client_seq);
+    w.u8(p.delivered ? 1 : 0);
+    w.u8(p.revealed ? 1 : 0);
+    w.u32(static_cast<uint32_t>(p.plaintexts.size()));
+    for (const Bytes& pt : p.plaintexts) w.bytes(pt);
+    w.bytes(p.own_share_wire);
+  }
+  return std::move(w).take();
+}
+
+bool Cp0ReplicaApp::restore_state(BytesView blob, bft::ReplicaContext& ctx) {
+  if (blob.empty()) return true;
+  bind_metrics(ctx);
+  Reader r(blob);
+  if (r.u32() != kCp0StateVersion) return false;
+  const Bytes service_blob = r.bytes();
+  std::unordered_set<RequestId> completed;
+  const uint32_t n_completed = r.u32();
+  for (uint32_t i = 0; i < n_completed && r.ok(); ++i) {
+    completed.insert(RequestId::read(r));
+  }
+  std::unordered_map<RequestId, Bytes> completed_shares;
+  std::deque<RequestId> completed_order;
+  const uint32_t n_shares = r.u32();
+  for (uint32_t i = 0; i < n_shares && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    Bytes wire = r.bytes();
+    completed_order.push_back(id);
+    completed_shares.emplace(id, std::move(wire));
+  }
+  std::deque<RequestId> exec_queue;
+  const uint32_t n_queue = r.u32();
+  for (uint32_t i = 0; i < n_queue && r.ok(); ++i) {
+    exec_queue.push_back(RequestId::read(r));
+  }
+  std::unordered_map<RequestId, PendingReveal> pending;
+  const uint32_t n_pending = r.u32();
+  for (uint32_t i = 0; i < n_pending && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    PendingReveal p;
+    p.ciphertext = r.bytes();
+    p.label = r.bytes();
+    p.count = r.u32();
+    p.client = r.u32();
+    p.client_seq = r.u64();
+    p.delivered = r.u8() != 0;
+    p.revealed = r.u8() != 0;
+    const uint32_t n_pt = r.u32();
+    for (uint32_t j = 0; j < n_pt && r.ok(); ++j) {
+      p.plaintexts.push_back(r.bytes());
+    }
+    p.own_share_wire = r.bytes();
+    p.delivered_at = ctx.now();
+    pending.emplace(id, std::move(p));
+  }
+  if (!r.ok() || !r.done()) return false;
+  if (!service_->restore(service_blob)) return false;
+  completed_ = std::move(completed);
+  completed_shares_ = std::move(completed_shares);
+  completed_shares_order_ = std::move(completed_order);
+  exec_queue_ = std::move(exec_queue);
+  pending_ = std::move(pending);
+  // Restart the reveal machinery for everything in flight: our own share
+  // counts again immediately; the retry timer re-broadcasts it and
+  // re-requests the peers' shares once the node is live.
+  for (auto& [id, p] : pending_) {
+    if (!p.delivered || p.revealed) continue;
+    if (!p.own_share_wire.empty()) {
+      p.valid_from.insert(ctx.id());
+      p.valid.push_back(p.own_share_wire);
+    }
+    arm_reveal_retry(id, 0, ctx);
+  }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
+  return true;
+}
+
+void Cp0ReplicaApp::on_wal_record(BytesView record, bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
+  Reader r(record);
+  const RequestId id = RequestId::read(r);
+  const uint32_t count = r.u32();
+  const uint32_t n = r.u32();
+  std::vector<Bytes> plaintexts;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) plaintexts.push_back(r.bytes());
+  if (!r.ok() || !r.done() || plaintexts.size() != n) return;
+  // Pre-snapshot tails can survive a torn snapshot/truncate window; the
+  // completed set (restored from the snapshot) makes them no-ops.
+  if (completed_.contains(id)) return;
+  Bytes result;
+  if (count <= 1 && plaintexts.size() == 1) {
+    ctx.charge(Op::kExecute, plaintexts[0].size());
+    result = service_->execute(id.client, plaintexts[0]);
+  } else {
+    std::vector<Bytes> results;
+    results.reserve(plaintexts.size());
+    for (const Bytes& pt : plaintexts) {
+      ctx.charge(Op::kExecute, pt.size());
+      results.push_back(service_->execute(id.client, pt));
+    }
+    result = bft::encode_op_batch(results);
+  }
+  // The reply goes nowhere while the node is shielded during replay; a
+  // client still waiting will retransmit and hit the reply cache.
+  ctx.send_reply(id.client, id.seq, std::move(result));
+  completed_.insert(id);
+  if (auto it = pending_.find(id); it != pending_.end()) {
+    if (!it->second.own_share_wire.empty()) {
+      if (completed_shares_.size() >= kMaxCompletedShareCache) {
+        completed_shares_.erase(completed_shares_order_.front());
+        completed_shares_order_.pop_front();
+      }
+      completed_shares_order_.push_back(id);
+      completed_shares_.emplace(id, std::move(it->second.own_share_wire));
+    }
+    pending_.erase(it);
+  }
+  std::erase(exec_queue_, id);
   m_.pending->set(static_cast<int64_t>(pending_.size()));
 }
 

@@ -272,6 +272,15 @@ class Cp0ReplicaApp : public bft::ReplicaApp {
   void on_causal_message(bft::NodeId from, BytesView body,
                          bft::ReplicaContext& ctx) override;
 
+  // Durability (DESIGN.md §13): the snapshot blob carries the service state
+  // plus the reveal-layer state (completed set, pending reveals with their
+  // plaintexts/own shares); every execution also logs a WAL record so a
+  // post-crash replay re-applies the operation without re-running the
+  // reveal (the peers' shares are gone by then).
+  Bytes serialize_state(bft::ReplicaContext& ctx) override;
+  bool restore_state(BytesView blob, bft::ReplicaContext& ctx) override;
+  void on_wal_record(BytesView record, bft::ReplicaContext& ctx) override;
+
   Service& service() { return *service_; }
 
   /// Diagnostics/tests: number of reveal entries in flight (all correspond

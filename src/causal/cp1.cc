@@ -1,5 +1,7 @@
 #include "causal/cp1.h"
 
+#include <algorithm>
+
 #include "crypto/sha256.h"
 
 namespace scab::causal {
@@ -374,6 +376,128 @@ void Cp1ReplicaApp::on_causal_message(NodeId from, BytesView body,
   // Adopt the witness as a pending request on behalf of the client; the
   // primary will batch it, backups will watch it.
   ctx.admit_foreign_request(reveal->id.client, reveal_seq, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Durability (DESIGN.md §13)
+
+namespace {
+constexpr uint32_t kCp1StateVersion = 1;
+
+void write_id_set(Writer& w, const std::unordered_set<RequestId>& set) {
+  std::vector<RequestId> ids(set.begin(), set.end());
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<uint32_t>(ids.size()));
+  for (const RequestId& id : ids) id.write(w);
+}
+
+bool read_id_set(Reader& r, std::unordered_set<RequestId>& set) {
+  const uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) set.insert(RequestId::read(r));
+  return r.ok();
+}
+}  // namespace
+
+Bytes Cp1ReplicaApp::serialize_state(bft::ReplicaContext& /*ctx*/) {
+  Writer w;
+  w.u32(kCp1StateVersion);
+  w.bytes(service_->serialize());
+  w.u32(static_cast<uint32_t>(tentative_.size()));
+  for (const auto& [id, t] : tentative_) {  // std::map: deterministic order
+    id.write(w);
+    w.bytes(t.commitment);
+    w.u64(t.scheduled_at_count);
+  }
+  w.u32(static_cast<uint32_t>(schedule_order_.size()));
+  for (const auto& [id, at] : schedule_order_) {
+    id.write(w);
+    w.u64(at);
+  }
+  write_id_set(w, opened_);
+  write_id_set(w, aborted_);
+  // amplified_ is deliberately NOT persisted: its timers die with the
+  // process, and keeping the guard would silently disable amplification for
+  // those ids when the client retransmits its reveal.
+  w.u64(delivered_count_);
+  w.u64(cleaned_count_);
+  // Deferred flush entries: delivered but unexecuted as of this snapshot.
+  // Pending entries keep their opening inputs so restore can resolve them
+  // inline (the pool job they were waiting on dies with the process).
+  w.u32(static_cast<uint32_t>(reveal_flush_.size()));
+  for (const DeferredReveal& d : reveal_flush_) {
+    d.id.write(w);
+    w.u64(d.reply_seq);
+    w.bytes(d.message);
+    w.u8(static_cast<uint8_t>(d.state));
+    w.bytes(d.commitment);
+    w.bytes(d.opening);
+  }
+  return std::move(w).take();
+}
+
+bool Cp1ReplicaApp::restore_state(BytesView blob, bft::ReplicaContext& ctx) {
+  if (blob.empty()) return true;
+  bind_metrics(ctx);
+  Reader r(blob);
+  if (r.u32() != kCp1StateVersion) return false;
+  const Bytes service_blob = r.bytes();
+  std::map<RequestId, Tentative> tentative;
+  const uint32_t n_tent = r.u32();
+  for (uint32_t i = 0; i < n_tent && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    Tentative t;
+    t.commitment = r.bytes();
+    t.scheduled_at_count = r.u64();
+    tentative.emplace(id, std::move(t));
+  }
+  std::deque<std::pair<RequestId, uint64_t>> order;
+  const uint32_t n_order = r.u32();
+  for (uint32_t i = 0; i < n_order && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    order.emplace_back(id, r.u64());
+  }
+  std::unordered_set<RequestId> opened;
+  std::unordered_set<RequestId> aborted;
+  if (!read_id_set(r, opened) || !read_id_set(r, aborted)) return false;
+  const uint64_t delivered = r.u64();
+  const uint64_t cleaned = r.u64();
+  std::vector<DeferredReveal> flush;
+  const uint32_t n_flush = r.u32();
+  for (uint32_t i = 0; i < n_flush && r.ok(); ++i) {
+    DeferredReveal d;
+    d.id = RequestId::read(r);
+    d.reply_seq = r.u64();
+    d.message = r.bytes();
+    const uint8_t state = r.u8();
+    if (state > static_cast<uint8_t>(DeferredReveal::State::kRejected)) {
+      return false;
+    }
+    d.state = static_cast<DeferredReveal::State>(state);
+    d.commitment = r.bytes();
+    d.opening = r.bytes();
+    flush.push_back(std::move(d));
+  }
+  if (!r.ok() || !r.done()) return false;
+  if (!service_->restore(service_blob)) return false;
+  tentative_ = std::move(tentative);
+  schedule_order_ = std::move(order);
+  opened_ = std::move(opened);
+  aborted_ = std::move(aborted);
+  delivered_count_ = delivered;
+  cleaned_count_ = cleaned;
+  reveal_flush_ = std::move(flush);
+  for (DeferredReveal& d : reveal_flush_) {
+    d.ticket = ++reveal_ticket_;
+    if (d.state == DeferredReveal::State::kPending) {
+      reveal_inflight_.insert(d.id);
+    }
+  }
+  m_.tentative->set(static_cast<int64_t>(tentative_.size()));
+  // Execute the deferred run now, before the WAL replays any later
+  // delivery: the service must see exactly the pre-crash delivery order.
+  // Replies land in the reply cache; the wire sends are shielded.
+  flush_reveals(ctx, /*force=*/true);
+  return true;
 }
 
 // ---------------------------------------------------------------------------

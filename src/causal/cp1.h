@@ -59,6 +59,15 @@ class Cp1ReplicaApp : public bft::ReplicaApp {
   void on_causal_message(bft::NodeId from, BytesView body,
                          bft::ReplicaContext& ctx) override;
 
+  // Durability (DESIGN.md §13).  Unlike CP0, a CP1 reveal carries its
+  // plaintext in the ordered payload, so replaying post-snapshot deliveries
+  // re-runs executions exactly — no per-execution WAL records needed.  The
+  // snapshot carries the tentative/opened/aborted bookkeeping plus any
+  // deferred reveal-flush entries (delivered but unexecuted at snapshot
+  // time); restore force-resolves and executes those before WAL replay.
+  Bytes serialize_state(bft::ReplicaContext& ctx) override;
+  bool restore_state(BytesView blob, bft::ReplicaContext& ctx) override;
+
   Service& service() { return *service_; }
   uint64_t tentative_count() const { return tentative_.size(); }
   uint64_t cleaned_count() const { return cleaned_count_; }

@@ -350,6 +350,16 @@ void Cp2ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     }
     Pending& p = it->second;
     if (!p.revealed) return;
+    // Durable execution marker (DESIGN.md §13): a replay cannot re-collect
+    // the peers' shares, so the recovered plaintext itself is logged before
+    // the service runs.  Safe post-reveal — secrecy ends at the reveal.
+    {
+      Writer w;
+      id.write(w);
+      w.bytes(p.plaintext);
+      const Bytes rec = std::move(w).take();
+      ctx.wal_append(rec);
+    }
     ctx.charge(Op::kExecute, p.plaintext.size());
     Bytes result = service_->execute(p.client, p.plaintext);
     ctx.send_reply(p.client, p.client_seq, std::move(result));
@@ -365,6 +375,147 @@ void Cp2ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     pending_.erase(it);
     exec_queue_.pop_front();
   }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
+}
+
+// ---------------------------------------------------------------------------
+// CP2 durability (DESIGN.md §13)
+
+namespace {
+constexpr uint32_t kCp23StateVersion = 1;
+
+void write_sorted_ids(Writer& w, const std::unordered_set<RequestId>& set) {
+  std::vector<RequestId> ids(set.begin(), set.end());
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<uint32_t>(ids.size()));
+  for (const RequestId& id : ids) id.write(w);
+}
+}  // namespace
+
+Bytes Cp2ReplicaApp::serialize_state(bft::ReplicaContext& /*ctx*/) {
+  Writer w;
+  w.u32(kCp23StateVersion);
+  w.bytes(service_->serialize());
+  write_sorted_ids(w, completed_);
+  w.u32(static_cast<uint32_t>(completed_own_shares_order_.size()));
+  for (const RequestId& id : completed_own_shares_order_) {
+    id.write(w);
+    auto it = completed_own_shares_.find(id);
+    w.bytes(it != completed_own_shares_.end() ? BytesView(it->second)
+                                              : BytesView{});
+  }
+  w.u32(static_cast<uint32_t>(exec_queue_.size()));
+  for (const RequestId& id : exec_queue_) id.write(w);
+  // Pending reveals, sorted by id for a deterministic blob.  Transient
+  // state (buffered shares, seen-sender set, the reconstructor itself) is
+  // dropped: restore rebuilds the reconstructor and the retry protocol
+  // re-collects the shares.
+  std::vector<RequestId> pend;
+  pend.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) pend.push_back(id);
+  std::sort(pend.begin(), pend.end());
+  w.u32(static_cast<uint32_t>(pend.size()));
+  for (const RequestId& id : pend) {
+    const Pending& p = pending_.at(id);
+    id.write(w);
+    w.bytes(p.agreed_commitment);
+    w.u32(p.client);
+    w.u64(p.client_seq);
+    w.u8(p.delivered ? 1 : 0);
+    w.u8(p.revealed ? 1 : 0);
+    w.bytes(p.plaintext);
+    w.u8(p.own_share ? 1 : 0);
+    if (p.own_share) w.bytes(p.own_share->serialize());
+  }
+  return std::move(w).take();
+}
+
+bool Cp2ReplicaApp::restore_state(BytesView blob, bft::ReplicaContext& ctx) {
+  if (blob.empty()) return true;
+  bind_metrics(ctx);
+  Reader r(blob);
+  if (r.u32() != kCp23StateVersion) return false;
+  const Bytes service_blob = r.bytes();
+  std::unordered_set<RequestId> completed;
+  const uint32_t n_completed = r.u32();
+  for (uint32_t i = 0; i < n_completed && r.ok(); ++i) {
+    completed.insert(RequestId::read(r));
+  }
+  std::unordered_map<RequestId, Bytes> own_shares;
+  std::deque<RequestId> own_order;
+  const uint32_t n_shares = r.u32();
+  for (uint32_t i = 0; i < n_shares && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    Bytes wire = r.bytes();
+    own_order.push_back(id);
+    own_shares.emplace(id, std::move(wire));
+  }
+  std::deque<RequestId> exec_queue;
+  const uint32_t n_queue = r.u32();
+  for (uint32_t i = 0; i < n_queue && r.ok(); ++i) {
+    exec_queue.push_back(RequestId::read(r));
+  }
+  std::unordered_map<RequestId, Pending> pending;
+  const uint32_t n_pending = r.u32();
+  for (uint32_t i = 0; i < n_pending && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    Pending p;
+    p.agreed_commitment = r.bytes();
+    p.client = r.u32();
+    p.client_seq = r.u64();
+    p.delivered = r.u8() != 0;
+    p.revealed = r.u8() != 0;
+    p.plaintext = r.bytes();
+    if (r.u8() != 0) {
+      auto share = Arss1Share::parse(r.bytes());
+      if (!share) return false;
+      p.own_share = std::move(*share);
+    }
+    pending.emplace(id, std::move(p));
+  }
+  if (!r.ok() || !r.done()) return false;
+  if (!service_->restore(service_blob)) return false;
+  completed_ = std::move(completed);
+  completed_own_shares_ = std::move(own_shares);
+  completed_own_shares_order_ = std::move(own_order);
+  exec_queue_ = std::move(exec_queue);
+  pending_ = std::move(pending);
+  // Restart the reveal machinery: a fresh reconstructor, our own share
+  // re-fed and re-broadcast, and the retry timer re-requesting the peers'.
+  for (auto& [id, p] : pending_) {
+    if (!p.delivered || p.revealed) continue;
+    start_reveal(id, p, ctx);
+    arm_reveal_retry(id, 0, ctx);
+  }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
+  return true;
+}
+
+void Cp2ReplicaApp::on_wal_record(BytesView record, bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
+  Reader r(record);
+  const RequestId id = RequestId::read(r);
+  Bytes plaintext = r.bytes();
+  if (!r.ok() || !r.done()) return;
+  // Pre-snapshot tails can survive a torn snapshot/truncate window; the
+  // completed set (restored from the snapshot) makes them no-ops.
+  if (completed_.contains(id)) return;
+  ctx.charge(Op::kExecute, plaintext.size());
+  Bytes result = service_->execute(id.client, plaintext);
+  ctx.send_reply(id.client, id.seq, std::move(result));
+  completed_.insert(id);
+  if (auto it = pending_.find(id); it != pending_.end()) {
+    if (it->second.own_share) {
+      if (completed_own_shares_.size() >= kCpMaxCompletedShareCache) {
+        completed_own_shares_.erase(completed_own_shares_order_.front());
+        completed_own_shares_order_.pop_front();
+      }
+      completed_own_shares_order_.push_back(id);
+      completed_own_shares_.emplace(id, it->second.own_share->serialize());
+    }
+    pending_.erase(it);
+  }
+  std::erase(exec_queue_, id);
   m_.pending->set(static_cast<int64_t>(pending_.size()));
 }
 
@@ -671,6 +822,14 @@ void Cp3ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     }
     Pending& p = it->second;
     if (!p.revealed) return;
+    // Durable execution marker (DESIGN.md §13) — see Cp2ReplicaApp.
+    {
+      Writer w;
+      id.write(w);
+      w.bytes(p.plaintext);
+      const Bytes rec = std::move(w).take();
+      ctx.wal_append(rec);
+    }
     ctx.charge(Op::kExecute, p.plaintext.size());
     Bytes result = service_->execute(p.client, p.plaintext);
     ctx.send_reply(p.client, p.client_seq, std::move(result));
@@ -686,6 +845,126 @@ void Cp3ReplicaApp::drain_execution(bft::ReplicaContext& ctx) {
     pending_.erase(it);
     exec_queue_.pop_front();
   }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
+}
+
+// ---------------------------------------------------------------------------
+// CP3 durability (DESIGN.md §13)
+
+Bytes Cp3ReplicaApp::serialize_state(bft::ReplicaContext& /*ctx*/) {
+  Writer w;
+  w.u32(kCp23StateVersion);
+  w.bytes(service_->serialize());
+  write_sorted_ids(w, completed_);
+  w.u32(static_cast<uint32_t>(completed_own_shares_order_.size()));
+  for (const RequestId& id : completed_own_shares_order_) {
+    id.write(w);
+    auto it = completed_own_shares_.find(id);
+    w.bytes(it != completed_own_shares_.end() ? BytesView(it->second)
+                                              : BytesView{});
+  }
+  w.u32(static_cast<uint32_t>(exec_queue_.size()));
+  for (const RequestId& id : exec_queue_) id.write(w);
+  std::vector<RequestId> pend;
+  pend.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) pend.push_back(id);
+  std::sort(pend.begin(), pend.end());
+  w.u32(static_cast<uint32_t>(pend.size()));
+  for (const RequestId& id : pend) {
+    const Pending& p = pending_.at(id);
+    id.write(w);
+    w.u32(p.client);
+    w.u64(p.client_seq);
+    w.u8(p.delivered ? 1 : 0);
+    w.u8(p.revealed ? 1 : 0);
+    w.bytes(p.plaintext);
+    w.u8(p.own_share ? 1 : 0);
+    if (p.own_share) w.bytes(p.own_share->serialize());
+  }
+  return std::move(w).take();
+}
+
+bool Cp3ReplicaApp::restore_state(BytesView blob, bft::ReplicaContext& ctx) {
+  if (blob.empty()) return true;
+  bind_metrics(ctx);
+  Reader r(blob);
+  if (r.u32() != kCp23StateVersion) return false;
+  const Bytes service_blob = r.bytes();
+  std::unordered_set<RequestId> completed;
+  const uint32_t n_completed = r.u32();
+  for (uint32_t i = 0; i < n_completed && r.ok(); ++i) {
+    completed.insert(RequestId::read(r));
+  }
+  std::unordered_map<RequestId, Bytes> own_shares;
+  std::deque<RequestId> own_order;
+  const uint32_t n_shares = r.u32();
+  for (uint32_t i = 0; i < n_shares && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    Bytes wire = r.bytes();
+    own_order.push_back(id);
+    own_shares.emplace(id, std::move(wire));
+  }
+  std::deque<RequestId> exec_queue;
+  const uint32_t n_queue = r.u32();
+  for (uint32_t i = 0; i < n_queue && r.ok(); ++i) {
+    exec_queue.push_back(RequestId::read(r));
+  }
+  std::unordered_map<RequestId, Pending> pending;
+  const uint32_t n_pending = r.u32();
+  for (uint32_t i = 0; i < n_pending && r.ok(); ++i) {
+    const RequestId id = RequestId::read(r);
+    Pending p;
+    p.client = r.u32();
+    p.client_seq = r.u64();
+    p.delivered = r.u8() != 0;
+    p.revealed = r.u8() != 0;
+    p.plaintext = r.bytes();
+    if (r.u8() != 0) {
+      auto share = ShamirShare::parse(r.bytes());
+      if (!share) return false;
+      p.own_share = std::move(*share);
+    }
+    pending.emplace(id, std::move(p));
+  }
+  if (!r.ok() || !r.done()) return false;
+  if (!service_->restore(service_blob)) return false;
+  completed_ = std::move(completed);
+  completed_own_shares_ = std::move(own_shares);
+  completed_own_shares_order_ = std::move(own_order);
+  exec_queue_ = std::move(exec_queue);
+  pending_ = std::move(pending);
+  for (auto& [id, p] : pending_) {
+    if (!p.delivered || p.revealed) continue;
+    start_reveal(id, p, ctx);
+    arm_reveal_retry(id, 0, ctx);
+  }
+  m_.pending->set(static_cast<int64_t>(pending_.size()));
+  return true;
+}
+
+void Cp3ReplicaApp::on_wal_record(BytesView record, bft::ReplicaContext& ctx) {
+  bind_metrics(ctx);
+  Reader r(record);
+  const RequestId id = RequestId::read(r);
+  Bytes plaintext = r.bytes();
+  if (!r.ok() || !r.done()) return;
+  if (completed_.contains(id)) return;
+  ctx.charge(Op::kExecute, plaintext.size());
+  Bytes result = service_->execute(id.client, plaintext);
+  ctx.send_reply(id.client, id.seq, std::move(result));
+  completed_.insert(id);
+  if (auto it = pending_.find(id); it != pending_.end()) {
+    if (it->second.own_share) {
+      if (completed_own_shares_.size() >= kCpMaxCompletedShareCache) {
+        completed_own_shares_.erase(completed_own_shares_order_.front());
+        completed_own_shares_order_.pop_front();
+      }
+      completed_own_shares_order_.push_back(id);
+      completed_own_shares_.emplace(id, it->second.own_share->serialize());
+    }
+    pending_.erase(it);
+  }
+  std::erase(exec_queue_, id);
   m_.pending->set(static_cast<int64_t>(pending_.size()));
 }
 

@@ -67,6 +67,13 @@ class Cp2ReplicaApp : public bft::ReplicaApp {
   void on_causal_message(bft::NodeId from, BytesView body,
                          bft::ReplicaContext& ctx) override;
 
+  // Durability (DESIGN.md §13): reveal plaintexts come from the peers'
+  // shares, which a replay cannot re-collect — every execution logs a WAL
+  // record (id + plaintext), and the snapshot carries the reveal state.
+  Bytes serialize_state(bft::ReplicaContext& ctx) override;
+  bool restore_state(BytesView blob, bft::ReplicaContext& ctx) override;
+  void on_wal_record(BytesView record, bft::ReplicaContext& ctx) override;
+
   Service& service() { return *service_; }
   /// Total combination-search attempts across recoveries (bench metric).
   uint64_t recovery_attempts() const { return recovery_attempts_; }
@@ -182,6 +189,12 @@ class Cp3ReplicaApp : public bft::ReplicaApp {
                   bft::ReplicaContext& ctx) override;
   void on_causal_message(bft::NodeId from, BytesView body,
                          bft::ReplicaContext& ctx) override;
+
+  // Durability (DESIGN.md §13): same model as CP2 — execution records in
+  // the WAL, reveal state in the snapshot.
+  Bytes serialize_state(bft::ReplicaContext& ctx) override;
+  bool restore_state(BytesView blob, bft::ReplicaContext& ctx) override;
+  void on_wal_record(BytesView record, bft::ReplicaContext& ctx) override;
 
   Service& service() { return *service_; }
   uint64_t recovery_attempts() const { return recovery_attempts_; }

@@ -12,7 +12,9 @@
 #include "causal/cp23.h"
 #include "causal/plain.h"
 #include "causal/stack.h"
+#include "host/storage.h"
 #include "rt/runtime.h"
+#include "rt/storage.h"
 #include "sim/sim_host.h"
 #include "threshenc/tdh2.h"
 
@@ -88,6 +90,31 @@ Cluster::Cluster(ClusterOptions options)
         abft::coin_keygen(*options_.coin_group, cfg.f + 1, cfg.n, crng));
   }
 
+  // Durable storage must be attached before each replica binds: the replica
+  // resolves its host::Storage (and binds the storage metrics) in its
+  // constructor.  The host owns the storage, so it survives
+  // crash_replica/restart_replica — the disk outliving the process.
+  if (options_.durability != ClusterOptions::Durability::kNone) {
+    for (uint32_t i = 0; i < cfg.n; ++i) {
+      std::unique_ptr<host::Storage> storage;
+      if (options_.durability == ClusterOptions::Durability::kFile &&
+          options_.runtime == RuntimeKind::kThreads) {
+        storage = std::make_unique<rt::FileStorage>(
+            options_.data_dir + "/node" + std::to_string(i),
+            rt::FileStorage::Options{options_.storage_fsync});
+      } else {
+        storage = std::make_unique<host::MemStorage>();
+      }
+      if (options_.runtime == RuntimeKind::kSim) {
+        static_cast<sim::SimHost*>(host_.get())
+            ->attach_storage(i, std::move(storage));
+      } else {
+        static_cast<rt::ThreadHost*>(host_.get())
+            ->attach_storage(i, std::move(storage));
+      }
+    }
+  }
+
   // Replicas.
   replica_generation_.assign(cfg.n, 0);
   for (uint32_t i = 0; i < cfg.n; ++i) {
@@ -98,7 +125,24 @@ Cluster::Cluster(ClusterOptions options)
           *host_, i, cfg, *keys_, options_.costs, replica_apps_.back().get(),
           master_rng_.fork(seed_bytes(i, "replica")),
           replica_metrics_.back().get(), &tracer_);
-      replica->start();
+      if (replica->has_storage() &&
+          options_.runtime == RuntimeKind::kThreads) {
+        // Recovery mutates protocol state, so it must run on the replica's
+        // own executor: an already-started peer could land traffic on this
+        // endpoint mid-replay.  The posted task runs before any message
+        // handling queued behind it.
+        bft::Replica* r = replica.get();
+        host_->post(i, [r] {
+          r->recover();
+          r->start();
+        });
+      } else {
+        // kSim: nothing runs until the simulator is stepped, so recovering
+        // inline is race-free and keeps event counts identical to a direct
+        // start when the store is empty.
+        if (replica->has_storage()) replica->recover();
+        replica->start();
+      }
       replicas_.push_back(std::move(replica));
     } else {
       auto replica = std::make_unique<abft::AsyncReplica>(
@@ -220,10 +264,13 @@ void Cluster::restart_replica(uint32_t i) {
       master_rng_.fork(
           seed_bytes((static_cast<uint64_t>(gen) << 32) | i, "replica")),
       replica_metrics_.at(i).get(), &tracer_);
+  // Recover from the attached storage (a no-op without one) while the crash
+  // flag still shields the endpoint: WAL replay re-drives the app, and any
+  // sends it attempts must go nowhere.  Only then readmit traffic — the
+  // crash flag kept messages away from the half-built endpoint.
+  replica->recover();
   replica->start();
   replicas_.at(i) = std::move(replica);
-  // Only now readmit traffic: the crash flag kept messages away from the
-  // half-built endpoint.
   faults().restart(i);
 }
 

@@ -24,6 +24,16 @@ class PlainReplicaApp : public bft::ReplicaApp {
     ctx.send_reply(req.client, req.client_seq, std::move(result));
   }
 
+  // Durability: the service blob IS the app state — plain PBFT executes at
+  // delivery, so replaying the WAL's post-snapshot deliveries rebuilds
+  // everything else exactly once.
+  Bytes serialize_state(bft::ReplicaContext& /*ctx*/) override {
+    return service_->serialize();
+  }
+  bool restore_state(BytesView blob, bft::ReplicaContext& /*ctx*/) override {
+    return service_->restore(blob);
+  }
+
   Service& service() { return *service_; }
 
  private:

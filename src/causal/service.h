@@ -22,6 +22,12 @@ class Service {
 
   /// Executes one operation; must be deterministic.
   virtual Bytes execute(host::NodeId client, BytesView op) = 0;
+
+  /// Durable-state hooks (DESIGN.md §13): the replica snapshot embeds the
+  /// service's state so a full-cluster restart resumes exactly where the
+  /// last stable checkpoint left off.  Defaults fit stateless services.
+  virtual Bytes serialize() const { return {}; }
+  virtual bool restore(BytesView blob) { return blob.empty(); }
 };
 
 /// Returns a fixed-size reply, ignoring the request body (the
@@ -41,6 +47,29 @@ class EchoService : public Service {
   }
   uint64_t bytes_in() const {
     return bytes_in_.load(std::memory_order_relaxed);
+  }
+
+  Bytes serialize() const override {
+    Bytes out(16);
+    const uint64_t e = executed_.load(std::memory_order_relaxed);
+    const uint64_t b = bytes_in_.load(std::memory_order_relaxed);
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<uint8_t>(e >> (8 * i));
+      out[8 + i] = static_cast<uint8_t>(b >> (8 * i));
+    }
+    return out;
+  }
+  bool restore(BytesView blob) override {
+    if (blob.size() != 16) return blob.empty();
+    uint64_t e = 0;
+    uint64_t b = 0;
+    for (int i = 0; i < 8; ++i) {
+      e |= static_cast<uint64_t>(blob[i]) << (8 * i);
+      b |= static_cast<uint64_t>(blob[8 + i]) << (8 * i);
+    }
+    executed_.store(e, std::memory_order_relaxed);
+    bytes_in_.store(b, std::memory_order_relaxed);
+    return true;
   }
 
  private:

@@ -46,6 +46,28 @@ class RecordingService final : public causal::Service {
     return log_;
   }
 
+  // Durable-state hooks: the log IS the service state, so a replica
+  // recovering from a snapshot resumes with the pre-crash prefix intact —
+  // which is exactly what the safety and at-most-once checks compare.
+  Bytes serialize() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    Writer w;
+    w.u32(static_cast<uint32_t>(log_.size()));
+    for (const Bytes& op : log_) w.bytes(op);
+    return std::move(w).take();
+  }
+  bool restore(BytesView blob) override {
+    if (blob.empty()) return true;
+    Reader r(blob);
+    const uint32_t count = r.u32();
+    std::vector<Bytes> log;
+    for (uint32_t i = 0; i < count && r.ok(); ++i) log.push_back(r.bytes());
+    if (!r.ok() || !r.done()) return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    log_ = std::move(log);
+    return true;
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<Bytes> log_;
@@ -114,6 +136,14 @@ void apply_event(causal::Cluster& cluster, HookState& hook,
     case FaultKind::kRestart:
       cluster.restart_replica(ev.a);
       break;
+    case FaultKind::kCrashAll:
+      for (uint32_t i = 0; i < cluster.n(); ++i) cluster.crash_replica(i);
+      break;
+    case FaultKind::kRestartAll:
+      // Each replica recovers from its attached storage before traffic is
+      // readmitted (Cluster::restart_replica).
+      for (uint32_t i = 0; i < cluster.n(); ++i) cluster.restart_replica(i);
+      break;
     case FaultKind::kCut:
       cluster.faults().cut(ev.a, ev.b);
       break;
@@ -154,6 +184,10 @@ const char* fault_kind_name(FaultKind k) {
       return "delay";
     case FaultKind::kTamper:
       return "tamper";
+    case FaultKind::kCrashAll:
+      return "crash_all";
+    case FaultKind::kRestartAll:
+      return "restart_all";
     case FaultKind::kHealAll:
       return "heal_all";
   }
@@ -199,7 +233,9 @@ std::vector<ChaosEvent> generate_schedule(uint64_t seed,
 
     enum Pick : uint8_t { kPickCrash, kPickCut, kPickHeal, kPickDelay, kPickTamper };
     std::vector<std::pair<Pick, uint32_t>> table;
-    if (opt.allow_crash && !crashed) table.push_back({kPickCrash, 3});
+    if (opt.allow_crash && !opt.full_restart && !crashed) {
+      table.push_back({kPickCrash, 3});
+    }
     table.push_back({kPickCut, 3});
     if (!cuts.empty()) table.push_back({kPickHeal, 2});
     table.push_back({kPickDelay, 2});
@@ -264,6 +300,18 @@ std::vector<ChaosEvent> generate_schedule(uint64_t seed,
     out.push_back({opt.horizon - opt.horizon / 10, FaultKind::kRestart,
                    crashed_id, 0, 0});
   }
+  if (opt.full_restart) {
+    // Full-cluster power loss at 50% of the horizon, power restored at 70%:
+    // every replica recovers from durable storage well before the terminal
+    // heal, so the liveness check still binds.
+    out.push_back({opt.horizon / 2, FaultKind::kCrashAll, 0, 0, 0});
+    out.push_back({opt.horizon / 2 + opt.horizon / 5, FaultKind::kRestartAll,
+                   0, 0, 0});
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ChaosEvent& x, const ChaosEvent& y) {
+                       return x.at < y.at;
+                     });
+  }
   out.push_back({opt.horizon, FaultKind::kHealAll, 0, 0, 0});
   return out;
 }
@@ -294,6 +342,8 @@ ChaosReport run_chaos(uint64_t seed, const ChaosOptions& opt) {
   co.bft.watchdog_period = opt.watchdog_period;
   co.num_clients = opt.num_clients;
   co.seed = seed;
+  co.durability = opt.durability;
+  co.data_dir = opt.data_dir;
   co.service_factory = [] { return std::make_unique<RecordingService>(); };
   causal::Cluster cluster(co);
 
@@ -443,6 +493,26 @@ ChaosReport run_chaos(uint64_t seed, const ChaosOptions& opt) {
         }
       }
       if (!report.safety_ok) break;
+    }
+  }
+
+  // Full-restart runs additionally assert at-most-once execution: recovery
+  // from snapshot + WAL must never re-execute an operation the durable
+  // service state already contains.
+  if (opt.full_restart && report.safety_ok) {
+    for (uint32_t i = 0; i < report.logs.size() && report.safety_ok; ++i) {
+      std::unordered_set<std::string> seen;
+      for (const Bytes& op : report.logs[i]) {
+        if (!seen.insert(to_string(op)).second) {
+          report.safety_ok = false;
+          char buf[96];
+          std::snprintf(buf, sizeof(buf),
+                        "replica %u re-executed an operation after recovery",
+                        i);
+          report.violation = buf;
+          break;
+        }
+      }
     }
   }
 

@@ -34,13 +34,15 @@
 namespace scab::chaos {
 
 enum class FaultKind : uint8_t {
-  kCrash,    // full teardown of replica `a` (Cluster::crash_replica)
-  kRestart,  // rebuild replica `a` with empty volatile state
-  kCut,      // drop the directed link a -> b
-  kHeal,     // restore the directed link a -> b
-  kDelay,    // add `extra` ns of one-way delay on a -> b
-  kTamper,   // corrupt every message on a -> b (dropped by authentication)
-  kHealAll,  // terminal: heal cuts, clear delays, stop tampering
+  kCrash,       // full teardown of replica `a` (Cluster::crash_replica)
+  kRestart,     // rebuild replica `a` with empty volatile state
+  kCut,         // drop the directed link a -> b
+  kHeal,        // restore the directed link a -> b
+  kDelay,       // add `extra` ns of one-way delay on a -> b
+  kTamper,      // corrupt every message on a -> b (dropped by authentication)
+  kCrashAll,    // power loss: tear down EVERY replica at once
+  kRestartAll,  // power restored: every replica recovers from its storage
+  kHealAll,     // terminal: heal cuts, clear delays, stop tampering
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -69,6 +71,18 @@ struct ChaosOptions {
   host::Time horizon = 2 * host::kSecond;
   /// Workload completion budget measured from the start of the run.
   host::Time deadline = 60 * host::kSecond;
+
+  /// Full-cluster power loss (DESIGN.md §13): a crash-all event kills every
+  /// replica mid-horizon and a restart-all brings them all back, each
+  /// recovering from its attached storage.  Requires durability != kNone —
+  /// with no storage every replica would lose its whole history at once and
+  /// nothing could be recovered.  Single-replica crash events are disabled
+  /// for these schedules (they would overlap the outage).
+  bool full_restart = false;
+  /// Storage attached to each replica (causal::ClusterOptions semantics).
+  causal::ClusterOptions::Durability durability =
+      causal::ClusterOptions::Durability::kNone;
+  std::string data_dir;  // Durability::kFile only
 
   // Recovery-friendly protocol tuning (chaos runs want restarts to
   // exercise the checkpoint catch-up quickly, not after 64 requests).

@@ -205,6 +205,15 @@ std::optional<ClusterConfig> parse_cluster_config(std::string_view text,
       }
     } else if (key == "keys") {
       cfg.keys_file = value;
+    } else if (key == "durability") {
+      if (value != "off" && value != "async" && value != "fsync") {
+        *err = at_line(lineno, "unknown durability '" + value +
+                                   "' (want off|async|fsync)");
+        return std::nullopt;
+      }
+      cfg.durability = value;
+    } else if (key == "data_dir") {
+      cfg.data_dir = value;
     } else {
       *err = at_line(lineno, "unknown key '" + key + "'");
       return std::nullopt;
@@ -236,6 +245,11 @@ std::optional<ClusterConfig> parse_cluster_config(std::string_view text,
   cfg.bft.n = n;
   if (cfg.keys_file.empty()) {
     *err = "missing 'keys = <dealer-seed file>'";
+    return std::nullopt;
+  }
+  if (cfg.durability != "off" && cfg.data_dir.empty()) {
+    *err = "durability = " + cfg.durability +
+           " requires 'data_dir = <directory>'";
     return std::nullopt;
   }
   if ((cfg.client_inflight > 1 || cfg.client_batch > 1) &&
@@ -300,12 +314,15 @@ std::optional<ClusterConfig> load_cluster_config(const std::string& path,
     *err = path + ": " + *err;
     return std::nullopt;
   }
+  const std::size_t slash = path.rfind('/');
+  const std::string base =
+      slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
   std::string keys_path = cfg->keys_file;
   if (!keys_path.empty() && keys_path.front() != '/') {
-    const std::size_t slash = path.rfind('/');
-    if (slash != std::string::npos) {
-      keys_path = path.substr(0, slash + 1) + keys_path;
-    }
+    keys_path = base + keys_path;
+  }
+  if (!cfg->data_dir.empty() && cfg->data_dir.front() != '/') {
+    cfg->data_dir = base + cfg->data_dir;
   }
   const auto keys_body = read_file(keys_path, err);
   if (!keys_body) return std::nullopt;
@@ -345,7 +362,9 @@ std::string format_cluster_config(const ClusterConfig& cfg) {
       << "client_batch = " << cfg.client_batch << "\n"
       << "threads = " << cfg.threads << "\n"
       << "io_threads = " << cfg.io_threads << "\n"
-      << "keys = " << cfg.keys_file << "\n";
+      << "durability = " << cfg.durability << "\n";
+  if (!cfg.data_dir.empty()) out << "data_dir = " << cfg.data_dir << "\n";
+  out << "keys = " << cfg.keys_file << "\n";
   for (const auto& [id, ep] : cfg.replicas) {
     out << "replica " << id << " = " << ep.ip << ":" << ep.port << "\n";
   }

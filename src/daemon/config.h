@@ -56,6 +56,15 @@ struct ClusterConfig {
   uint32_t threads = 0;
   /// Epoll event-loop threads for the socket transport (>= 1).
   uint32_t io_threads = 1;
+  /// Durable replica state (DESIGN.md §13): "off" (no storage, the
+  /// historical behavior), "async" (WAL + snapshots without per-record
+  /// fsync — survives process crashes, not power loss), or "fsync" (full
+  /// fsync discipline — survives power loss).
+  std::string durability = "off";
+  /// Root of the per-replica storage directories (`<data_dir>/node<id>`).
+  /// Required when durability != off; resolved relative to the config
+  /// file's directory by load_cluster_config, like `keys`.
+  std::string data_dir;
   /// Path of the dealer-seed file, as written in the config (resolved
   /// relative to the config file's directory by load_cluster_config).
   std::string keys_file;

@@ -31,6 +31,7 @@ int usage(const char* argv0) {
       "          [--checkpoint-interval <n>] [--max-batch <n>]\n"
       "          [--client-inflight <n>] [--client-batch <n>]\n"
       "          [--threads <n>] [--io-threads <n>]\n"
+      "          [--durability off|async|fsync] [--data-dir <dir>]\n"
       "          [--group modp_1024|modp_512|generate:<bits>] [--out <dir>]\n",
       argv0);
   return 2;
@@ -140,6 +141,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.io_threads = static_cast<uint32_t>(u);
+    } else if (arg == "--durability") {
+      cfg.durability = val;  // validated by the round-trip parse below
+    } else if (arg == "--data-dir") {
+      cfg.data_dir = val;
     } else if (arg == "--group") {
       group = val;
     } else {

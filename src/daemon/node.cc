@@ -8,6 +8,7 @@
 #include "causal/service.h"
 #include "host/cost_model.h"
 #include "rt/runtime.h"
+#include "rt/storage.h"
 #include "rt/transport.h"
 
 namespace scab::daemon {
@@ -94,13 +95,33 @@ ReplicaDaemon::ReplicaDaemon(const ClusterConfig& cfg, uint32_t replica_id)
   port_ = transport->port();
   host_ = std::make_unique<rt::ThreadHost>(std::move(transport), &metrics_,
                                            /*pool_threads=*/cfg_.threads);
+  // Durable state (DESIGN.md §13): attach before the replica binds — the
+  // replica resolves its storage in the constructor.
+  if (cfg_.durability != "off") {
+    auto storage = std::make_unique<rt::FileStorage>(
+        cfg_.data_dir + "/node" + std::to_string(id_),
+        rt::FileStorage::Options{/*fsync=*/cfg_.durability == "fsync"});
+    if (!storage->ok()) {
+      host_->stop();
+      host_.reset();
+      return;  // caller checks ok()
+    }
+    host_->attach_storage(id_, std::move(storage));
+  }
   app_ = causal::make_replica_app(bundle_.context(),
                                   std::make_unique<causal::EchoService>(0),
                                   id_);
   auto replica = std::make_unique<bft::Replica>(
       *host_, id_, cfg_.bft, bundle_.keys(), host::CostModel::zero(),
       app_.get(), bundle_.replica_rng(id_), &metrics_, &tracer_);
-  replica->start();
+  // Peers may already be up and talking, so recovery — which must complete
+  // before any live traffic mutates the rebuilt state — runs as the
+  // endpoint's first task, ahead of anything the transport delivers.
+  bft::Replica* r = replica.get();
+  host_->post(id_, [r] {
+    r->recover();
+    r->start();
+  });
   replica_ = std::move(replica);
 }
 

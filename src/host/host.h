@@ -25,6 +25,9 @@
 //   charge     cost accounting hook.  The simulator turns charges into
 //              virtual busy-time (the paper's modeled CPU costs); real-time
 //              hosts ignore them — real work is measured, not modeled.
+//   Storage    storage(node) — durable per-node blob store + append log
+//              (host/storage.h), or nullptr when the node runs without
+//              durability.  Owned by the host; survives unbind/rebind.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +37,7 @@
 #include "common/bytes.h"
 #include "host/cost_model.h"
 #include "host/fault.h"
+#include "host/storage.h"
 #include "host/time.h"
 #include "host/worker_pool.h"
 
@@ -110,6 +114,12 @@ class Host : public Clock,
   /// The host's fault-injection surface (crash/cut/delay/tamper), or
   /// nullptr for hosts without one.  Both in-tree hosts implement it.
   virtual FaultInjector* fault_injector() { return nullptr; }
+
+  /// Durable storage attached to `node`, or nullptr when the node runs
+  /// without durability.  The host OWNS the storage and keeps it across
+  /// unbind/rebind of the id — that survival is the crash boundary an
+  /// in-process restart recovers over.  Default: no storage.
+  virtual Storage* storage(NodeId node) { return (void)node, nullptr; }
 };
 
 /// Mixin deduplicating the per-node host plumbing that every protocol class

@@ -1,0 +1,127 @@
+// host::Storage — the durability member of the host seam.
+//
+// Everything a replica persists flows through this interface: a tiny
+// blob store (keyed snapshots, installed atomically) plus one append-only
+// log (the PBFT write-ahead log).  Like the rest of the host surface it
+// has two implementations with one contract:
+//
+//   * MemStorage (here) — deterministic in-memory storage kept by
+//     sim::SimHost.  No I/O, no clock reads, no RNG: attaching storage to
+//     a sim cluster perturbs nothing, so seeded runs stay bit-identical
+//     and tests can assert storage contents directly.
+//   * rt::FileStorage (src/rt/storage.h) — a per-replica data directory
+//     with CRC32-framed length-prefixed WAL records, explicit fsync
+//     discipline, atomic-rename snapshot installs, and torn-tail
+//     truncation on open.
+//
+// Durability contract (DESIGN.md §13):
+//
+//   put(key, value)   Atomically replaces the blob under `key`.  After
+//                     put() returns the new value survives a crash — a
+//                     reader never sees a torn blob (old or new, never a
+//                     mix).
+//   append(record)    Appends one record to the log.  Buffered: the
+//                     record is durable only after the next sync().
+//   sync()            Makes every append so far durable.  A crash after
+//                     sync() returns loses nothing appended before it.
+//   replay(fn)        Invokes fn on each durable record in append order.
+//                     Implementations must deliver a clean PREFIX of the
+//                     appended sequence: a torn or corrupt tail is cut,
+//                     never surfaced.
+//   truncate_log()    Discards the log (after a snapshot subsumed it).
+//
+// Hosts own their Storage instances and hand out borrowed pointers via
+// Host::storage(id); storage deliberately SURVIVES unbind/rebind of the
+// node id, which is what makes an in-process crash/restart cycle recover
+// "from disk".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace scab::obs {
+class MetricsRegistry;
+}  // namespace scab::obs
+
+namespace scab::host {
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  // --- blob store (snapshots, metadata) ---
+  /// Atomically installs `value` under `key`; durable on return.
+  virtual void put(std::string_view key, BytesView value) = 0;
+  virtual std::optional<Bytes> get(std::string_view key) const = 0;
+  virtual void erase(std::string_view key) = 0;
+
+  // --- append-only log (the WAL) ---
+  /// Appends one record; durable after the next sync().
+  virtual void append(BytesView record) = 0;
+  /// Flushes appended records to stable storage.
+  virtual void sync() = 0;
+  /// Replays every durable record in append order.  Yields a clean prefix
+  /// of the appended sequence — a corrupt or torn tail is truncated, never
+  /// delivered.  Returns the number of records yielded.
+  virtual std::size_t replay(
+      const std::function<void(BytesView)>& fn) const = 0;
+  /// Discards the log (typically right after a snapshot subsumed it).
+  virtual void truncate_log() = 0;
+
+  /// Number of durable records currently in the log (post-recovery view).
+  virtual std::size_t log_records() const = 0;
+
+  /// Optional instrumentation sink ("storage.*" histograms).  Default
+  /// no-op: MemStorage is deterministic and records nothing.
+  virtual void bind_metrics(obs::MetricsRegistry* metrics) { (void)metrics; }
+};
+
+/// Deterministic in-memory Storage: plain containers, no I/O, no clock.
+/// sync() is a no-op (memory is "durable" for the simulator's purposes —
+/// the host owns it across unbind/rebind, which is the crash boundary the
+/// sim models).  std::map keeps key iteration order deterministic for
+/// tests that enumerate contents.
+class MemStorage final : public Storage {
+ public:
+  void put(std::string_view key, BytesView value) override {
+    blobs_[std::string(key)] = Bytes(value.begin(), value.end());
+  }
+  std::optional<Bytes> get(std::string_view key) const override {
+    auto it = blobs_.find(std::string(key));
+    if (it == blobs_.end()) return std::nullopt;
+    return it->second;
+  }
+  void erase(std::string_view key) override { blobs_.erase(std::string(key)); }
+
+  void append(BytesView record) override {
+    log_.emplace_back(record.begin(), record.end());
+  }
+  void sync() override {}
+  std::size_t replay(const std::function<void(BytesView)>& fn) const override {
+    for (const Bytes& rec : log_) fn(BytesView(rec.data(), rec.size()));
+    return log_.size();
+  }
+  void truncate_log() override { log_.clear(); }
+  std::size_t log_records() const override { return log_.size(); }
+
+  /// Test hook: every blob key currently stored, in sorted order.
+  std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(blobs_.size());
+    for (const auto& [k, v] : blobs_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Bytes, std::less<>> blobs_;
+  std::vector<Bytes> log_;
+};
+
+}  // namespace scab::host

@@ -213,6 +213,18 @@ void ThreadHost::unbind(host::NodeId id) {
   w->stop_and_join();
 }
 
+void ThreadHost::attach_storage(host::NodeId id,
+                                std::unique_ptr<host::Storage> storage) {
+  std::lock_guard<std::mutex> lk(mu_);
+  storage_[id] = std::move(storage);
+}
+
+host::Storage* ThreadHost::storage(host::NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = storage_.find(node);
+  return it == storage_.end() ? nullptr : it->second.get();
+}
+
 std::shared_ptr<ThreadHost::Worker> ThreadHost::worker(host::NodeId id) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = workers_.find(id);

@@ -76,6 +76,14 @@ class ThreadHost final : public host::Host {
 
   host::FaultInjector* fault_injector() override { return &faults_; }
 
+  /// Attaches (or replaces) durable storage for `id`.  Host-owned and kept
+  /// across unbind/rebind — a restarted endpoint under the same id recovers
+  /// from what its predecessor persisted.  Storage implementations are
+  /// internally synchronized only to the extent the host contract needs:
+  /// a node touches its own storage exclusively from its own executor.
+  void attach_storage(host::NodeId id, std::unique_ptr<host::Storage> storage);
+  host::Storage* storage(host::NodeId node) override;
+
   rt::Transport& transport() { return *transport_; }
 
  private:
@@ -149,6 +157,11 @@ class ThreadHost final : public host::Host {
   // pool completion for an earlier incarnation of the id is stale and must
   // be dropped, exactly like a message to a crashed node.
   std::unordered_map<host::NodeId, uint64_t> generations_;
+  // Owned durable storage per node (under mu_ for the map itself; the
+  // pointed-to Storage is used only from the owning node's executor).
+  // Deliberately NOT cleared on unbind: survival across rebind is the
+  // in-process crash boundary.
+  std::unordered_map<host::NodeId, std::unique_ptr<host::Storage>> storage_;
 
   /// A queued pool job with the owner snapshot taken at submit time.
   struct PoolTask {

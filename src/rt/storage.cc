@@ -1,0 +1,288 @@
+#include "rt/storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/metrics.h"
+
+namespace scab::rt {
+
+namespace {
+
+constexpr char kWalName[] = "wal.log";
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+// A length field beyond this is treated as corruption outright — no real
+// record approaches it, and it keeps a torn length from driving a huge
+// read before the CRC check rejects it anyway.
+constexpr uint32_t kMaxRecord = 64u << 20;
+
+uint32_t le32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void put_le32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+bool write_all(int fd, const uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, Bytes* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out->clear();
+  std::array<uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buf.data(), buf.data() + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+const std::array<uint32_t, 256>& crc_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(BytesView data) {
+  const auto& t = crc_table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t b : data) c = t[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+FileStorage::FileStorage(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    error_ = "create_directories(" + dir_ + "): " + ec.message();
+    return;
+  }
+  const std::string wal = dir_ + "/" + kWalName;
+  wal_fd_ = ::open(wal.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (wal_fd_ < 0) {
+    error_ = "open(" + wal + "): " + std::strerror(errno);
+    return;
+  }
+  recover_wal();
+  ok_ = error_.empty();
+}
+
+FileStorage::~FileStorage() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+void FileStorage::bind_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) fsync_ms_ = &metrics->histogram("storage.fsync_ms");
+}
+
+void FileStorage::timed_fsync(int fd) {
+  if (!options_.fsync) return;
+  const auto start = std::chrono::steady_clock::now();
+  while (::fdatasync(fd) < 0 && errno == EINTR) {
+  }
+  if (fsync_ms_ != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    fsync_ms_->record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+            .count()));
+  }
+}
+
+void FileStorage::recover_wal() {
+  // Read the whole file once and validate frame by frame.  The first frame
+  // that fails any check marks the end of the durable prefix: everything
+  // from there on is a torn or corrupt tail and is cut off.
+  Bytes contents;
+  const std::string wal = dir_ + "/" + kWalName;
+  if (!read_file(wal, &contents)) {
+    error_ = "read(" + wal + "): " + std::strerror(errno);
+    return;
+  }
+  std::size_t offset = 0;
+  std::size_t records = 0;
+  while (contents.size() - offset >= kFrameHeader) {
+    const uint32_t len = le32(contents.data() + offset);
+    if (len > kMaxRecord || contents.size() - offset - kFrameHeader < len) {
+      break;
+    }
+    const uint32_t crc = le32(contents.data() + offset + 4);
+    const BytesView payload(contents.data() + offset + kFrameHeader, len);
+    if (crc32(payload) != crc) break;
+    offset += kFrameHeader + len;
+    ++records;
+  }
+  if (offset != contents.size()) {
+    if (::ftruncate(wal_fd_, static_cast<off_t>(offset)) < 0) {
+      error_ = "ftruncate(" + wal + "): " + std::strerror(errno);
+      return;
+    }
+    timed_fsync(wal_fd_);
+  }
+  if (::lseek(wal_fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    error_ = "lseek(" + wal + "): " + std::strerror(errno);
+    return;
+  }
+  log_records_ = records;
+}
+
+void FileStorage::append(BytesView record) {
+  if (!ok_) return;
+  Bytes frame(kFrameHeader + record.size());
+  put_le32(frame.data(), static_cast<uint32_t>(record.size()));
+  put_le32(frame.data() + 4, crc32(record));
+  std::memcpy(frame.data() + kFrameHeader, record.data(), record.size());
+  if (!write_all(wal_fd_, frame.data(), frame.size())) {
+    ok_ = false;
+    error_ = std::string("wal append: ") + std::strerror(errno);
+    return;
+  }
+  ++log_records_;
+}
+
+void FileStorage::sync() {
+  if (!ok_) return;
+  timed_fsync(wal_fd_);
+}
+
+std::size_t FileStorage::replay(
+    const std::function<void(BytesView)>& fn) const {
+  if (!ok_) return 0;
+  Bytes contents;
+  if (!read_file(dir_ + "/" + kWalName, &contents)) return 0;
+  std::size_t offset = 0;
+  std::size_t records = 0;
+  while (contents.size() - offset >= kFrameHeader) {
+    const uint32_t len = le32(contents.data() + offset);
+    if (len > kMaxRecord || contents.size() - offset - kFrameHeader < len) {
+      break;
+    }
+    const uint32_t crc = le32(contents.data() + offset + 4);
+    const BytesView payload(contents.data() + offset + kFrameHeader, len);
+    if (crc32(payload) != crc) break;
+    fn(payload);
+    offset += kFrameHeader + len;
+    ++records;
+  }
+  return records;
+}
+
+void FileStorage::truncate_log() {
+  if (!ok_) return;
+  if (::ftruncate(wal_fd_, 0) < 0) {
+    ok_ = false;
+    error_ = std::string("wal truncate: ") + std::strerror(errno);
+    return;
+  }
+  if (::lseek(wal_fd_, 0, SEEK_SET) < 0) {
+    ok_ = false;
+    error_ = std::string("wal seek: ") + std::strerror(errno);
+    return;
+  }
+  timed_fsync(wal_fd_);
+  log_records_ = 0;
+}
+
+std::string FileStorage::blob_path(std::string_view key) const {
+  // Keys are short identifiers ("snapshot"); anything outside the safe
+  // filename alphabet is mapped to '_' so a key can never escape the dir.
+  std::string name;
+  name.reserve(key.size());
+  for (char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    name.push_back(safe ? c : '_');
+  }
+  return dir_ + "/" + name + ".blob";
+}
+
+void FileStorage::put(std::string_view key, BytesView value) {
+  if (!ok_) return;
+  const std::string path = blob_path(key);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    ok_ = false;
+    error_ = "open(" + tmp + "): " + std::strerror(errno);
+    return;
+  }
+  if (!write_all(fd, value.data(), value.size())) {
+    ok_ = false;
+    error_ = "write(" + tmp + "): " + std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  timed_fsync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    ok_ = false;
+    error_ = "rename(" + tmp + "): " + std::strerror(errno);
+    return;
+  }
+  // fsync the directory so the rename itself survives power loss.
+  if (options_.fsync) {
+    const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      timed_fsync(dfd);
+      ::close(dfd);
+    }
+  }
+}
+
+std::optional<Bytes> FileStorage::get(std::string_view key) const {
+  if (!ok_) return std::nullopt;
+  Bytes out;
+  if (!read_file(blob_path(key), &out)) return std::nullopt;
+  return out;
+}
+
+void FileStorage::erase(std::string_view key) {
+  if (!ok_) return;
+  ::unlink(blob_path(key).c_str());
+}
+
+}  // namespace scab::rt

@@ -1,0 +1,94 @@
+// rt::FileStorage — the file-backed host::Storage (DESIGN.md §13).
+//
+// One directory per replica:
+//
+//   <dir>/wal.log       append-only log, CRC32-framed records
+//   <dir>/<key>.blob    one file per blob key, installed by atomic rename
+//
+// WAL framing: each record is [u32 len][u32 crc32(payload)][payload], all
+// little-endian.  On open the file is scanned front to back and truncated
+// at the first frame that fails validation (short header, absurd length,
+// short payload, CRC mismatch) — so whatever a crash tore off the tail,
+// recovery sees a clean PREFIX of the appended sequence and never a
+// corrupt record.  A bad length field is caught the same way: the CRC of
+// whatever bytes it points at will not match.
+//
+// Durability discipline:
+//
+//   append()       write() into the OS page cache (no fsync)
+//   sync()         fdatasync(wal) — the commit point; timed into the
+//                  "storage.fsync_ms" histogram when metrics are bound
+//   put()          write <key>.tmp, fsync it, rename over <key>.blob,
+//                  fsync the directory — readers see old or new, never torn
+//   truncate_log() ftruncate(wal, 0) + fdatasync
+//
+// Options.fsync=false ("durability=async" in cluster.conf) keeps all the
+// writes but skips every fsync: contents survive process crashes (the page
+// cache persists) but not power loss.  The framing and recovery path are
+// identical.
+#pragma once
+
+#include <string>
+
+#include "host/storage.h"
+
+namespace scab::obs {
+class Histogram;
+}  // namespace scab::obs
+
+namespace scab::rt {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+/// Exposed for the storage tests, which corrupt frames surgically.
+uint32_t crc32(BytesView data);
+
+class FileStorage final : public host::Storage {
+ public:
+  struct Options {
+    bool fsync = true;  // false = "async": write() without fdatasync
+  };
+
+  /// Creates `dir` (and parents) if needed, opens (or creates) the WAL and
+  /// truncates any torn tail.  Check ok() before use: a FileStorage that
+  /// failed to open refuses every operation.
+  explicit FileStorage(std::string dir) : FileStorage(std::move(dir), Options{}) {}
+  FileStorage(std::string dir, Options options);
+  ~FileStorage() override;
+
+  FileStorage(const FileStorage&) = delete;
+  FileStorage& operator=(const FileStorage&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  const std::string& dir() const { return dir_; }
+
+  // --- host::Storage ---
+  void put(std::string_view key, BytesView value) override;
+  std::optional<Bytes> get(std::string_view key) const override;
+  void erase(std::string_view key) override;
+
+  void append(BytesView record) override;
+  void sync() override;
+  std::size_t replay(const std::function<void(BytesView)>& fn) const override;
+  void truncate_log() override;
+  std::size_t log_records() const override { return log_records_; }
+
+  void bind_metrics(obs::MetricsRegistry* metrics) override;
+
+ private:
+  std::string blob_path(std::string_view key) const;
+  void timed_fsync(int fd);
+  /// Scans the WAL, truncates the first invalid frame and everything after
+  /// it, and leaves the write offset at the end of the valid prefix.
+  void recover_wal();
+
+  std::string dir_;
+  Options options_;
+  bool ok_ = false;
+  std::string error_;
+  int wal_fd_ = -1;
+  std::size_t log_records_ = 0;  // valid records (recovered + appended)
+  obs::Histogram* fsync_ms_ = nullptr;
+};
+
+}  // namespace scab::rt

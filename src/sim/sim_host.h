@@ -70,6 +70,20 @@ class SimHost final : public host::Host {
 
   host::FaultInjector* fault_injector() override { return &faults_; }
 
+  /// Attaches (or replaces) durable storage for `id`.  The host owns it;
+  /// it survives unbind/rebind, so a torn-down endpoint's replacement
+  /// recovers from exactly what its predecessor persisted.  Pure data
+  /// handoff: no events, no RNG — seeded runs stay bit-identical whether
+  /// or not storage is attached (see determinism_test).
+  void attach_storage(host::NodeId id,
+                      std::unique_ptr<host::Storage> storage) {
+    storage_[id] = std::move(storage);
+  }
+  host::Storage* storage(host::NodeId node) override {
+    auto it = storage_.find(node);
+    return it == storage_.end() ? nullptr : it->second.get();
+  }
+
   Network& net() { return net_; }
 
  private:
@@ -122,6 +136,8 @@ class SimHost final : public host::Host {
   Network& net_;
   Faults faults_;
   std::unordered_map<host::NodeId, std::unique_ptr<Adapter>> adapters_;
+  // Owned durable storage per node; deliberately NOT cleared on unbind.
+  std::unordered_map<host::NodeId, std::unique_ptr<host::Storage>> storage_;
   // Bumped on every bind AND unbind, so timers from any earlier lifetime of
   // the id can never fire into a newer (or absent) endpoint.
   std::unordered_map<host::NodeId, uint64_t> bind_epochs_;
